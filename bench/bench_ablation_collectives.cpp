@@ -1,0 +1,64 @@
+// Ablation A3 — vmpi collective algorithm choice: binomial-tree
+// reduce+broadcast vs ring reduce-scatter/allgather allreduce.
+//
+// Expectation: the tree wins at small message sizes (fewer latency-bound
+// steps); the ring wins at large sizes (bandwidth-optimal, each byte
+// crosses each link about twice regardless of process count).
+#include "bench_common.h"
+#include "vmpi/comm.h"
+
+using namespace mgbench;
+
+namespace {
+
+double allreduceTime(std::size_t doubles, bool ring, int nhosts) {
+  core::topologies::AlphaClusterParams params;
+  params.hosts = nhosts;
+  core::ReferencePlatform platform(core::topologies::alphaCluster(params));
+  std::vector<std::string> hosts;
+  for (const auto& h : platform.mapper().hosts()) hosts.push_back(h.hostname);
+  auto elapsed = std::make_shared<double>(0);
+  for (int r = 0; r < nhosts; ++r) {
+    platform.spawnOn(hosts[static_cast<size_t>(r)], "rank" + std::to_string(r),
+                     [=](vos::HostContext& ctx) {
+                       auto comm = vmpi::Comm::init(ctx, r, hosts);
+                       std::vector<double> data(doubles, r * 1.0);
+                       comm->barrier();
+                       const double t0 = comm->wtime();
+                       for (int rep = 0; rep < 3; ++rep) {
+                         if (ring) {
+                           comm->allreduceRing(data.data(), data.size(), vmpi::Op::Sum);
+                         } else {
+                           comm->allreduce(data.data(), data.size(), vmpi::Op::Sum);
+                         }
+                       }
+                       if (r == 0) *elapsed = (comm->wtime() - t0) / 3;
+                       comm->finalize();
+                     });
+  }
+  platform.run();
+  return *elapsed;
+}
+
+}  // namespace
+
+int main() {
+  printHeader("Collective-algorithm ablation: tree vs ring allreduce", "DESIGN.md A3");
+
+  const int nhosts = 8;
+  util::Table table({"doubles", "tree_ms", "ring_ms", "ring/tree"});
+  double small_ratio = 0, large_ratio = 0;
+  for (std::size_t n : {std::size_t{16}, std::size_t{1024}, std::size_t{65536},
+                        std::size_t{1048576}}) {
+    const double tree = allreduceTime(n, false, nhosts);
+    const double ring = allreduceTime(n, true, nhosts);
+    table.row() << static_cast<long long>(n) << tree * 1e3 << ring * 1e3 << ring / tree;
+    if (n == 16) small_ratio = ring / tree;
+    if (n == 1048576) large_ratio = ring / tree;
+  }
+  table.print(std::cout, "A3: 8-process allreduce time vs vector size");
+  const bool ok = small_ratio > 1.0 && large_ratio < 1.0;
+  std::cout << "Shape check: tree wins small messages, ring wins large ones: "
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}

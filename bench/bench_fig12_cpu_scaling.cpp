@@ -1,0 +1,42 @@
+// Fig 12 — extrapolation: total run times varying only the virtual CPU
+// (1x/2x/4x/8x), holding network performance constant at 1 Mbps / 50 ms.
+//
+// Paper result: "significant speedups can be achieved solely based on
+// increases in processor speed" — normalized ratios fall well below 1 as
+// CPUs scale, with compute-bound EP benefiting the most.
+#include "bench_common.h"
+
+using namespace mgbench;
+
+int main() {
+  printHeader("Virtual-CPU scaling at fixed (slow) network", "Fig 12");
+
+  const npb::Benchmark benches[] = {npb::Benchmark::MG, npb::Benchmark::BT, npb::Benchmark::LU,
+                                    npb::Benchmark::EP};
+  const double scales[] = {1, 2, 4, 8};
+
+  util::Table table({"benchmark", "1x", "2x", "4x", "8x", "seconds@1x"});
+  bool ok = true;
+  for (auto b : benches) {
+    std::vector<double> times;
+    for (double s : scales) {
+      core::topologies::AlphaClusterParams params;
+      params.cpu_scale = s;
+      params.bandwidth_bps = 1e6;          // 1 Mbps
+      params.latency_seconds = 25e-3;      // 50 ms host-to-host
+      core::MicroGridPlatform emu(core::topologies::alphaCluster(params));
+      times.push_back(runNpbOn(emu, b, npb::NpbClass::S, onePerHost(emu)));
+    }
+    table.row() << npb::benchmarkName(b) << 1.0 << times[1] / times[0] << times[2] / times[0]
+                << times[3] / times[0] << times[0];
+    // Monotone speedup; EP (pure compute) should approach the ideal 1/8.
+    for (int i = 1; i < 4; ++i) {
+      if (times[static_cast<size_t>(i)] > times[static_cast<size_t>(i) - 1] * 1.02) ok = false;
+    }
+    if (b == npb::Benchmark::EP && times[3] / times[0] > 0.2) ok = false;
+  }
+  table.print(std::cout, "Fig 12: normalized run time vs virtual CPU speed");
+  std::cout << "Shape check: monotone speedups; EP approaches the ideal 1/8: "
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}

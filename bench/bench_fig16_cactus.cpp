@@ -1,0 +1,27 @@
+// Fig 16 — CACTUS WaveToy on the modeled Alpha cluster, physical grid vs
+// MicroGrid, for grid edges 50 and 250.
+//
+// Paper result: "These results show excellent match, within 5 to 7%."
+#include "bench_common.h"
+
+using namespace mgbench;
+
+int main() {
+  printHeader("CACTUS WaveToy: physical grid vs MicroGrid", "Fig 16");
+
+  util::Table table({"grid_edge", "pgrid_s", "mgrid_s", "error_%"});
+  bool ok = true;
+  for (int edge : {50, 250}) {
+    core::ReferencePlatform ref(core::topologies::alphaCluster());
+    const double t_ref = runWaveToyOn(ref, edge, 60, onePerHost(ref));
+    core::MicroGridPlatform emu(core::topologies::alphaCluster());
+    const double t_emu = runWaveToyOn(emu, edge, 60, onePerHost(emu));
+    const double err = util::percentError(t_ref, t_emu);
+    table.row() << edge << t_ref << t_emu << err;
+    if (std::abs(err) > 10.0) ok = false;
+  }
+  table.print(std::cout, "Fig 16: WaveToy execution time vs grid size");
+  std::cout << "Shape check: MicroGrid within ~10% of the physical grid on both\n"
+            << "problem sizes (paper: 5-7%): " << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// Ablation A2 — simulation-kernel micro-benchmarks (google-benchmark):
+// event throughput, process context-switch cost, channel operations, and
+// packet-network forwarding rate. These bound how large a virtual Grid the
+// tool can emulate per real second (the paper's scalability concern).
+#include <benchmark/benchmark.h>
+
+#include "net/host_stack.h"
+#include "net/packet_network.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+
+using namespace mg;
+
+static void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long long sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.scheduleAt(i, [&sum, i] { sum += i; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventDispatch)->Unit(benchmark::kMillisecond);
+
+static void BM_ProcessContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn("p", [&] {
+      for (int i = 0; i < 1000; ++i) sim.delay(1);
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ProcessContextSwitch)->Unit(benchmark::kMillisecond);
+
+static void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> a(sim), b(sim);
+    sim.spawn("ping", [&] {
+      for (int i = 0; i < 500; ++i) {
+        a.send(i);
+        b.recv();
+      }
+    });
+    sim.spawn("pong", [&] {
+      for (int i = 0; i < 500; ++i) {
+        b.send(a.recv());
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelPingPong)->Unit(benchmark::kMillisecond);
+
+static void BM_PacketForwarding(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Topology topo;
+    net::NodeId prev = topo.addHost("h0");
+    for (int i = 1; i <= hops; ++i) {
+      net::NodeId next = (i == hops) ? topo.addHost("h" + std::to_string(i))
+                                     : topo.addRouter("r" + std::to_string(i));
+      topo.addLink("l" + std::to_string(i), prev, next, 1e9, 1000);
+      prev = next;
+    }
+    net::PacketNetwork net(sim, std::move(topo), {});
+    net.attachHost(prev, [](net::Packet&&) {});
+    for (int i = 0; i < 1000; ++i) {
+      net::Packet p;
+      p.src = 0;
+      p.dst = prev;
+      p.payload.resize(64);
+      net.send(std::move(p));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000 * hops);
+  state.SetLabel(std::to_string(hops) + " hops");
+}
+BENCHMARK(BM_PacketForwarding)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+static void BM_TcpThroughputSim(benchmark::State& state) {
+  // Cost of simulating a 1 MB TCP transfer (the NSE-overhead concern).
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Topology topo;
+    auto a = topo.addHost("a");
+    auto b = topo.addHost("b");
+    topo.addLink("l", a, b, 100e6, sim::fromSeconds(0.1e-3));
+    net::PacketNetwork net(sim, std::move(topo), {});
+    net::HostStack sa(net, a), sb(net, b);
+    sim.spawn("server", [&] {
+      auto listener = sb.tcp().listen(80);
+      auto conn = listener->accept();
+      std::vector<std::uint8_t> sink(1 << 20);
+      conn->recvExact(sink.data(), sink.size());
+    });
+    sim.spawn("client", [&] {
+      auto conn = sa.tcp().connect(b, 80);
+      std::vector<std::uint8_t> data(1 << 20, 0xab);
+      conn->send(data.data(), data.size());
+      conn->close();
+    });
+    sim.run();
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_TcpThroughputSim)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

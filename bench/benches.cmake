@@ -1,0 +1,28 @@
+# Experiment harnesses: one binary per table/figure of the paper, plus
+# ablations and a kernel micro-benchmark. Binaries land in build/bench/.
+function(mg_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    mg_core mg_npb mg_apps mg_autopilot mg_vmpi mg_grid mg_gis mg_vos mg_net mg_sim mg_util
+    mg_warnings)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+mg_add_bench(bench_fig05_memory)
+mg_add_bench(bench_fig06_cpu)
+mg_add_bench(bench_fig07_quanta)
+mg_add_bench(bench_fig08_network)
+mg_add_bench(bench_fig10_npb)
+mg_add_bench(bench_fig11_quanta_sweep)
+mg_add_bench(bench_fig12_cpu_scaling)
+mg_add_bench(bench_fig14_vbns)
+mg_add_bench(bench_fig15_emulation_rate)
+mg_add_bench(bench_fig16_cactus)
+mg_add_bench(bench_fig17_autopilot)
+mg_add_bench(bench_ablation_netmodel)
+mg_add_bench(bench_ablation_collectives)
+
+add_executable(bench_kernel_perf ${CMAKE_SOURCE_DIR}/bench/bench_kernel_perf.cpp)
+target_link_libraries(bench_kernel_perf PRIVATE mg_sim mg_net mg_util benchmark::benchmark
+  mg_warnings)
+set_target_properties(bench_kernel_perf PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,161 @@
+// mgrun — command-line driver: run a packaged workload on a virtual Grid
+// described by a config file, on either platform.
+//
+//   $ ./examples/mgrun --list-executables
+//   $ ./examples/mgrun --config examples/grids/alpha4.ini \
+//         --exe npb.mg --args A --parts vm0.ucsd.edu:1,vm1.ucsd.edu:1
+//   $ ./examples/mgrun --platform pgrid --exe cactus.wavetoy --args "50 60"
+//
+// Options:
+//   --config FILE      virtual-grid description (default: Alpha cluster preset)
+//   --platform P       mgrid (default) or pgrid (reference model)
+//   --exe NAME         registered executable (see --list-executables)
+//   --args "..."       arguments passed to the job
+//   --parts H:N,...    allocation parts (default: one rank per host)
+//   --quantum MS       scheduler quantum in milliseconds (default 10)
+//   --slowdown N       run the emulation N times slower (default 1)
+//   --verbose          print per-rank results
+#include <iostream>
+#include <memory>
+
+#include "apps/wavetoy.h"
+#include "core/launcher.h"
+#include "core/microgrid_platform.h"
+#include "core/reference_platform.h"
+#include "core/topologies.h"
+#include "npb/npb.h"
+#include "util/strings.h"
+
+using namespace mg;
+
+namespace {
+
+struct Options {
+  std::string config_path;
+  std::string platform = "mgrid";
+  std::string exe = "npb.mg";
+  std::string args = "S";
+  std::string parts;
+  double quantum_ms = 10.0;
+  double slowdown = 1.0;
+  bool verbose = false;
+  bool list = false;
+};
+
+Options parseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw mg::UsageError("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--config") {
+      opt.config_path = next();
+    } else if (flag == "--platform") {
+      opt.platform = next();
+    } else if (flag == "--exe") {
+      opt.exe = next();
+    } else if (flag == "--args") {
+      opt.args = next();
+    } else if (flag == "--parts") {
+      opt.parts = next();
+    } else if (flag == "--quantum") {
+      opt.quantum_ms = std::stod(next());
+    } else if (flag == "--slowdown") {
+      opt.slowdown = std::stod(next());
+    } else if (flag == "--verbose") {
+      opt.verbose = true;
+    } else if (flag == "--list-executables") {
+      opt.list = true;
+    } else {
+      throw mg::UsageError("unknown flag " + flag + " (see the header of mgrun.cpp)");
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parseArgs(argc, argv);
+
+    grid::ExecutableRegistry registry;
+    npb::ResultSink npb_sink;
+    apps::WaveToySink wavetoy_sink;
+    npb::registerNpb(registry, npb_sink);
+    apps::registerWaveToy(registry, wavetoy_sink);
+    if (opt.list) {
+      std::cout << "registered executables:\n";
+      for (const auto& name : registry.names()) std::cout << "  " << name << "\n";
+      return 0;
+    }
+
+    core::VirtualGridConfig cfg =
+        opt.config_path.empty()
+            ? core::topologies::alphaCluster()
+            : core::VirtualGridConfig::fromConfig(util::Config::parseFile(opt.config_path));
+
+    std::unique_ptr<core::Platform> platform;
+    if (opt.platform == "mgrid") {
+      core::MicroGridOptions mopts;
+      mopts.quantum = sim::fromSeconds(opt.quantum_ms * 1e-3);
+      mopts.slowdown = opt.slowdown;
+      auto p = std::make_unique<core::MicroGridPlatform>(cfg, mopts);
+      std::cout << "MicroGrid platform, simulation rate " << p->rate() << ", quantum "
+                << opt.quantum_ms << " ms\n";
+      platform = std::move(p);
+    } else if (opt.platform == "pgrid") {
+      platform = std::make_unique<core::ReferencePlatform>(cfg);
+      std::cout << "reference (physical grid) platform\n";
+    } else {
+      throw mg::UsageError("--platform must be mgrid or pgrid");
+    }
+
+    std::vector<grid::AllocationPart> parts;
+    if (opt.parts.empty()) {
+      for (const auto& h : cfg.mapper().hosts()) parts.push_back({h.hostname, 1});
+    } else {
+      for (const auto& item : util::splitTrim(opt.parts, ',')) {
+        const auto colon = item.rfind(':');
+        if (colon == std::string::npos) throw mg::UsageError("--parts wants host:count");
+        parts.push_back({item.substr(0, colon), std::stoi(item.substr(colon + 1))});
+      }
+    }
+
+    core::Launcher launcher(*platform, registry);
+    launcher.startServices(&cfg, "mgrun");
+    std::cout << "submitting " << opt.exe << " '" << opt.args << "' across " << parts.size()
+              << " part(s)...\n";
+    const auto result = launcher.run(opt.exe, opt.args, parts);
+
+    if (!result.ok) {
+      std::cerr << "job failed: " << result.error << "\n";
+      return 1;
+    }
+    std::cout << "job completed in " << result.virtual_seconds << " virtual seconds\n";
+    for (const auto& r : npb_sink.results()) {
+      if (opt.verbose) {
+        std::cout << "  " << r.benchmark << "." << r.npb_class << " rank " << r.rank << ": "
+                  << r.seconds << " s, " << r.bytes_sent << " bytes sent, "
+                  << (r.verified ? "verified" : "NOT VERIFIED") << "\n";
+      }
+    }
+    if (!npb_sink.results().empty()) {
+      std::cout << "benchmark time (max over ranks): " << npb_sink.maxSeconds() << " s, "
+                << (npb_sink.allVerified() ? "all ranks verified" : "VERIFICATION FAILED")
+                << "\n";
+      return npb_sink.allVerified() ? 0 : 1;
+    }
+    if (!wavetoy_sink.results().empty()) {
+      std::cout << "wavetoy time (max over ranks): " << wavetoy_sink.maxSeconds() << " s, "
+                << (wavetoy_sink.allVerified() ? "verified" : "VERIFICATION FAILED") << "\n";
+      return wavetoy_sink.allVerified() ? 0 : 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mgrun: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,66 @@
+// Wide-area experiment: run an NPB kernel over the Fig 13 vBNS
+// coupled-cluster testbed (two processes at UCSD, two at UIUC) and compare
+// against a single-site run — the paper's motivating "can Grid applications
+// tolerate the WAN?" question.
+//
+//   $ ./examples/wide_area_npb [ep|is|mg|lu|bt]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/launcher.h"
+#include "core/microgrid_platform.h"
+#include "core/topologies.h"
+#include "npb/npb.h"
+#include "util/strings.h"
+
+using namespace mg;
+
+namespace {
+
+double runOn(core::VirtualGridConfig cfg, npb::Benchmark bench,
+             std::vector<grid::AllocationPart> parts) {
+  core::MicroGridPlatform platform(cfg);
+  grid::ExecutableRegistry registry;
+  npb::ResultSink sink;
+  npb::registerNpb(registry, sink);
+  core::Launcher launcher(platform, registry);
+  launcher.startServices();
+  auto result = launcher.run("npb." + util::toLower(npb::benchmarkName(bench)), "S",
+                             std::move(parts));
+  if (!result.ok) {
+    std::cerr << "run failed: " << result.error << "\n";
+    std::exit(1);
+  }
+  return sink.maxSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const npb::Benchmark bench =
+      argc > 1 ? npb::benchmarkFromString(argv[1]) : npb::Benchmark::MG;
+  std::cout << "NPB " << npb::benchmarkName(bench) << " (Class S), 4 processes\n\n";
+
+  // Single-site baseline: the Alpha cluster.
+  auto lan_cfg = core::topologies::alphaCluster();
+  std::vector<grid::AllocationPart> lan_parts;
+  for (const auto& h : lan_cfg.mapper().hosts()) lan_parts.push_back({h.hostname, 1});
+  const double t_lan = runOn(lan_cfg, bench, lan_parts);
+  std::cout << "single-site LAN cluster:         " << t_lan << " s\n";
+
+  // Wide-area: 2 + 2 across the vBNS.
+  for (double bottleneck : {622e6, 10e6}) {
+    core::topologies::VbnsParams params;
+    params.bottleneck_bps = bottleneck;
+    const double t = runOn(core::topologies::vbns(params), bench,
+                           {{"ucsd0.ucsd.edu", 1},
+                            {"ucsd1.ucsd.edu", 1},
+                            {"uiuc0.uiuc.edu", 1},
+                            {"uiuc1.uiuc.edu", 1}});
+    std::cout << "UCSD+UIUC over vBNS @" << bottleneck / 1e6 << " Mb/s: " << t << " s  ("
+              << t / t_lan << "x the LAN time)\n";
+  }
+  std::cout << "\nAs the paper found, latency — not bandwidth — dominates: Grid\n"
+               "applications need to be latency tolerant to run wide-area.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "apps/microbench.h"
+
+#include "util/error.h"
+#include "vos/memory.h"
+
+namespace mg::apps {
+
+std::int64_t memoryProbe(vos::HostContext& ctx, std::int64_t chunk) {
+  std::int64_t allocated = 0;
+  try {
+    for (;;) {
+      ctx.allocateMemory(chunk);
+      allocated += chunk;
+    }
+  } catch (const vos::OutOfMemoryError&) {
+  }
+  ctx.freeMemory(allocated);
+  return allocated;
+}
+
+double cpuReference(vos::HostContext& ctx, double ops) {
+  const double t0 = ctx.wallTime();
+  ctx.compute(ops);
+  return ctx.wallTime() - t0;
+}
+
+std::vector<PingPongPoint> pingPong(vmpi::Comm& comm, const std::vector<std::size_t>& sizes,
+                                    int repeats) {
+  if (comm.size() != 2) throw mg::UsageError("pingPong needs exactly two ranks");
+  std::vector<PingPongPoint> points;
+  std::size_t max_size = 1;
+  for (auto s : sizes) max_size = std::max(max_size, s);
+  std::vector<std::uint8_t> buf(max_size, 0x5a);
+
+  for (std::size_t size : sizes) {
+    comm.barrier();
+    if (comm.rank() == 0) {
+      // Warm-up round trip, then timed repeats.
+      comm.send(1, 1, buf.data(), size);
+      comm.recv(1, 1, buf.data(), max_size);
+      const double t0 = comm.wtime();
+      for (int r = 0; r < repeats; ++r) {
+        comm.send(1, 1, buf.data(), size);
+        comm.recv(1, 1, buf.data(), max_size);
+      }
+      const double per_oneway = (comm.wtime() - t0) / repeats / 2.0;
+      PingPongPoint pt;
+      pt.message_bytes = size;
+      pt.latency_seconds = per_oneway;
+      pt.bandwidth_mbytes_s = static_cast<double>(size) / per_oneway / 1e6;
+      points.push_back(pt);
+    } else {
+      for (int r = 0; r < repeats + 1; ++r) {
+        comm.recv(0, 1, buf.data(), max_size);
+        comm.send(0, 1, buf.data(), size);
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace mg::apps

@@ -1,0 +1,37 @@
+// The paper's micro-benchmark programs (§3.2), as reusable routines driven
+// by the bench harnesses:
+//
+//  * memoryProbe   — Fig 5: allocate until out-of-memory, report the max.
+//  * cpuReference  — Fig 6: a fixed CPU-bound computation; the caller
+//                    derives the delivered fraction from its wall time.
+//  * pingPong      — Fig 8: MPI-style latency/bandwidth curves vs message
+//                    size between two hosts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vmpi/comm.h"
+#include "vos/context.h"
+
+namespace mg::apps {
+
+/// Allocate `chunk`-byte blocks until OutOfMemoryError; returns bytes
+/// successfully allocated (the Fig 5 y-axis). Frees everything afterwards.
+std::int64_t memoryProbe(vos::HostContext& ctx, std::int64_t chunk = 1024);
+
+/// Burn exactly `ops` operations; returns the virtual wall time it took.
+double cpuReference(vos::HostContext& ctx, double ops);
+
+struct PingPongPoint {
+  std::size_t message_bytes = 0;
+  double latency_seconds = 0;      // one-way (half round trip)
+  double bandwidth_mbytes_s = 0;   // message_bytes / one-way time
+};
+
+/// Run on exactly two ranks. Rank 0 returns one point per size; rank 1
+/// returns an empty vector. `repeats` round trips are averaged per size.
+std::vector<PingPongPoint> pingPong(vmpi::Comm& comm, const std::vector<std::size_t>& sizes,
+                                    int repeats = 5);
+
+}  // namespace mg::apps

@@ -1,0 +1,48 @@
+#include "autopilot/autopilot.h"
+
+#include "util/error.h"
+
+namespace mg::autopilot {
+
+void SensorRegistry::set(const std::string& name, double value) { values_[name] = value; }
+
+void SensorRegistry::increment(const std::string& name, double delta) { values_[name] += delta; }
+
+bool SensorRegistry::has(const std::string& name) const { return values_.count(name) > 0; }
+
+double SensorRegistry::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) throw mg::UsageError("no such sensor: " + name);
+  return it->second;
+}
+
+std::vector<std::string> SensorRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+void Sampler::run(vos::HostContext& ctx, double interval_virtual_seconds) {
+  if (interval_virtual_seconds <= 0) throw mg::UsageError("sampling interval must be positive");
+  while (!stopped_) {
+    ctx.sleep(interval_virtual_seconds);
+    const double t = ctx.wallTime();
+    for (const auto& name : registry_.names()) {
+      traces_[name].emplace_back(t, registry_.get(name));
+    }
+  }
+}
+
+const util::Trace& Sampler::trace(const std::string& sensor) const {
+  auto it = traces_.find(sensor);
+  if (it == traces_.end()) throw mg::UsageError("no trace for sensor: " + sensor);
+  return it->second;
+}
+
+std::vector<std::string> Sampler::sensors() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : traces_) out.push_back(k);
+  return out;
+}
+
+}  // namespace mg::autopilot

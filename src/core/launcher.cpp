@@ -1,0 +1,66 @@
+#include "core/launcher.h"
+
+#include <memory>
+
+#include "util/log.h"
+
+namespace mg::core {
+
+Launcher::Launcher(Platform& platform, const grid::ExecutableRegistry& registry)
+    : platform_(platform), registry_(registry) {}
+
+void Launcher::startServices(const VirtualGridConfig* publish, const std::string& config_name,
+                             const std::string& gis_host) {
+  if (services_started_) throw mg::UsageError("services already started");
+  services_started_ = true;
+  const auto& hosts = platform_.mapper().hosts();
+  if (hosts.empty()) throw ConfigError("virtual grid has no hosts");
+  gis_host_ = gis_host.empty() ? hosts.front().hostname : gis_host;
+
+  if (publish != nullptr) {
+    publish->toGis(directory_, gis::Dn::parse("ou=MicroGrid, o=Grid"), config_name);
+  }
+
+  platform_.spawnOn(gis_host_, "gis-server", [this](vos::HostContext& ctx) {
+    gis::serveDirectory(ctx, directory_);
+  });
+  for (const auto& host : hosts) {
+    platform_.spawnOn(host.hostname, "gatekeeper." + host.hostname,
+                      [this](vos::HostContext& ctx) { grid::serveGatekeeper(ctx, registry_); });
+  }
+}
+
+LaunchResult Launcher::run(const std::string& executable, const std::string& arguments,
+                           const std::vector<grid::AllocationPart>& parts,
+                           const std::map<std::string, std::string>& extra_env,
+                           const std::string& client_host,
+                           std::function<void()> on_complete) {
+  if (!services_started_) throw mg::UsageError("call startServices() first");
+  if (parts.empty()) throw mg::UsageError("job needs at least one allocation part");
+  const std::string client = client_host.empty() ? parts.front().host : client_host;
+
+  auto result = std::make_shared<LaunchResult>();
+  platform_.spawnOn(client, "globusrun." + executable,
+                    [result, executable, arguments, parts, extra_env,
+                     on_complete = std::move(on_complete)](vos::HostContext& ctx) {
+                      grid::Coallocator co(ctx);
+                      result->submitted_at = ctx.wallTime();
+                      try {
+                        const grid::CoallocationResult cr =
+                            co.run(executable, arguments, parts, extra_env);
+                        result->ok = cr.ok;
+                        result->exit_code = cr.exit_code;
+                        result->error = cr.error;
+                      } catch (const mg::Error& e) {
+                        result->ok = false;
+                        result->error = e.what();
+                      }
+                      result->completed_at = ctx.wallTime();
+                      result->virtual_seconds = result->completed_at - result->submitted_at;
+                      if (on_complete) on_complete();
+                    });
+  platform_.run();
+  return *result;
+}
+
+}  // namespace mg::core

@@ -1,0 +1,68 @@
+// The Launcher ties the middleware to a platform: it starts the GIS server
+// and a gatekeeper on every virtual host, publishes the virtual grid's
+// Fig 3 records, and runs co-allocated jobs end-to-end through the GRAM
+// submission path — the paper's "jobs are submitted to virtual servers
+// through the virtual Grid resource's gatekeeper".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/virtual_grid.h"
+#include "gis/service.h"
+#include "grid/coallocator.h"
+#include "grid/gram.h"
+#include "grid/registry.h"
+
+namespace mg::core {
+
+struct LaunchResult {
+  bool ok = false;
+  int exit_code = 0;
+  std::string error;
+  /// Virtual seconds from submission to completion of all parts.
+  double virtual_seconds = 0;
+  double submitted_at = 0;
+  double completed_at = 0;
+};
+
+class Launcher {
+ public:
+  /// The registry must outlive the Launcher (services hold references).
+  Launcher(Platform& platform, const grid::ExecutableRegistry& registry);
+
+  /// Start the GIS server (on `gis_host`, default: the first virtual host)
+  /// and one gatekeeper per virtual host. When `publish` is given, its
+  /// virtual host/network records are loaded into the GIS under
+  /// `config_name`. Call once.
+  void startServices(const VirtualGridConfig* publish = nullptr,
+                     const std::string& config_name = "default",
+                     const std::string& gis_host = "");
+
+  /// Submit `executable` across `parts` from a client process on
+  /// `client_host` (default: the first part's host), run the simulation
+  /// until it completes, and return the outcome. `on_complete`, when given,
+  /// runs in the client process right after the job finishes — use it to
+  /// stop periodic daemons (e.g. an Autopilot sampler) so the simulation
+  /// can drain.
+  LaunchResult run(const std::string& executable, const std::string& arguments,
+                   const std::vector<grid::AllocationPart>& parts,
+                   const std::map<std::string, std::string>& extra_env = {},
+                   const std::string& client_host = "",
+                   std::function<void()> on_complete = nullptr);
+
+  const std::string& gisHost() const { return gis_host_; }
+  gis::Directory& directory() { return directory_; }
+
+ private:
+  Platform& platform_;
+  const grid::ExecutableRegistry& registry_;
+  gis::Directory directory_;
+  std::string gis_host_;
+  bool services_started_ = false;
+};
+
+}  // namespace mg::core

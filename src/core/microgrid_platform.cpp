@@ -1,0 +1,189 @@
+#include "core/microgrid_platform.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace mg::core {
+
+// ---------------------------------------------------------------- sockets --
+
+class MicroGridPlatform::MgSocket : public vos::StreamSocket {
+ public:
+  MgSocket(MicroGridPlatform& p, std::shared_ptr<net::TcpConnection> conn)
+      : p_(p), conn_(std::move(conn)) {}
+
+  void send(const void* data, std::size_t n) override { conn_->send(data, n); }
+  std::size_t recv(void* buf, std::size_t max) override { return conn_->recv(buf, max); }
+  void close() override { conn_->close(); }
+  std::string peerHost() const override {
+    return p_.mapper_.byNode(conn_->remoteNode()).hostname;
+  }
+
+ private:
+  MicroGridPlatform& p_;
+  std::shared_ptr<net::TcpConnection> conn_;
+};
+
+class MicroGridPlatform::MgListener : public vos::Listener {
+ public:
+  MgListener(MicroGridPlatform& p, std::shared_ptr<net::TcpListener> listener)
+      : p_(p), listener_(std::move(listener)) {}
+
+  std::shared_ptr<vos::StreamSocket> accept() override {
+    return std::make_shared<MgSocket>(p_, listener_->accept());
+  }
+  std::shared_ptr<vos::StreamSocket> acceptFor(double virtual_seconds) override {
+    auto conn = listener_->acceptFor(p_.vt_->toKernel(virtual_seconds));
+    if (!conn) return nullptr;
+    return std::make_shared<MgSocket>(p_, std::move(conn));
+  }
+  void close() override { listener_->close(); }
+
+ private:
+  MicroGridPlatform& p_;
+  std::shared_ptr<net::TcpListener> listener_;
+};
+
+// ---------------------------------------------------------------- context --
+
+class MicroGridPlatform::MgContext : public vos::HostContext {
+ public:
+  MgContext(MicroGridPlatform& p, HostRt& rt, const std::string& name)
+      : p_(p), rt_(rt), name_(name) {
+    mem_proc_ = rt_.mem->registerProcess(name);
+  }
+
+  ~MgContext() override {
+    rt_.mem->releaseProcess(mem_proc_);
+    if (task_ >= 0) {
+      auto& ts = rt_.tasks;
+      ts.erase(std::remove(ts.begin(), ts.end(), task_), ts.end());
+      rt_.sched->removeTask(task_);
+      p_.refraction(rt_);
+    }
+  }
+
+  const vos::VirtualHostInfo& host() const override { return *rt_.info; }
+
+  double wallTime() const override { return p_.vt_->toVirtualSeconds(p_.sim_.now()); }
+
+  void sleep(double s) override { p_.sim_.delay(p_.vt_->toKernel(s)); }
+
+  void compute(double ops) override {
+    if (ops < 0) throw mg::UsageError("negative compute");
+    ensureTask();
+    // `ops` execute on the physical CPU; the scheduler's fraction allocation
+    // and the virtual-time rescaling together make the virtual host appear
+    // to run them at its own speed.
+    rt_.sched->compute(task_, ops);
+  }
+
+  void allocateMemory(std::int64_t bytes) override { rt_.mem->allocate(mem_proc_, bytes); }
+  void freeMemory(std::int64_t bytes) override { rt_.mem->free(mem_proc_, bytes); }
+
+  const vos::HostMapper& mapper() const override { return p_.mapper_; }
+
+  std::shared_ptr<vos::Listener> listen(std::uint16_t port) override {
+    return std::make_shared<MgListener>(p_, rt_.stack->tcp().listen(port));
+  }
+
+  std::shared_ptr<vos::StreamSocket> connect(const std::string& host_or_ip,
+                                             std::uint16_t port) override {
+    const vos::VirtualHostInfo& target = p_.mapper_.resolve(host_or_ip);
+    return std::make_shared<MgSocket>(p_, rt_.stack->tcp().connect(target.node, port));
+  }
+
+  void spawnProcess(const std::string& name, std::function<void(vos::HostContext&)> body) override {
+    p_.spawnOn(rt_.info->hostname, name, std::move(body));
+  }
+
+  sim::Simulator& simulator() override { return p_.sim_; }
+
+ private:
+  void ensureTask() {
+    if (task_ >= 0) return;
+    // Lazily created: only CPU-using processes join the fraction division
+    // (socket daemons and the like consume no modeled CPU).
+    task_ = rt_.sched->addTask(name_, std::max(rt_.host_fraction, 1e-6));
+    rt_.tasks.push_back(task_);
+    p_.refraction(rt_);
+  }
+
+  MicroGridPlatform& p_;
+  HostRt& rt_;
+  std::string name_;
+  vos::MemoryManager::ProcessId mem_proc_;
+  vos::CpuScheduler::TaskId task_ = -1;
+};
+
+// --------------------------------------------------------------- platform --
+
+MicroGridPlatform::MicroGridPlatform(const VirtualGridConfig& cfg, MicroGridOptions opts)
+    : mapper_(cfg.mapper()), physicals_(cfg.physicalMachines()), opts_(opts) {
+  if (opts_.rate_override > 0) {
+    rate_ = opts_.rate_override;
+  } else {
+    const SimulationRate sr = SimulationRate::compute(cfg);
+    rate_ = sr.max_feasible * opts_.utilization / opts_.slowdown;
+  }
+  if (rate_ <= 0) throw ConfigError("non-positive simulation rate");
+  vt_ = std::make_unique<vos::VirtualTime>(rate_);
+
+  net::PacketNetworkOptions nopts;
+  nopts.time_scale = vt_->kernelPerVirtual();
+  nopts.seed = opts_.seed;
+  net_ = std::make_unique<net::PacketNetwork>(sim_, cfg.topology(), nopts);
+
+  std::uint64_t seed = opts_.seed;
+  for (const auto& p : physicals_) {
+    schedulers_.emplace(p.name, std::make_unique<vos::CpuScheduler>(
+                                    sim_, p.cpu_ops, opts_.quantum, opts_.competition, ++seed));
+  }
+
+  for (const auto& host : mapper_.hosts()) {
+    HostRt rt;
+    rt.info = &host;
+    rt.stack = std::make_unique<net::HostStack>(*net_, host.node, opts_.tcp);
+    rt.mem = std::make_unique<vos::MemoryManager>(host.memory_bytes);
+    rt.sched = schedulers_.at(host.physical_host).get();
+    const double phys_ops = cfg.physical(host.physical_host).cpu_ops;
+    rt.host_fraction = std::min(1.0, rate_ * host.cpu_ops / phys_ops);
+    hosts_.emplace(host.hostname, std::move(rt));
+  }
+
+  MG_LOG_INFO("core") << "MicroGrid rate " << rate_ << " (quantum "
+                      << sim::toSeconds(opts_.quantum) * 1e3 << " ms)";
+}
+
+MicroGridPlatform::~MicroGridPlatform() { sim_.shutdown(); }
+
+MicroGridPlatform::HostRt& MicroGridPlatform::hostRt(const std::string& hostname) {
+  auto it = hosts_.find(hostname);
+  if (it == hosts_.end()) throw vos::UnknownHost(hostname);
+  return it->second;
+}
+
+void MicroGridPlatform::refraction(HostRt& rt) {
+  if (rt.tasks.empty()) return;
+  // "This CPU fraction is then divided across each process on a virtual
+  // host" (paper §2.4.1).
+  const double f = std::max(1e-9, rt.host_fraction / static_cast<double>(rt.tasks.size()));
+  for (auto id : rt.tasks) rt.sched->setFraction(id, std::min(1.0, f));
+}
+
+vos::CpuScheduler& MicroGridPlatform::schedulerFor(const std::string& physical_name) {
+  return *schedulers_.at(physical_name);
+}
+
+void MicroGridPlatform::spawnOn(const std::string& host_or_ip, const std::string& process_name,
+                                std::function<void(vos::HostContext&)> body) {
+  const vos::VirtualHostInfo& info = mapper_.resolve(host_or_ip);
+  sim_.spawn(process_name, [this, hostname = info.hostname, process_name, body = std::move(body)] {
+    HostRt& rt = hostRt(hostname);
+    MgContext ctx(*this, rt, process_name);
+    body(ctx);
+  });
+}
+
+}  // namespace mg::core

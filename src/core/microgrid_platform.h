@@ -1,0 +1,97 @@
+// The MicroGrid emulation platform.
+//
+// Assembles the paper's three mechanisms: virtualization (HostContext over
+// the mapping table), global coordination (SimulationRate + VirtualTime),
+// and resource simulation (per-physical-machine CPU schedulers, per-host
+// memory managers, and the packet-level network running at 1/rate).
+//
+// The kernel clock is the *emulation wall clock* (the physical machines'
+// timeline); every virtual-time observable is rescaled by the simulation
+// rate, so running the emulation slower (Fig 15) leaves virtual results
+// unchanged up to quantum granularity.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/platform.h"
+#include "core/virtual_grid.h"
+#include "net/host_stack.h"
+#include "net/packet_network.h"
+#include "vos/cpu_scheduler.h"
+#include "vos/memory.h"
+#include "vos/virtual_time.h"
+
+namespace mg::core {
+
+struct MicroGridOptions {
+  /// Scheduler quantum (paper default: 10 ms Linux timeslice; Fig 11 sweeps).
+  sim::SimTime quantum = 10 * sim::kMillisecond;
+  /// Background load on the physical machines (paper §3.2.2).
+  vos::CompetitionProfile competition = vos::CompetitionProfile::none();
+  /// Headroom below the maximum feasible rate, accounting for scheduler and
+  /// OS overhead on the physical machines.
+  double utilization = 0.9;
+  /// Run the emulation N times slower than feasible (Fig 15's knob).
+  double slowdown = 1.0;
+  /// When positive, use exactly this simulation rate (virtual seconds per
+  /// emulation second) instead of deriving one.
+  double rate_override = 0;
+  /// Transport tuning for the virtual network.
+  net::TcpOptions tcp;
+  std::uint64_t seed = 42;
+};
+
+class MicroGridPlatform : public Platform {
+ public:
+  explicit MicroGridPlatform(const VirtualGridConfig& cfg, MicroGridOptions opts = {});
+  ~MicroGridPlatform() override;
+
+  sim::Simulator& simulator() override { return sim_; }
+  const vos::HostMapper& mapper() const override { return mapper_; }
+  double virtualNow() const override { return vt_->toVirtualSeconds(sim_.now()); }
+
+  void spawnOn(const std::string& host_or_ip, const std::string& process_name,
+               std::function<void(vos::HostContext&)> body) override;
+
+  /// The chosen simulation rate (virtual seconds per emulation second).
+  double rate() const { return rate_; }
+  const vos::VirtualTime& virtualTime() const { return *vt_; }
+  net::PacketNetwork& network() { return *net_; }
+  vos::CpuScheduler& schedulerFor(const std::string& physical_name);
+
+  /// Emulation wall-clock seconds consumed so far (the cost side of the
+  /// Fig 15 trade-off).
+  double emulationNow() const { return sim::toSeconds(sim_.now()); }
+
+ private:
+  friend class MgContext;
+  class MgContext;
+  class MgSocket;
+  class MgListener;
+
+  struct HostRt {
+    const vos::VirtualHostInfo* info = nullptr;
+    std::unique_ptr<net::HostStack> stack;
+    std::unique_ptr<vos::MemoryManager> mem;
+    vos::CpuScheduler* sched = nullptr;
+    double host_fraction = 0;  // of the physical CPU, for all its processes
+    std::vector<vos::CpuScheduler::TaskId> tasks;  // live CPU-using processes
+  };
+
+  HostRt& hostRt(const std::string& hostname);
+  void refraction(HostRt& rt);
+
+  sim::Simulator sim_;
+  vos::HostMapper mapper_;
+  std::vector<PhysicalMachine> physicals_;
+  MicroGridOptions opts_;
+  double rate_ = 0;
+  std::unique_ptr<vos::VirtualTime> vt_;
+  std::unique_ptr<net::PacketNetwork> net_;
+  std::map<std::string, std::unique_ptr<vos::CpuScheduler>> schedulers_;
+  std::map<std::string, HostRt> hosts_;
+};
+
+}  // namespace mg::core

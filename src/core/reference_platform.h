@@ -1,0 +1,64 @@
+// The "physical grid" reference platform.
+//
+// Plays the role of the real testbed in the paper's validation experiments:
+// compute on a host with speed V takes exactly ops/V seconds, and messages
+// travel through the analytic flow-level network model. Virtual time equals
+// kernel time (rate 1). See DESIGN.md §2 for why this substitution preserves
+// the comparisons.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "core/platform.h"
+#include "core/virtual_grid.h"
+#include "net/flow_network.h"
+#include "sim/channel.h"
+#include "sim/condition.h"
+#include "vos/memory.h"
+
+namespace mg::core {
+
+struct ReferenceOptions {
+  net::FlowNetworkOptions network;
+  /// Extra virtual seconds charged for a connection handshake, on top of
+  /// one network round trip.
+  double connect_overhead_seconds = 100e-6;
+};
+
+class ReferencePlatform : public Platform {
+ public:
+  explicit ReferencePlatform(const VirtualGridConfig& cfg, ReferenceOptions opts = {});
+  ~ReferencePlatform() override;
+
+  sim::Simulator& simulator() override { return sim_; }
+  const vos::HostMapper& mapper() const override { return mapper_; }
+  double virtualNow() const override { return sim::toSeconds(sim_.now()); }
+
+  void spawnOn(const std::string& host_or_ip, const std::string& process_name,
+               std::function<void(vos::HostContext&)> body) override;
+
+  net::FlowNetwork& network() { return *flow_; }
+
+ private:
+  friend class RefContext;
+  friend class RefSocket;
+  friend class RefListener;
+
+  class RefContext;
+  class RefSocket;
+  class RefListener;
+
+  vos::MemoryManager& memoryFor(const std::string& hostname);
+
+  sim::Simulator sim_;
+  vos::HostMapper mapper_;
+  ReferenceOptions opts_;
+  std::unique_ptr<net::FlowNetwork> flow_;
+  std::map<std::string, std::unique_ptr<vos::MemoryManager>> memory_;
+  // Listener registry: (node, port) -> backlog of accepted sockets.
+  std::map<std::pair<net::NodeId, std::uint16_t>, RefListener*> listeners_;
+};
+
+}  // namespace mg::core

@@ -1,0 +1,79 @@
+#include "core/topologies.h"
+
+#include "util/strings.h"
+
+namespace mg::core::topologies {
+
+namespace {
+constexpr double kAlphaOps = 533e6;   // DEC 21164 533 MHz
+constexpr double kPentiumOps = 300e6; // Pentium II 300 MHz
+}  // namespace
+
+VirtualGridConfig alphaCluster(const AlphaClusterParams& p) {
+  VirtualGridConfig cfg;
+  cfg.addRouter("switch0");
+  for (int i = 0; i < p.hosts; ++i) {
+    const std::string phys = util::format("alpha%d", i);
+    const std::string host = util::format("vm%d.ucsd.edu", i);
+    cfg.addPhysical(phys, kAlphaOps);
+    cfg.addHost(host, util::format("1.11.11.%d", i + 1), kAlphaOps * p.cpu_scale, p.memory_bytes,
+                phys);
+    cfg.addLink(util::format("eth%d", i), host, "switch0", p.bandwidth_bps, p.latency_seconds);
+  }
+  return cfg;
+}
+
+VirtualGridConfig hpvm(int hosts) {
+  VirtualGridConfig cfg;
+  cfg.addRouter("myrinet-sw");
+  for (int i = 0; i < hosts; ++i) {
+    // Emulated on the Alpha cluster: the physical machines stay Alphas.
+    const std::string phys = util::format("alpha%d", i);
+    const std::string host = util::format("hpvm%d.ucsd.edu", i);
+    cfg.addPhysical(phys, kAlphaOps);
+    cfg.addHost(host, util::format("1.22.22.%d", i + 1), kPentiumOps, 512ll << 20, phys);
+    // Myrinet: 1.2 Gb/s links, ~10 us port-to-port.
+    cfg.addLink(util::format("myri%d", i), host, "myrinet-sw", 1.2e9, 5e-6);
+  }
+  return cfg;
+}
+
+VirtualGridConfig vbns(const VbnsParams& p) {
+  VirtualGridConfig cfg;
+  // Campus LANs.
+  cfg.addRouter("ucsd-sw");
+  cfg.addRouter("uiuc-sw");
+  // Campus border routers and two backbone routers (Fig 13's "several
+  // routers" on the path).
+  cfg.addRouter("ucsd-gw");
+  cfg.addRouter("la-core");
+  cfg.addRouter("chi-core");
+  cfg.addRouter("uiuc-gw");
+
+  int phys_idx = 0;
+  auto addSite = [&](const std::string& site, const std::string& sw, const std::string& ip_prefix) {
+    for (int i = 0; i < p.hosts_per_site; ++i) {
+      const std::string phys = util::format("phys%d", phys_idx++);
+      const std::string host = util::format("%s%d.%s.edu", site.c_str(), i, site.c_str());
+      cfg.addPhysical(phys, kAlphaOps);
+      cfg.addHost(host, util::format("%s.%d", ip_prefix.c_str(), i + 1), kAlphaOps, 1ll << 30,
+                  phys);
+      cfg.addLink(util::format("%s-eth%d", site.c_str(), i), host, sw, 100e6, 50e-6);
+    }
+  };
+  addSite("ucsd", "ucsd-sw", "1.11.11");
+  addSite("uiuc", "uiuc-sw", "1.33.33");
+
+  // Campus uplinks: OC3 (155 Mb/s).
+  cfg.addLink("ucsd-uplink", "ucsd-sw", "ucsd-gw", 155e6, 0.2e-3);
+  cfg.addLink("uiuc-uplink", "uiuc-sw", "uiuc-gw", 155e6, 0.2e-3);
+  // Backbone: OC12 segments; the middle one is the swept bottleneck. The
+  // WAN latency is split across the three wide-area hops.
+  const double leg = p.wan_latency_seconds / 3.0;
+  cfg.addLink("ucsd-la", "ucsd-gw", "la-core", 622e6, leg);
+  cfg.addLink("la-chi", "la-core", "chi-core", p.bottleneck_bps, leg);
+  cfg.addLink("chi-uiuc", "chi-core", "uiuc-gw", 622e6, leg);
+  return cfg;
+}
+
+}  // namespace mg::core::topologies

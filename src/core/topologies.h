@@ -1,0 +1,38 @@
+// Named virtual-grid presets matching the paper's experimental setups:
+//
+//  * alphaCluster — Fig 9 row 1: 4 x DEC 21164 533 MHz, 100 Mb Ethernet,
+//    1 GB memory each, self-hosted (each virtual Alpha maps to a physical
+//    Alpha). Parameters let Fig 12 scale the virtual CPUs and pinch the
+//    network.
+//  * hpvm — Fig 9 row 2: 4 x Pentium II 300 MHz on 1.2 Gb Myrinet, emulated
+//    on the Alpha cluster.
+//  * vbns — Fig 13: two campus clusters (UCSD, UIUC) joined across a vBNS
+//    backbone of OC3/OC12 links and several routers; Fig 14 pinches the
+//    bottleneck WAN link (622 / 155 / 10 Mb/s).
+#pragma once
+
+#include "core/virtual_grid.h"
+
+namespace mg::core::topologies {
+
+struct AlphaClusterParams {
+  int hosts = 4;
+  double cpu_scale = 1.0;       // Fig 12: 1x / 2x / 4x / 8x virtual CPUs
+  double bandwidth_bps = 100e6; // Fig 12 pins this to 1 Mbps
+  double latency_seconds = 50e-6;  // per host-switch link
+  std::int64_t memory_bytes = 1ll << 30;
+};
+
+VirtualGridConfig alphaCluster(const AlphaClusterParams& params = {});
+
+VirtualGridConfig hpvm(int hosts = 4);
+
+struct VbnsParams {
+  int hosts_per_site = 2;
+  double bottleneck_bps = 622e6;  // the varied WAN link (Fig 14)
+  double wan_latency_seconds = 50e-3;  // one-way UCSD<->UIUC total
+};
+
+VirtualGridConfig vbns(const VbnsParams& params = {});
+
+}  // namespace mg::core::topologies

@@ -1,0 +1,106 @@
+#include "gis/directory.h"
+
+#include "util/strings.h"
+
+namespace mg::gis {
+
+Scope scopeFromString(const std::string& s) {
+  const std::string t = util::toLower(s);
+  if (t == "base") return Scope::Base;
+  if (t == "one" || t == "onelevel") return Scope::OneLevel;
+  if (t == "sub" || t == "subtree") return Scope::Subtree;
+  throw ParseError("unknown search scope '" + s + "'");
+}
+
+std::string scopeToString(Scope s) {
+  switch (s) {
+    case Scope::Base: return "base";
+    case Scope::OneLevel: return "one";
+    case Scope::Subtree: return "sub";
+  }
+  return "sub";
+}
+
+void Directory::add(Record record) {
+  if (find(record.dn()) != nullptr) {
+    throw ConfigError("GIS entry already exists: " + record.dn().str());
+  }
+  records_.push_back(std::move(record));
+}
+
+void Directory::upsert(Record record) {
+  for (auto& r : records_) {
+    if (r.dn() == record.dn()) {
+      r = std::move(record);
+      return;
+    }
+  }
+  records_.push_back(std::move(record));
+}
+
+bool Directory::remove(const Dn& dn) {
+  for (auto it = records_.begin(); it != records_.end(); ++it) {
+    if (it->dn() == dn) {
+      records_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const Record* Directory::find(const Dn& dn) const {
+  for (const auto& r : records_) {
+    if (r.dn() == dn) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<Record> Directory::search(const Dn& base, Scope scope, const Filter& filter) const {
+  std::vector<Record> out;
+  for (const auto& r : records_) {
+    bool in_scope = false;
+    switch (scope) {
+      case Scope::Base:
+        in_scope = (r.dn() == base);
+        break;
+      case Scope::OneLevel:
+        in_scope = (r.dn().depth() == base.depth() + 1) && r.dn().isWithin(base);
+        break;
+      case Scope::Subtree:
+        in_scope = r.dn().isWithin(base);
+        break;
+    }
+    if (in_scope && filter.matches(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Directory::toLdif() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += r.toLdif();
+    out += "\n";
+  }
+  return out;
+}
+
+Directory Directory::fromLdif(const std::string& text) {
+  Directory dir;
+  std::string block;
+  auto flush = [&] {
+    if (!util::trim(block).empty()) dir.upsert(Record::fromLdif(block));
+    block.clear();
+  };
+  for (const auto& line : util::split(text, '\n')) {
+    if (util::trim(line).empty()) {
+      flush();
+    } else {
+      block += line;
+      block += '\n';
+    }
+  }
+  flush();
+  return dir;
+}
+
+}  // namespace mg::gis

@@ -1,0 +1,54 @@
+// The GIS directory: an in-memory LDAP-like tree of records with scoped,
+// filtered search. "All of these records are placed in the existing GIS
+// servers — no additional servers or daemons are needed" (paper §2.2.2):
+// virtual and physical entries live side by side in one Directory.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gis/filter.h"
+#include "gis/record.h"
+
+namespace mg::gis {
+
+enum class Scope {
+  Base,      // only the entry at the base DN
+  OneLevel,  // direct children of the base DN
+  Subtree,   // the base and everything beneath it
+};
+
+Scope scopeFromString(const std::string& s);
+std::string scopeToString(Scope s);
+
+class Directory {
+ public:
+  /// Insert a record; throws mg::ConfigError if the DN already exists.
+  void add(Record record);
+
+  /// Insert or replace by DN.
+  void upsert(Record record);
+
+  /// Remove by DN; false if absent.
+  bool remove(const Dn& dn);
+
+  /// Exact-DN lookup.
+  const Record* find(const Dn& dn) const;
+
+  /// Scoped, filtered search. Results are in insertion order (stable and
+  /// deterministic).
+  std::vector<Record> search(const Dn& base, Scope scope, const Filter& filter) const;
+
+  std::size_t size() const { return records_.size(); }
+
+  /// Serialize the whole directory as blank-line-separated LDIF blocks.
+  std::string toLdif() const;
+
+  /// Parse a multi-block LDIF dump.
+  static Directory fromLdif(const std::string& text);
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace mg::gis

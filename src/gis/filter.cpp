@@ -1,0 +1,121 @@
+#include "gis/filter.h"
+
+#include "util/strings.h"
+
+namespace mg::gis {
+
+namespace {
+void skipSpace(const std::string& s, std::size_t& pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+}
+}  // namespace
+
+Filter Filter::matchAll() { return Filter{}; }
+
+Filter Filter::parse(const std::string& text) {
+  std::size_t pos = 0;
+  skipSpace(text, pos);
+  if (pos == text.size()) return matchAll();
+  Filter f = parseNode(text, pos);
+  skipSpace(text, pos);
+  if (pos != text.size()) throw ParseError("trailing characters in filter '" + text + "'");
+  return f;
+}
+
+Filter Filter::parseNode(const std::string& text, std::size_t& pos) {
+  skipSpace(text, pos);
+  if (pos >= text.size() || text[pos] != '(') {
+    throw ParseError("expected '(' at position " + std::to_string(pos) + " in '" + text + "'");
+  }
+  ++pos;  // consume '('
+  skipSpace(text, pos);
+  if (pos >= text.size()) throw ParseError("unterminated filter '" + text + "'");
+
+  Filter f;
+  const char op = text[pos];
+  if (op == '&' || op == '|') {
+    f.kind_ = (op == '&') ? Kind::And : Kind::Or;
+    ++pos;
+    skipSpace(text, pos);
+    while (pos < text.size() && text[pos] == '(') {
+      f.children_.push_back(parseNode(text, pos));
+      skipSpace(text, pos);
+    }
+    if (f.children_.empty()) throw ParseError("empty boolean filter in '" + text + "'");
+  } else if (op == '!') {
+    f.kind_ = Kind::Not;
+    ++pos;
+    f.children_.push_back(parseNode(text, pos));
+    skipSpace(text, pos);
+  } else {
+    // (attr=pattern)
+    const std::size_t eq = text.find('=', pos);
+    const std::size_t close = text.find(')', pos);
+    if (eq == std::string::npos || close == std::string::npos || eq > close) {
+      throw ParseError("malformed comparison in filter '" + text + "'");
+    }
+    f.attr_ = util::toLower(std::string(util::trim(text.substr(pos, eq - pos))));
+    f.pattern_ = std::string(util::trim(text.substr(eq + 1, close - eq - 1)));
+    if (f.attr_.empty()) throw ParseError("empty attribute in filter '" + text + "'");
+    f.kind_ = (f.pattern_ == "*") ? Kind::Presence : Kind::Equals;
+    pos = close;
+  }
+  skipSpace(text, pos);
+  if (pos >= text.size() || text[pos] != ')') {
+    throw ParseError("expected ')' at position " + std::to_string(pos) + " in '" + text + "'");
+  }
+  ++pos;  // consume ')'
+  return f;
+}
+
+bool Filter::matches(const Record& record) const {
+  switch (kind_) {
+    case Kind::True:
+      return true;
+    case Kind::Presence:
+      return record.has(attr_);
+    case Kind::Equals: {
+      for (const auto& v : record.getAll(attr_)) {
+        if (util::globMatch(pattern_, v)) return true;
+      }
+      return false;
+    }
+    case Kind::And:
+      for (const auto& c : children_) {
+        if (!c.matches(record)) return false;
+      }
+      return true;
+    case Kind::Or:
+      for (const auto& c : children_) {
+        if (c.matches(record)) return true;
+      }
+      return false;
+    case Kind::Not:
+      return !children_.front().matches(record);
+  }
+  return false;
+}
+
+std::string Filter::str() const {
+  switch (kind_) {
+    case Kind::True:
+      return "";
+    case Kind::Presence:
+      return "(" + attr_ + "=*)";
+    case Kind::Equals:
+      return "(" + attr_ + "=" + pattern_ + ")";
+    case Kind::Not:
+      return "(!" + children_.front().str() + ")";
+    case Kind::And:
+    case Kind::Or: {
+      std::string out = "(";
+      out += (kind_ == Kind::And) ? '&' : '|';
+      for (const auto& c : children_) out += c.str();
+      out += ")";
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace mg::gis

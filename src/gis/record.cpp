@@ -1,0 +1,128 @@
+#include "gis/record.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace mg::gis {
+
+Dn Dn::parse(const std::string& text) {
+  std::vector<Rdn> rdns;
+  if (util::trim(text).empty()) return Dn{};
+  for (const auto& part : util::splitTrim(text, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ParseError("malformed RDN '" + part + "' in DN '" + text + "'");
+    }
+    Rdn rdn;
+    rdn.attr = util::toLower(std::string(util::trim(part.substr(0, eq))));
+    rdn.value = std::string(util::trim(part.substr(eq + 1)));
+    if (rdn.value.empty()) throw ParseError("empty RDN value in DN '" + text + "'");
+    rdns.push_back(std::move(rdn));
+  }
+  return Dn{std::move(rdns)};
+}
+
+Dn Dn::parent() const {
+  if (rdns_.empty()) return Dn{};
+  return Dn{std::vector<Rdn>(rdns_.begin() + 1, rdns_.end())};
+}
+
+bool Dn::isWithin(const Dn& ancestor) const {
+  if (ancestor.rdns_.size() > rdns_.size()) return false;
+  const std::size_t offset = rdns_.size() - ancestor.rdns_.size();
+  for (std::size_t i = 0; i < ancestor.rdns_.size(); ++i) {
+    if (!(rdns_[offset + i] == ancestor.rdns_[i])) return false;
+  }
+  return true;
+}
+
+Dn Dn::child(const std::string& attr, const std::string& value) const {
+  std::vector<Rdn> rdns;
+  rdns.reserve(rdns_.size() + 1);
+  rdns.push_back(Rdn{util::toLower(attr), value});
+  rdns.insert(rdns.end(), rdns_.begin(), rdns_.end());
+  return Dn{std::move(rdns)};
+}
+
+std::string Dn::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < rdns_.size(); ++i) {
+    if (i) out += ", ";
+    out += rdns_[i].attr + "=" + rdns_[i].value;
+  }
+  return out;
+}
+
+void Record::add(const std::string& attr, const std::string& value) {
+  attrs_.emplace_back(util::toLower(attr), value);
+}
+
+void Record::set(const std::string& attr, const std::string& value) {
+  const std::string key = util::toLower(attr);
+  attrs_.erase(std::remove_if(attrs_.begin(), attrs_.end(),
+                              [&](const auto& p) { return p.first == key; }),
+               attrs_.end());
+  attrs_.emplace_back(key, value);
+}
+
+bool Record::has(const std::string& attr) const {
+  const std::string key = util::toLower(attr);
+  for (const auto& [a, v] : attrs_) {
+    if (a == key) return true;
+  }
+  return false;
+}
+
+const std::string& Record::get(const std::string& attr) const {
+  const std::string key = util::toLower(attr);
+  for (const auto& [a, v] : attrs_) {
+    if (a == key) return v;
+  }
+  throw mg::Error("record " + dn_.str() + " has no attribute '" + attr + "'");
+}
+
+std::string Record::get(const std::string& attr, const std::string& fallback) const {
+  return has(attr) ? get(attr) : fallback;
+}
+
+std::vector<std::string> Record::getAll(const std::string& attr) const {
+  const std::string key = util::toLower(attr);
+  std::vector<std::string> out;
+  for (const auto& [a, v] : attrs_) {
+    if (a == key) out.push_back(v);
+  }
+  return out;
+}
+
+std::string Record::toLdif() const {
+  std::string out = "dn: " + dn_.str() + "\n";
+  for (const auto& [a, v] : attrs_) out += a + ": " + v + "\n";
+  return out;
+}
+
+Record Record::fromLdif(const std::string& text) {
+  Record rec;
+  bool have_dn = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto colon = trimmed.find(':');
+    if (colon == std::string::npos) throw ParseError("malformed LDIF line '" + line + "'");
+    const std::string attr(util::trim(trimmed.substr(0, colon)));
+    const std::string value(util::trim(trimmed.substr(colon + 1)));
+    if (util::iequals(attr, "dn")) {
+      rec.setDn(Dn::parse(value));
+      have_dn = true;
+    } else {
+      rec.add(attr, value);
+    }
+  }
+  if (!have_dn) throw ParseError("LDIF block has no dn line");
+  return rec;
+}
+
+}  // namespace mg::gis

@@ -1,0 +1,97 @@
+// GIS records: LDAP-style entries with distinguished names and
+// case-insensitive attributes.
+//
+// Paper §2.2.2 virtualizes the Globus Grid Information Service by
+// "extending the standard GIS LDAP records with fields containing
+// virtualization-specific information" — extension by addition, so the
+// virtual entries remain subtype-compatible with plain ones. Record models
+// such an entry; the Fig 3 schema helpers live in gis/schema.h.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mg::gis {
+
+/// One relative distinguished name component, e.g. hn=vm.ucsd.edu.
+struct Rdn {
+  std::string attr;   // lower-cased
+  std::string value;  // verbatim
+  bool operator==(const Rdn&) const = default;
+};
+
+/// A distinguished name: ordered RDNs, most-specific first, e.g.
+/// "hn=vm.ucsd.edu, ou=CSAG, o=Grid".
+class Dn {
+ public:
+  Dn() = default;
+  explicit Dn(std::vector<Rdn> rdns) : rdns_(std::move(rdns)) {}
+
+  /// Parse "a=b, c=d"; throws ParseError on malformed input.
+  static Dn parse(const std::string& text);
+
+  const std::vector<Rdn>& rdns() const { return rdns_; }
+  bool empty() const { return rdns_.empty(); }
+  std::size_t depth() const { return rdns_.size(); }
+
+  /// The parent DN (everything but the first RDN); empty DN at the root.
+  Dn parent() const;
+
+  /// True when `this` equals `ancestor` or lies beneath it.
+  bool isWithin(const Dn& ancestor) const;
+
+  /// Child DN: prepend one RDN to this DN.
+  Dn child(const std::string& attr, const std::string& value) const;
+
+  std::string str() const;
+
+  bool operator==(const Dn&) const = default;
+
+ private:
+  std::vector<Rdn> rdns_;
+};
+
+/// An entry: DN plus a case-insensitive attribute multimap.
+class Record {
+ public:
+  Record() = default;
+  explicit Record(Dn dn) : dn_(std::move(dn)) {}
+
+  const Dn& dn() const { return dn_; }
+  void setDn(Dn dn) { dn_ = std::move(dn); }
+
+  /// Append a value (attributes are multi-valued, LDAP-style).
+  void add(const std::string& attr, const std::string& value);
+
+  /// Replace all values of an attribute with one value.
+  void set(const std::string& attr, const std::string& value);
+
+  bool has(const std::string& attr) const;
+
+  /// First value; throws mg::Error if absent.
+  const std::string& get(const std::string& attr) const;
+
+  /// First value or fallback.
+  std::string get(const std::string& attr, const std::string& fallback) const;
+
+  /// All values of an attribute, in insertion order.
+  std::vector<std::string> getAll(const std::string& attr) const;
+
+  /// All (attr, value) pairs in insertion order.
+  const std::vector<std::pair<std::string, std::string>>& attributes() const { return attrs_; }
+
+  /// LDIF-like rendering: "dn: ...\nattr: value\n...".
+  std::string toLdif() const;
+
+  /// Parse one LDIF-like block (inverse of toLdif).
+  static Record fromLdif(const std::string& text);
+
+ private:
+  Dn dn_;
+  std::vector<std::pair<std::string, std::string>> attrs_;  // attr lower-cased
+};
+
+}  // namespace mg::gis

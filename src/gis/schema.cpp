@@ -1,0 +1,75 @@
+#include "gis/schema.h"
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace mg::gis {
+
+Record makeVirtualHostRecord(const Dn& org_base, const vos::VirtualHostInfo& host,
+                             const std::string& config_name) {
+  Record r(org_base.child("hn", host.hostname));
+  r.add("objectclass", "GridComputeResource");
+  r.add(kAttrIsVirtual, "Yes");
+  r.add(kAttrConfigName, config_name);
+  r.add(kAttrMappedPhysical, host.physical_host);
+  r.add("hostName", host.hostname);
+  r.add("ipAddress", host.virtual_ip);
+  r.add(kAttrCpuSpeed, util::format("%.6gMops", host.cpu_ops / 1e6));
+  r.add(kAttrMemorySize, util::format("%lldKBytes", static_cast<long long>(host.memory_bytes / 1024)));
+  return r;
+}
+
+Record makeVirtualNetworkRecord(const Dn& org_base, const std::string& network_name,
+                                const std::string& config_name, const std::string& nw_type,
+                                double bandwidth_bps, double latency_seconds) {
+  Record r(org_base.child("nn", network_name));
+  r.add("objectclass", "GridNetwork");
+  r.add(kAttrIsVirtual, "Yes");
+  r.add(kAttrConfigName, config_name);
+  r.add(kAttrNwType, nw_type);
+  r.add(kAttrSpeed, util::formatBandwidth(bandwidth_bps) + " " + util::formatTime(latency_seconds));
+  return r;
+}
+
+namespace {
+std::vector<Record> forConfig(const Directory& dir, const Dn& base, const std::string& config_name,
+                              const char* objectclass) {
+  const Filter f = Filter::parse("(&(objectclass=" + std::string(objectclass) + ")(" +
+                                 std::string(kAttrIsVirtual) + "=Yes)(" +
+                                 std::string(kAttrConfigName) + "=" + config_name + "))");
+  return dir.search(base, Scope::Subtree, f);
+}
+}  // namespace
+
+std::vector<Record> virtualHostsForConfig(const Directory& dir, const Dn& base,
+                                          const std::string& config_name) {
+  return forConfig(dir, base, config_name, "GridComputeResource");
+}
+
+std::vector<Record> virtualNetworksForConfig(const Directory& dir, const Dn& base,
+                                             const std::string& config_name) {
+  return forConfig(dir, base, config_name, "GridNetwork");
+}
+
+vos::VirtualHostInfo hostInfoFromRecord(const Record& record) {
+  vos::VirtualHostInfo info;
+  info.hostname = record.get("hostName");
+  info.virtual_ip = record.get("ipAddress", "");
+  info.physical_host = record.get(kAttrMappedPhysical, "");
+  info.cpu_ops = util::parseComputeRate(record.get(kAttrCpuSpeed));
+  info.memory_bytes = util::parseSize(record.get(kAttrMemorySize));
+  return info;
+}
+
+NetworkSpeed parseNetworkSpeed(const std::string& value) {
+  const auto parts = util::splitWhitespace(value);
+  if (parts.size() != 2) {
+    throw ParseError("network speed must be '<bandwidth> <latency>', got '" + value + "'");
+  }
+  NetworkSpeed s;
+  s.bandwidth_bps = util::parseBandwidth(parts[0]);
+  s.latency_seconds = util::parseTime(parts[1]);
+  return s;
+}
+
+}  // namespace mg::gis

@@ -1,0 +1,70 @@
+// The Fig 3 virtual-resource schema: GIS host and network records extended
+// with virtualization attributes:
+//
+//   hn=vm.ucsd.edu, ou=Concurrent Systems Architecture Group, ...
+//     Is_Virtual_Resource=Yes
+//     Configuration_Name=Slow_CPU_Configuration
+//     Mapped_Physical_Resource=csag-226-67.ucsd.edu
+//     CpuSpeed=...
+//     MemorySize=100MBytes
+//
+//   nn=1.11.11.0, nn=1.11.0.0, ou=..., Is_Virtual_Resource=Yes
+//     Configuration_Name=Slow_CPU_Configuration
+//     nwType=LAN
+//     speed=100Mbps 50ms
+//
+// "The added fields are designed to support easy identification and grouping
+// of the virtual Grid entries (there may be information on many virtual
+// Grids in a single GIS server)" — Configuration_Name is that grouping key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gis/directory.h"
+#include "vos/virtual_host.h"
+
+namespace mg::gis {
+
+/// Attribute names (canonical spellings from the paper; lookups are
+/// case-insensitive anyway).
+inline constexpr const char* kAttrIsVirtual = "Is_Virtual_Resource";
+inline constexpr const char* kAttrConfigName = "Configuration_Name";
+inline constexpr const char* kAttrMappedPhysical = "Mapped_Physical_Resource";
+inline constexpr const char* kAttrCpuSpeed = "CpuSpeed";
+inline constexpr const char* kAttrMemorySize = "MemorySize";
+inline constexpr const char* kAttrNwType = "nwType";
+inline constexpr const char* kAttrSpeed = "speed";
+
+/// Build a Fig 3 virtual host record under `org_base`
+/// (dn: hn=<hostname>, <org_base>).
+Record makeVirtualHostRecord(const Dn& org_base, const vos::VirtualHostInfo& host,
+                             const std::string& config_name);
+
+/// Build a Fig 3 virtual network record (dn: nn=<network>, <org_base>).
+Record makeVirtualNetworkRecord(const Dn& org_base, const std::string& network_name,
+                                const std::string& config_name, const std::string& nw_type,
+                                double bandwidth_bps, double latency_seconds);
+
+/// All virtual host records belonging to one named virtual grid
+/// configuration.
+std::vector<Record> virtualHostsForConfig(const Directory& dir, const Dn& base,
+                                          const std::string& config_name);
+
+/// All virtual network records for a configuration.
+std::vector<Record> virtualNetworksForConfig(const Directory& dir, const Dn& base,
+                                             const std::string& config_name);
+
+/// Reconstruct a VirtualHostInfo from a Fig 3 host record (inverse of
+/// makeVirtualHostRecord; node id is not stored in the GIS and comes back
+/// as kNoNode).
+vos::VirtualHostInfo hostInfoFromRecord(const Record& record);
+
+/// Parse a Fig 3 "speed" value: "<bandwidth> <latency>", e.g. "100Mbps 50ms".
+struct NetworkSpeed {
+  double bandwidth_bps = 0;
+  double latency_seconds = 0;
+};
+NetworkSpeed parseNetworkSpeed(const std::string& value);
+
+}  // namespace mg::gis

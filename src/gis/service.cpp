@@ -1,0 +1,114 @@
+#include "gis/service.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+#include "vos/wire.h"
+
+namespace mg::gis {
+
+namespace {
+
+std::string handleRequest(Directory& dir, const std::string& request) {
+  try {
+    const auto nl = request.find('\n');
+    const std::string verb = (nl == std::string::npos) ? request : request.substr(0, nl);
+    const std::string body = (nl == std::string::npos) ? "" : request.substr(nl + 1);
+    if (verb == "SEARCH") {
+      const auto lines = util::split(body, '\n');
+      if (lines.size() < 3) return "ERR\nSEARCH needs base, scope, filter";
+      const Dn base = Dn::parse(lines[0]);
+      const Scope scope = scopeFromString(lines[1]);
+      // The filter may itself contain no newlines; everything after the
+      // scope line is the filter expression.
+      std::string filter_text = lines[2];
+      for (std::size_t i = 3; i < lines.size(); ++i) filter_text += "\n" + lines[i];
+      const Filter filter = Filter::parse(filter_text);
+      std::string payload;
+      for (const auto& rec : dir.search(base, scope, filter)) {
+        payload += rec.toLdif();
+        payload += "\n";
+      }
+      return "OK\n" + payload;
+    }
+    if (verb == "ADD") {
+      dir.upsert(Record::fromLdif(body));
+      return "OK\n";
+    }
+    if (verb == "REMOVE") {
+      return dir.remove(Dn::parse(body)) ? "OK\nremoved" : "OK\n";
+    }
+    return "ERR\nunknown verb '" + verb + "'";
+  } catch (const mg::Error& e) {
+    return std::string("ERR\n") + e.what();
+  }
+}
+
+}  // namespace
+
+void serveDirectory(vos::HostContext& ctx, Directory& dir, std::uint16_t port) {
+  auto listener = ctx.listen(port);
+  MG_LOG_INFO("gis") << "GIS server listening on " << ctx.hostname() << ":" << port;
+  for (;;) {
+    auto sock = listener->accept();
+    ctx.spawnProcess("gis-handler", [sock, &dir](vos::HostContext&) {
+      try {
+        for (;;) {
+          const std::string request = vos::recvFrame(*sock);
+          vos::sendFrame(*sock, handleRequest(dir, request));
+        }
+      } catch (const mg::Error&) {
+        // Client hung up; the connection is done.
+      }
+      sock->close();
+    });
+  }
+}
+
+GisClient::GisClient(vos::HostContext& ctx, std::string server_host, std::uint16_t port)
+    : ctx_(ctx), server_host_(std::move(server_host)), port_(port) {}
+
+std::string GisClient::request(const std::string& payload) {
+  if (!sock_) sock_ = ctx_.connect(server_host_, port_);
+  vos::sendFrame(*sock_, payload);
+  const std::string reply = vos::recvFrame(*sock_);
+  const auto nl = reply.find('\n');
+  const std::string status = (nl == std::string::npos) ? reply : reply.substr(0, nl);
+  const std::string body = (nl == std::string::npos) ? "" : reply.substr(nl + 1);
+  if (status != "OK") throw mg::Error("GIS error: " + body);
+  return body;
+}
+
+std::vector<Record> GisClient::search(const std::string& base, Scope scope,
+                                      const std::string& filter) {
+  const std::string body =
+      request("SEARCH\n" + base + "\n" + scopeToString(scope) + "\n" + filter);
+  std::vector<Record> out;
+  std::string block;
+  auto flush = [&] {
+    if (!util::trim(block).empty()) out.push_back(Record::fromLdif(block));
+    block.clear();
+  };
+  for (const auto& line : util::split(body, '\n')) {
+    if (util::trim(line).empty()) {
+      flush();
+    } else {
+      block += line;
+      block += '\n';
+    }
+  }
+  flush();
+  return out;
+}
+
+void GisClient::add(const Record& record) { request("ADD\n" + record.toLdif()); }
+
+bool GisClient::remove(const Dn& dn) { return request("REMOVE\n" + dn.str()) == "removed"; }
+
+void GisClient::close() {
+  if (sock_) {
+    sock_->close();
+    sock_.reset();
+  }
+}
+
+}  // namespace mg::gis

@@ -1,0 +1,55 @@
+// The GIS as a network service: a server process on a virtual host plus a
+// client API, speaking a framed text protocol over virtual sockets (the
+// stand-in for MDS over LDAP).
+//
+// Requests (one frame each):
+//   SEARCH\n<base dn>\n<scope>\n<filter>
+//   ADD\n<ldif block>
+//   REMOVE\n<dn>
+// Responses:
+//   OK\n<payload>      (search payload: blank-line-separated LDIF blocks)
+//   ERR\n<message>
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gis/directory.h"
+#include "vos/context.h"
+
+namespace mg::gis {
+
+/// The standard MDS port.
+inline constexpr std::uint16_t kGisPort = 2135;
+
+/// Serve `dir` on ctx's host. Blocks forever (spawn it as a dedicated
+/// process); each client connection is handled by its own process.
+void serveDirectory(vos::HostContext& ctx, Directory& dir, std::uint16_t port = kGisPort);
+
+/// Client side. Connects lazily on first use; one connection per client.
+class GisClient {
+ public:
+  GisClient(vos::HostContext& ctx, std::string server_host, std::uint16_t port = kGisPort);
+
+  /// Remote scoped, filtered search.
+  std::vector<Record> search(const std::string& base, Scope scope, const std::string& filter);
+
+  /// Remote insert-or-replace.
+  void add(const Record& record);
+
+  /// Remote removal; true if the entry existed.
+  bool remove(const Dn& dn);
+
+  void close();
+
+ private:
+  std::string request(const std::string& payload);
+
+  vos::HostContext& ctx_;
+  std::string server_host_;
+  std::uint16_t port_;
+  std::shared_ptr<vos::StreamSocket> sock_;
+};
+
+}  // namespace mg::gis

@@ -1,0 +1,74 @@
+#include "grid/coallocator.h"
+
+#include "util/strings.h"
+
+namespace mg::grid {
+
+std::string formatJobHosts(const std::vector<AllocationPart>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ",";
+    out += parts[i].host + ":" + std::to_string(parts[i].count);
+  }
+  return out;
+}
+
+std::vector<AllocationPart> parseJobHosts(const std::string& value) {
+  std::vector<AllocationPart> out;
+  for (const auto& item : util::splitTrim(value, ',')) {
+    if (item.empty()) continue;
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos) throw ParseError("bad MG_JOB_HOSTS entry '" + item + "'");
+    AllocationPart p;
+    p.host = item.substr(0, colon);
+    p.count = std::stoi(item.substr(colon + 1));
+    if (p.host.empty() || p.count < 1) throw ParseError("bad MG_JOB_HOSTS entry '" + item + "'");
+    out.push_back(std::move(p));
+  }
+  if (out.empty()) throw ParseError("empty MG_JOB_HOSTS");
+  return out;
+}
+
+CoallocationResult Coallocator::run(const std::string& executable, const std::string& arguments,
+                                    const std::vector<AllocationPart>& parts,
+                                    const std::map<std::string, std::string>& extra_env) {
+  if (parts.empty()) throw mg::UsageError("co-allocation needs at least one part");
+  int total = 0;
+  for (const auto& p : parts) total += p.count;
+
+  std::vector<std::string> contacts;
+  int rank_base = 0;
+  for (const auto& p : parts) {
+    Rsl rsl;
+    rsl.set("executable", executable);
+    rsl.set("count", std::to_string(p.count));
+    if (!arguments.empty()) rsl.set("arguments", arguments);
+    rsl.setEnv("MG_JOB_SIZE", std::to_string(total));
+    rsl.setEnv("MG_JOB_HOSTS", formatJobHosts(parts));
+    rsl.setEnv("MG_RANK_BASE", std::to_string(rank_base));
+    rsl.setEnv("MG_PORT_BASE", std::to_string(kVmpiPortBase));
+    for (const auto& [k, v] : extra_env) rsl.setEnv(k, v);
+    contacts.push_back(client_.submit(p.host, rsl));
+    rank_base += p.count;
+  }
+
+  CoallocationResult result;
+  result.ok = true;
+  for (const auto& contact : contacts) {
+    JobStatus st = client_.wait(contact);
+    result.parts.push_back(st);
+    if (st.state == JobState::Failed) {
+      result.ok = false;
+      if (result.error.empty()) result.error = st.error;
+    } else if (st.state == JobState::Done && st.exit_code != 0 && result.exit_code == 0) {
+      result.exit_code = st.exit_code;
+      result.ok = false;
+    } else if (st.state == JobState::Cancelled) {
+      result.ok = false;
+      if (result.error.empty()) result.error = "part cancelled";
+    }
+  }
+  return result;
+}
+
+}  // namespace mg::grid

@@ -1,0 +1,56 @@
+// DUROC-style co-allocation: run one parallel program across several
+// virtual hosts by submitting a coordinated GRAM job to each gatekeeper.
+//
+// The co-allocator assembles the rank-bootstrap environment that vmpi::init
+// consumes:
+//   MG_JOB_SIZE   total number of ranks
+//   MG_JOB_HOSTS  "host0:count0,host1:count1,..."
+//   MG_RANK_BASE  first global rank of the local allocation part
+//   MG_PORT_BASE  vmpi listening-port base
+//   MG_LOCAL_INDEX (added per process by the jobmanager)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grid/gram.h"
+
+namespace mg::grid {
+
+inline constexpr std::uint16_t kVmpiPortBase = 5000;
+
+struct AllocationPart {
+  std::string host;
+  int count = 1;
+};
+
+struct CoallocationResult {
+  bool ok = false;
+  int exit_code = 0;
+  std::string error;
+  std::vector<JobStatus> parts;
+};
+
+class Coallocator {
+ public:
+  explicit Coallocator(vos::HostContext& ctx, std::string subject = "anonymous")
+      : client_(ctx, std::move(subject)) {}
+
+  /// Submit the executable to every part's gatekeeper and wait for all of
+  /// them. `extra_env` is merged into the bootstrap environment.
+  CoallocationResult run(const std::string& executable, const std::string& arguments,
+                         const std::vector<AllocationPart>& parts,
+                         const std::map<std::string, std::string>& extra_env = {});
+
+ private:
+  GramClient client_;
+};
+
+/// Render the MG_JOB_HOSTS value for a set of parts.
+std::string formatJobHosts(const std::vector<AllocationPart>& parts);
+
+/// Parse an MG_JOB_HOSTS value back into parts.
+std::vector<AllocationPart> parseJobHosts(const std::string& value);
+
+}  // namespace mg::grid

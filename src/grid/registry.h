@@ -1,0 +1,72 @@
+// The executable registry: the virtual Grid's "filesystem" of installed
+// programs. A GRAM job names an executable; the jobmanager resolves it here
+// and runs it as a simulated process. This replaces fork/exec of real
+// binaries while preserving the submission path.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "vos/context.h"
+
+namespace mg::grid {
+
+/// Everything a launched job process sees: its virtual OS handle, argv, and
+/// the environment assembled by the jobmanager (rank bootstrap, user vars).
+struct JobContext {
+  vos::HostContext& os;
+  std::vector<std::string> args;
+  std::map<std::string, std::string> env;
+
+  const std::string& envOr(const std::string& key, const std::string& fallback) const {
+    auto it = env.find(key);
+    return it == env.end() ? fallback : it->second;
+  }
+  int envInt(const std::string& key) const {
+    auto it = env.find(key);
+    if (it == env.end()) throw mg::Error("missing environment variable " + key);
+    return std::stoi(it->second);
+  }
+};
+
+/// A registered program: returns a process exit code.
+using Executable = std::function<int(JobContext&)>;
+
+class ExecutableRegistry {
+ public:
+  /// Register under a name; re-registering a name throws.
+  void add(const std::string& name, Executable fn);
+
+  bool contains(const std::string& name) const { return table_.count(name) > 0; }
+
+  const Executable& lookup(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Executable> table_;
+};
+
+inline void ExecutableRegistry::add(const std::string& name, Executable fn) {
+  if (name.empty()) throw mg::UsageError("executable needs a name");
+  if (!table_.emplace(name, std::move(fn)).second) {
+    throw mg::UsageError("executable '" + name + "' already registered");
+  }
+}
+
+inline const Executable& ExecutableRegistry::lookup(const std::string& name) const {
+  auto it = table_.find(name);
+  if (it == table_.end()) throw mg::Error("no such executable: " + name);
+  return it->second;
+}
+
+inline std::vector<std::string> ExecutableRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : table_) out.push_back(k);
+  return out;
+}
+
+}  // namespace mg::grid

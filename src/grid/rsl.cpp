@@ -1,0 +1,144 @@
+#include "grid/rsl.h"
+
+#include "util/strings.h"
+
+namespace mg::grid {
+
+namespace {
+
+void skipSpace(const std::string& s, std::size_t& pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+}
+
+// Parse one (attr=value) relation into the Rsl; pos sits at '('.
+void parseRelation(const std::string& text, std::size_t& pos, Rsl& rsl) {
+  if (text[pos] != '(') throw ParseError("expected '(' in RSL");
+  ++pos;
+  const std::size_t eq = text.find('=', pos);
+  if (eq == std::string::npos) throw ParseError("missing '=' in RSL relation");
+  const std::string attr = util::toLower(std::string(util::trim(text.substr(pos, eq - pos))));
+  if (attr.empty()) throw ParseError("empty attribute in RSL relation");
+  pos = eq + 1;
+  skipSpace(text, pos);
+
+  if (attr == "environment") {
+    // A list of (KEY value) pairs.
+    while (pos < text.size() && text[pos] == '(') {
+      ++pos;
+      skipSpace(text, pos);
+      std::size_t key_end = pos;
+      while (key_end < text.size() && !std::isspace(static_cast<unsigned char>(text[key_end])) &&
+             text[key_end] != ')') {
+        ++key_end;
+      }
+      const std::string key = text.substr(pos, key_end - pos);
+      if (key.empty()) throw ParseError("empty environment key in RSL");
+      pos = key_end;
+      skipSpace(text, pos);
+      const std::size_t close = text.find(')', pos);
+      if (close == std::string::npos) throw ParseError("unterminated environment pair in RSL");
+      const std::string value(util::trim(text.substr(pos, close - pos)));
+      rsl.setEnv(key, value);
+      pos = close + 1;
+      skipSpace(text, pos);
+    }
+    if (pos >= text.size() || text[pos] != ')') {
+      throw ParseError("unterminated environment list in RSL");
+    }
+    ++pos;
+    return;
+  }
+
+  const std::size_t close = text.find(')', pos);
+  if (close == std::string::npos) throw ParseError("unterminated RSL relation");
+  rsl.set(attr, std::string(util::trim(text.substr(pos, close - pos))));
+  pos = close + 1;
+}
+
+Rsl parseRequest(const std::string& text, std::size_t& pos) {
+  skipSpace(text, pos);
+  if (pos >= text.size() || text[pos] != '&') throw ParseError("RSL request must start with '&'");
+  ++pos;
+  Rsl rsl;
+  skipSpace(text, pos);
+  while (pos < text.size() && text[pos] == '(') {
+    parseRelation(text, pos, rsl);
+    skipSpace(text, pos);
+  }
+  return rsl;
+}
+
+}  // namespace
+
+Rsl Rsl::parse(const std::string& text) {
+  std::size_t pos = 0;
+  Rsl rsl = parseRequest(text, pos);
+  skipSpace(text, pos);
+  if (pos != text.size()) throw ParseError("trailing characters in RSL '" + text + "'");
+  return rsl;
+}
+
+std::vector<Rsl> Rsl::parseMulti(const std::string& text) {
+  std::size_t pos = 0;
+  skipSpace(text, pos);
+  std::vector<Rsl> out;
+  if (pos < text.size() && text[pos] == '+') {
+    ++pos;
+    skipSpace(text, pos);
+    while (pos < text.size() && text[pos] == '&') {
+      out.push_back(parseRequest(text, pos));
+      skipSpace(text, pos);
+    }
+    if (out.empty()) throw ParseError("empty RSL multi-request");
+    if (pos != text.size()) throw ParseError("trailing characters in RSL multi-request");
+  } else {
+    out.push_back(parse(text));
+  }
+  return out;
+}
+
+bool Rsl::has(const std::string& attr) const { return attrs_.count(util::toLower(attr)) > 0; }
+
+const std::string& Rsl::get(const std::string& attr) const {
+  auto it = attrs_.find(util::toLower(attr));
+  if (it == attrs_.end()) throw mg::Error("RSL has no attribute '" + attr + "'");
+  return it->second;
+}
+
+std::string Rsl::get(const std::string& attr, const std::string& fallback) const {
+  auto it = attrs_.find(util::toLower(attr));
+  return it == attrs_.end() ? fallback : it->second;
+}
+
+std::int64_t Rsl::getInt(const std::string& attr, std::int64_t fallback) const {
+  auto it = attrs_.find(util::toLower(attr));
+  if (it == attrs_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw ParseError("RSL attribute '" + attr + "' = '" + it->second + "' is not an integer");
+  }
+}
+
+void Rsl::set(const std::string& attr, const std::string& value) {
+  attrs_[util::toLower(attr)] = value;
+}
+
+void Rsl::setEnv(const std::string& key, const std::string& value) { environment_[key] = value; }
+
+std::vector<std::string> Rsl::arguments() const {
+  return util::splitWhitespace(get("arguments", ""));
+}
+
+std::string Rsl::str() const {
+  std::string out = "&";
+  for (const auto& [k, v] : attrs_) out += "(" + k + "=" + v + ")";
+  if (!environment_.empty()) {
+    out += "(environment=";
+    for (const auto& [k, v] : environment_) out += "(" + k + " " + v + ")";
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace mg::grid

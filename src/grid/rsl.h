@@ -1,0 +1,57 @@
+// RSL (Resource Specification Language) — the Globus job description
+// format the gatekeeper consumes, e.g.
+//
+//   &(executable=npb.ep)(count=4)(arguments=classA trace)
+//    (maxMemory=100MBytes)(environment=(MG_JOB_SIZE 4)(MG_RANK_BASE 0))
+//
+// Supported grammar (the subset GRAM 1.x jobs actually used):
+//   request     := '&' relation*        | '+' request+        (multi-request)
+//   relation    := '(' attr '=' value ')'
+//   value       := plain text up to the closing ')',
+//                  or a list of '(' word ' ' text ')' pairs (environment)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mg::grid {
+
+class Rsl {
+ public:
+  /// Parse a single '&' request. Throws ParseError.
+  static Rsl parse(const std::string& text);
+
+  /// Parse a '+' multi-request (a '&' request parses as a single element).
+  static std::vector<Rsl> parseMulti(const std::string& text);
+
+  bool has(const std::string& attr) const;
+  const std::string& get(const std::string& attr) const;
+  std::string get(const std::string& attr, const std::string& fallback) const;
+  std::int64_t getInt(const std::string& attr, std::int64_t fallback) const;
+
+  void set(const std::string& attr, const std::string& value);
+
+  /// The (environment=(K v)(K2 v2)) pairs; empty map if absent.
+  const std::map<std::string, std::string>& environment() const { return environment_; }
+  void setEnv(const std::string& key, const std::string& value);
+
+  /// arguments split on whitespace.
+  std::vector<std::string> arguments() const;
+
+  /// Canonical textual form (parses back to an equal Rsl).
+  std::string str() const;
+
+  // Common accessors.
+  std::string executable() const { return get("executable"); }
+  int count() const { return static_cast<int>(getInt("count", 1)); }
+
+ private:
+  std::map<std::string, std::string> attrs_;  // keys lower-cased
+  std::map<std::string, std::string> environment_;
+};
+
+}  // namespace mg::grid

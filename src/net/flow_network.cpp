@@ -1,0 +1,83 @@
+#include "net/flow_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mg::net {
+
+FlowNetwork::FlowNetwork(sim::Simulator& sim, Topology topo, FlowNetworkOptions opts)
+    : sim_(sim), topo_(std::move(topo)), routing_(topo_), opts_(opts) {
+  if (opts_.time_scale <= 0) throw UsageError("time_scale must be positive");
+  link_free_at_.assign(static_cast<size_t>(topo_.linkCount()) * 2, 0);
+}
+
+sim::SimTime FlowNetwork::estimate(NodeId src, NodeId dst, std::int64_t bytes) const {
+  if (src == dst) return opts_.per_message_overhead;
+  auto p = routing_.path(src, dst);
+  if (p.empty()) throw ConfigError("no route between nodes");
+  const double wire_bits = static_cast<double>(bytes) * opts_.byte_overhead * 8.0;
+  sim::SimTime latency = 0;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (LinkId lid : p) {
+    const Link& l = topo_.link(lid);
+    latency += l.latency;
+    bottleneck = std::min(bottleneck, l.bandwidth_bps);
+  }
+  return opts_.per_message_overhead + latency + sim::fromSeconds(wire_bits / bottleneck);
+}
+
+sim::SimTime FlowNetwork::transfer(NodeId src, NodeId dst, std::int64_t bytes) {
+  const double inv_scale = 1.0 / opts_.time_scale;
+  const sim::SimTime now_net =
+      static_cast<sim::SimTime>(std::llround(static_cast<double>(sim_.now()) * inv_scale));
+  const sim::SimTime end_kernel = reserveTransfer(src, dst, bytes);
+  const sim::SimTime wait = std::max<sim::SimTime>(0, end_kernel - sim_.now());
+  sim_.delay(wait);
+  const sim::SimTime end_net =
+      static_cast<sim::SimTime>(std::llround(static_cast<double>(end_kernel) * inv_scale));
+  return end_net - now_net;
+}
+
+sim::SimTime FlowNetwork::reserveTransfer(NodeId src, NodeId dst, std::int64_t bytes) {
+  if (bytes < 0) throw UsageError("negative transfer size");
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  const double inv_scale = 1.0 / opts_.time_scale;
+  const sim::SimTime now_net =
+      static_cast<sim::SimTime>(std::llround(static_cast<double>(sim_.now()) * inv_scale));
+
+  sim::SimTime end_net;
+  if (src == dst) {
+    end_net = now_net + opts_.per_message_overhead;
+  } else {
+    auto p = routing_.path(src, dst);
+    if (p.empty()) throw ConfigError("no route between nodes");
+    const double wire_bits = static_cast<double>(bytes) * opts_.byte_overhead * 8.0;
+    // The flow streams across all path links concurrently; each directed
+    // link serializes flows FIFO. start chains forward so a queued upstream
+    // link delays the whole flow.
+    sim::SimTime start = now_net;
+    sim::SimTime latest_finish = now_net;
+    sim::SimTime total_latency = 0;
+    NodeId at = src;
+    for (LinkId lid : p) {
+      const Link& l = topo_.link(lid);
+      const int dir = (l.a == at) ? 0 : 1;
+      sim::SimTime& free_at = link_free_at_[static_cast<size_t>(lid) * 2 + static_cast<size_t>(dir)];
+      const sim::SimTime begin = std::max(start, free_at);
+      const sim::SimTime ser = sim::fromSeconds(wire_bits / l.bandwidth_bps);
+      free_at = begin + ser;
+      latest_finish = std::max(latest_finish, begin + ser);
+      total_latency += l.latency;
+      start = begin;
+      at = topo_.peer(lid, at);
+    }
+    end_net = latest_finish + total_latency + opts_.per_message_overhead;
+  }
+
+  return static_cast<sim::SimTime>(std::llround(static_cast<double>(end_net) * opts_.time_scale));
+}
+
+}  // namespace mg::net

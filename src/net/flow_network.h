@@ -1,0 +1,67 @@
+// Analytic flow-level network model.
+//
+// Serves two roles (DESIGN.md §2-§3):
+//  * the "physical grid" reference model — message time is latency plus
+//    serialization at the path bottleneck plus per-message software
+//    overhead, with per-link FIFO contention;
+//  * the scalability ablation the paper's future work calls for (packet-
+//    level NSE "does not scale up to large simulations well").
+//
+// transfer() blocks the calling simulated process for the modeled duration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace mg::net {
+
+struct FlowNetworkOptions {
+  /// Kernel-clock nanoseconds per network nanosecond (see PacketNetwork).
+  double time_scale = 1.0;
+  /// Fixed per-message software/protocol overhead (both endpoints total).
+  sim::SimTime per_message_overhead = 60 * sim::kMicrosecond;
+  /// Wire bytes per payload byte (headers + framing); 1538/1460 for
+  /// TCP/IPv4 over Ethernet at full-MSS segments.
+  double byte_overhead = 1538.0 / 1460.0;
+};
+
+struct FlowNetworkStats {
+  std::int64_t transfers = 0;
+  std::int64_t bytes = 0;
+};
+
+class FlowNetwork {
+ public:
+  FlowNetwork(sim::Simulator& sim, Topology topo, FlowNetworkOptions opts = {});
+
+  const Topology& topology() const { return topo_; }
+  const RoutingTable& routing() const { return routing_; }
+  const FlowNetworkStats& stats() const { return stats_; }
+
+  /// Blocking transfer of `bytes` payload from src to dst. Returns the
+  /// network-time duration the transfer took (unscaled). Throws ConfigError
+  /// if the nodes are not connected.
+  sim::SimTime transfer(NodeId src, NodeId dst, std::int64_t bytes);
+
+  /// Reserve link capacity for a transfer starting now, without blocking.
+  /// Returns the absolute kernel-clock completion time (schedule delivery
+  /// there). Throws ConfigError if the nodes are not connected.
+  sim::SimTime reserveTransfer(NodeId src, NodeId dst, std::int64_t bytes);
+
+  /// Modeled duration of an uncontended transfer (no reservation made).
+  sim::SimTime estimate(NodeId src, NodeId dst, std::int64_t bytes) const;
+
+ private:
+  sim::Simulator& sim_;
+  Topology topo_;
+  RoutingTable routing_;
+  FlowNetworkOptions opts_;
+  FlowNetworkStats stats_;
+  // Per-link, per-direction earliest availability, in network time.
+  std::vector<sim::SimTime> link_free_at_;
+};
+
+}  // namespace mg::net

@@ -1,0 +1,139 @@
+#include "net/packet_network.h"
+
+#include <cmath>
+
+#include "util/log.h"
+
+namespace mg::net {
+
+PacketNetwork::PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOptions opts)
+    : sim_(sim), topo_(std::move(topo)), routing_(topo_), opts_(opts), rng_(opts.seed) {
+  if (opts_.time_scale <= 0) throw UsageError("time_scale must be positive");
+  handlers_.resize(static_cast<size_t>(topo_.nodeCount()));
+  link_queues_.resize(static_cast<size_t>(topo_.linkCount()) * 2);
+}
+
+sim::SimTime PacketNetwork::scaled(sim::SimTime t) const {
+  return static_cast<sim::SimTime>(std::llround(static_cast<double>(t) * opts_.time_scale));
+}
+
+void PacketNetwork::attachHost(NodeId node, PacketHandler handler) {
+  handlers_.at(static_cast<size_t>(node)) = std::move(handler);
+}
+
+void PacketNetwork::send(Packet&& pkt) {
+  if (pkt.src < 0 || pkt.src >= topo_.nodeCount() || pkt.dst < 0 || pkt.dst >= topo_.nodeCount()) {
+    throw UsageError("packet endpoint out of range");
+  }
+  ++stats_.packets_sent;
+  // Sender-side protocol stack cost.
+  sim_.scheduleAfter(scaled(opts_.host_stack_delay),
+                     [this, p = std::move(pkt)]() mutable { forward(p.src, std::move(p)); });
+}
+
+void PacketNetwork::forward(NodeId at, Packet&& pkt) {
+  if (at == pkt.dst) {
+    deliverLocal(std::move(pkt));
+    return;
+  }
+  LinkId lid = routing_.nextLink(at, pkt.dst);
+  if (lid == kNoLink || !topo_.link(lid).up) {
+    ++stats_.packets_dropped_down;
+    return;
+  }
+  enqueue(lid, at, std::move(pkt));
+}
+
+PacketNetwork::LinkQueue& PacketNetwork::queueFor(LinkId link, NodeId from) {
+  const Link& l = topo_.link(link);
+  const int dir = (from == l.a) ? 0 : 1;
+  return link_queues_.at(static_cast<size_t>(link) * 2 + static_cast<size_t>(dir));
+}
+
+void PacketNetwork::enqueue(LinkId link, NodeId from, Packet&& pkt) {
+  const Link& l = topo_.link(link);
+  LinkQueue& q = queueFor(link, from);
+  if (q.queued_bytes + pkt.wireBytes() > l.queue_bytes) {
+    ++stats_.packets_dropped_queue;
+    MG_LOG_TRACE("net") << "drop (queue full) on " << l.name;
+    return;
+  }
+  q.queued_bytes += pkt.wireBytes();
+  q.queue.push_back(std::move(pkt));
+  if (!q.busy) startTransmit(link, from);
+}
+
+void PacketNetwork::startTransmit(LinkId link, NodeId from) {
+  LinkQueue& q = queueFor(link, from);
+  if (q.queue.empty()) {
+    q.busy = false;
+    return;
+  }
+  q.busy = true;
+  const Link& l = topo_.link(link);
+  const Packet& head = q.queue.front();
+  const double tx_seconds = static_cast<double>(head.wireBytes()) * 8.0 / l.bandwidth_bps;
+  const sim::SimTime tx = sim::fromSeconds(tx_seconds);
+  stats_.wire_bytes_sent += head.wireBytes();
+  sim_.scheduleAfter(scaled(tx), [this, link, from] {
+    LinkQueue& lq = queueFor(link, from);
+    Packet pkt = std::move(lq.queue.front());
+    lq.queue.pop_front();
+    lq.queued_bytes -= pkt.wireBytes();
+    const Link& lk = topo_.link(link);
+    // Link may have gone down while the packet was in flight on the wire.
+    if (!lk.up) {
+      ++stats_.packets_dropped_down;
+    } else if (lk.loss_rate > 0 && rng_.uniform() < lk.loss_rate) {
+      ++stats_.packets_dropped_loss;
+    } else {
+      const NodeId to = topo_.peer(link, from);
+      const bool at_destination = (to == pkt.dst);
+      const sim::SimTime hop_delay =
+          lk.latency + (at_destination ? opts_.host_stack_delay
+                                       : opts_.router_forward_delay);
+      sim_.scheduleAfter(scaled(hop_delay), [this, to, p = std::move(pkt)]() mutable {
+        if (to == p.dst) {
+          deliverLocal(std::move(p));
+        } else {
+          forward(to, std::move(p));
+        }
+      });
+    }
+    startTransmit(link, from);
+  });
+}
+
+void PacketNetwork::deliverLocal(Packet&& pkt) {
+  PacketHandler& h = handlers_.at(static_cast<size_t>(pkt.dst));
+  if (!h) {
+    MG_LOG_TRACE("net") << "packet to unattached node " << topo_.node(pkt.dst).name;
+    return;
+  }
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += static_cast<std::int64_t>(pkt.payload.size());
+  h(std::move(pkt));
+}
+
+void PacketNetwork::setLinkUp(LinkId link, bool up) {
+  Link& l = topo_.mutableLink(link);
+  if (l.up == up) return;
+  l.up = up;
+  if (!up) {
+    for (int dir = 0; dir < 2; ++dir) {
+      LinkQueue& q = link_queues_.at(static_cast<size_t>(link) * 2 + static_cast<size_t>(dir));
+      // The head packet may be mid-transmission; its completion event still
+      // references queue.front(), so leave it (the completion path drops it
+      // because the link is down). Everything behind it is dropped here.
+      const size_t keep = q.busy ? 1 : 0;
+      while (q.queue.size() > keep) {
+        q.queued_bytes -= q.queue.back().wireBytes();
+        q.queue.pop_back();
+        ++stats_.packets_dropped_down;
+      }
+    }
+  }
+  routing_.recompute(topo_);
+}
+
+}  // namespace mg::net

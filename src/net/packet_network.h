@@ -1,0 +1,98 @@
+// The online packet-level network simulator (the paper's VINT/NSE role):
+// packets travel hop-by-hop over drop-tail queued links and are delivered to
+// the destination host's transport dispatch at the right simulated time.
+//
+// A `time_scale` multiplies every network duration when scheduling onto the
+// kernel clock. The MicroGrid platform runs the network at 1/rate so that
+// virtual-time behaviour is preserved at any emulation rate (paper Fig 15).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace mg::net {
+
+struct PacketNetworkOptions {
+  /// Kernel-clock nanoseconds per network nanosecond.
+  double time_scale = 1.0;
+  /// Per-packet processing delay at each intermediate router.
+  sim::SimTime router_forward_delay = 10 * sim::kMicrosecond;
+  /// Per-packet host protocol-stack overhead (send and receive side each).
+  sim::SimTime host_stack_delay = 15 * sim::kMicrosecond;
+  /// Seed for the loss process.
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+struct PacketNetworkStats {
+  std::int64_t packets_sent = 0;       // injected by transports
+  std::int64_t packets_delivered = 0;  // handed to a destination transport
+  std::int64_t packets_dropped_queue = 0;
+  std::int64_t packets_dropped_loss = 0;
+  std::int64_t packets_dropped_down = 0;  // link down or no route
+  std::int64_t bytes_delivered = 0;       // payload bytes
+  std::int64_t wire_bytes_sent = 0;       // includes headers/framing/retransmits
+};
+
+class PacketNetwork {
+ public:
+  using PacketHandler = std::function<void(Packet&&)>;
+
+  PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOptions opts = {});
+
+  sim::Simulator& simulator() { return sim_; }
+  const Topology& topology() const { return topo_; }
+  const RoutingTable& routing() const { return routing_; }
+  const PacketNetworkStats& stats() const { return stats_; }
+  const PacketNetworkOptions& options() const { return opts_; }
+
+  /// Install the transport dispatch for a host node. One handler per node;
+  /// replacing is allowed (tests), unhandled packets are dropped.
+  void attachHost(NodeId node, PacketHandler handler);
+
+  /// Inject a packet at its source node. Takes the full path through link
+  /// queues; delivery invokes the destination node's handler.
+  void send(Packet&& pkt);
+
+  /// Administratively set a link up or down and recompute routes. Packets
+  /// already queued on a downed link are dropped.
+  void setLinkUp(LinkId link, bool up);
+
+  /// Convert a network-time duration to kernel-clock time (multiplies by
+  /// time_scale). Transports use this for their protocol timers so that RTO
+  /// and friends stay correct in rescaled emulations.
+  sim::SimTime scaleDuration(sim::SimTime t) const { return scaled(t); }
+
+ private:
+  // Per-direction link queue state. Direction 0 = a->b, 1 = b->a.
+  struct LinkQueue {
+    std::deque<Packet> queue;
+    std::int64_t queued_bytes = 0;
+    bool busy = false;
+  };
+
+  LinkQueue& queueFor(LinkId link, NodeId from);
+  void forward(NodeId at, Packet&& pkt);
+  void enqueue(LinkId link, NodeId from, Packet&& pkt);
+  void startTransmit(LinkId link, NodeId from);
+  void deliverLocal(Packet&& pkt);
+  sim::SimTime scaled(sim::SimTime t) const;
+
+  sim::Simulator& sim_;
+  Topology topo_;
+  RoutingTable routing_;
+  PacketNetworkOptions opts_;
+  PacketNetworkStats stats_;
+  util::Rng rng_;
+  std::vector<PacketHandler> handlers_;
+  // linkqueues_[link * 2 + direction]
+  std::vector<LinkQueue> link_queues_;
+};
+
+}  // namespace mg::net

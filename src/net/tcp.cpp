@@ -1,0 +1,607 @@
+#include "net/tcp.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace mg::net {
+
+// ===========================================================================
+// TcpConnection
+// ===========================================================================
+
+TcpConnection::TcpConnection(TcpStack& stack, NodeId remote_node, std::uint16_t local_port,
+                             std::uint16_t remote_port, const TcpOptions& opts)
+    : stack_(stack),
+      sim_(stack.simulator()),
+      opts_(opts),
+      local_node_(stack.node()),
+      remote_node_(remote_node),
+      local_port_(local_port),
+      remote_port_(remote_port),
+      established_cond_(sim_),
+      readable_(sim_),
+      writable_(sim_) {
+  cwnd_ = static_cast<double>(opts_.initial_cwnd);
+  ssthresh_ = static_cast<double>(opts_.initial_ssthresh);
+  rto_ = kernelTime(opts_.min_rto * 5);  // conservative until the first RTT sample
+  last_advertised_window_ = opts_.recv_buffer;
+}
+
+sim::SimTime TcpConnection::kernelTime(sim::SimTime virtual_time) const {
+  return stack_.network().scaleDuration(virtual_time);
+}
+
+bool TcpConnection::established() const { return state_ == State::Established && !error_; }
+
+Packet TcpConnection::makePacket(std::uint8_t flags) const {
+  Packet p;
+  p.src = local_node_;
+  p.dst = remote_node_;
+  p.protocol = Protocol::Tcp;
+  p.src_port = local_port_;
+  p.dst_port = remote_port_;
+  p.flags = flags;
+  p.ack = rcv_nxt_;
+  p.window = advertisedWindow();
+  return p;
+}
+
+std::int64_t TcpConnection::advertisedWindow() const {
+  const std::int64_t used = static_cast<std::int64_t>(recv_buf_.size()) + out_of_order_bytes_;
+  return std::max<std::int64_t>(0, opts_.recv_buffer - used);
+}
+
+std::int64_t TcpConnection::effectiveWindow() const {
+  return std::max<std::int64_t>(0, std::min<std::int64_t>(static_cast<std::int64_t>(cwnd_), peer_window_));
+}
+
+// --------------------------------------------------------------- app calls --
+
+void TcpConnection::send(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  if (local_closed_) throw UsageError("send after close");
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    if (error_) throw ConnectionReset(error_what_);
+    const std::int64_t space =
+        opts_.send_buffer - static_cast<std::int64_t>(send_buf_.size());
+    if (space <= 0) {
+      writable_.wait();
+      continue;
+    }
+    const std::size_t take = std::min(remaining, static_cast<std::size_t>(space));
+    send_buf_.insert(send_buf_.end(), p, p + take);
+    p += take;
+    remaining -= take;
+    bytes_sent_ += static_cast<std::int64_t>(take);
+    pump();
+  }
+}
+
+std::size_t TcpConnection::recv(void* buf, std::size_t max) {
+  if (max == 0) return 0;
+  while (recv_buf_.empty()) {
+    if (error_) throw ConnectionReset(error_what_);
+    if (peer_fin_ && rcv_nxt_ >= peer_fin_seq_) return 0;  // orderly EOF
+    readable_.wait();
+  }
+  const std::size_t n = std::min(max, recv_buf_.size());
+  auto* out = static_cast<std::uint8_t*>(buf);
+  std::copy_n(recv_buf_.begin(), n, out);
+  recv_buf_.erase(recv_buf_.begin(), recv_buf_.begin() + static_cast<std::ptrdiff_t>(n));
+  bytes_received_ += static_cast<std::int64_t>(n);
+  // Window-update ACK: tell a sender stalled on a closed window that space
+  // has opened (replaces the receiver half of the persist machinery).
+  if (last_advertised_window_ < kTcpMss && advertisedWindow() >= kTcpMss) {
+    sendPureAck();
+  }
+  return n;
+}
+
+void TcpConnection::recvExact(void* buf, std::size_t n) {
+  auto* out = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = recv(out + got, n - got);
+    if (r == 0) throw ConnectionReset("stream ended mid-message");
+    got += r;
+  }
+}
+
+void TcpConnection::close() {
+  if (local_closed_) return;
+  local_closed_ = true;
+  if (error_ || state_ == State::Closed) return;
+  fin_queued_ = true;
+  pump();
+}
+
+// ------------------------------------------------------------ segment I/O --
+
+void TcpConnection::startConnect() {
+  state_ = State::SynSent;
+  syn_attempts_ = 0;
+  sendSyn(false);
+}
+
+void TcpConnection::sendSyn(bool is_retry) {
+  if (is_retry) ++retransmits_;
+  ++syn_attempts_;
+  Packet p = makePacket(kFlagSyn);
+  stack_.network().send(std::move(p));
+  auto self = shared_from_this();
+  const sim::SimTime backoff = kernelTime(opts_.syn_timeout) * (1ll << (syn_attempts_ - 1));
+  rto_event_ = sim_.scheduleAfter(backoff, [self] {
+    if (self->state_ != State::SynSent) return;
+    if (self->syn_attempts_ >= self->opts_.syn_retries) {
+      self->enterError("connect timed out");
+    } else {
+      self->sendSyn(true);
+    }
+  });
+}
+
+void TcpConnection::sendSynAck() {
+  Packet p = makePacket(kFlagSyn | kFlagAck);
+  stack_.network().send(std::move(p));
+}
+
+void TcpConnection::sendPureAck() {
+  Packet p = makePacket(kFlagAck);
+  last_advertised_window_ = p.window;
+  stack_.network().send(std::move(p));
+}
+
+void TcpConnection::sendFinSegment() {
+  Packet p = makePacket(kFlagFin | kFlagAck);
+  p.seq = fin_seq_;
+  stack_.network().send(std::move(p));
+}
+
+void TcpConnection::sendSegment(std::uint64_t seq, std::size_t len, bool is_retransmit) {
+  Packet p = makePacket(kFlagAck);
+  p.seq = seq;
+  p.payload.resize(len);
+  const std::size_t off = static_cast<std::size_t>(seq - snd_una_);
+  std::copy_n(send_buf_.begin() + static_cast<std::ptrdiff_t>(off), len, p.payload.begin());
+  last_advertised_window_ = p.window;
+  if (is_retransmit) {
+    ++retransmits_;
+  } else if (!rtt_pending_) {
+    // Karn's rule: sample only fresh segments, one at a time.
+    rtt_pending_ = true;
+    rtt_seq_ = seq + len;
+    rtt_sent_at_ = sim_.now();
+  }
+  stack_.network().send(std::move(p));
+}
+
+void TcpConnection::pump() {
+  if (state_ != State::Established || error_) return;
+  const std::uint64_t limit = snd_una_ + static_cast<std::uint64_t>(effectiveWindow());
+  const std::uint64_t end = dataEnd();
+  while (snd_nxt_ < end && snd_nxt_ < limit) {
+    const std::uint64_t avail = end - snd_nxt_;
+    const std::uint64_t room = limit - snd_nxt_;
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>({static_cast<std::uint64_t>(kTcpMss), avail, room}));
+    // Sender-side silly-window avoidance: a short segment is only worth
+    // sending when it drains the buffer (the app may be waiting on the
+    // reply) or nothing is in flight (keep the ACK clock ticking).
+    const bool full_segment = len == static_cast<std::size_t>(kTcpMss);
+    const bool drains_buffer = len == avail;
+    const bool pipe_idle = snd_una_ == snd_nxt_;
+    if (!full_segment && !drains_buffer && !pipe_idle) break;
+    sendSegment(snd_nxt_, len, false);
+    snd_nxt_ += len;
+  }
+  if (fin_queued_ && !fin_sent_ && snd_nxt_ == end) {
+    fin_seq_ = snd_nxt_;
+    fin_sent_ = true;
+    sendFinSegment();
+  }
+  const bool outstanding = (snd_una_ < snd_nxt_) || (fin_sent_ && !fin_acked_);
+  if (outstanding && rto_event_ == 0) armRto();
+  if (peer_window_ == 0 && snd_nxt_ < end && snd_una_ == snd_nxt_) armPersist();
+}
+
+// ------------------------------------------------------------------ timers --
+
+void TcpConnection::armRto() {
+  cancelRto();
+  auto self = shared_from_this();
+  rto_event_ = sim_.scheduleAfter(rto_, [self] {
+    self->rto_event_ = 0;
+    self->onRtoFire();
+  });
+}
+
+void TcpConnection::cancelRto() {
+  if (rto_event_ != 0) {
+    sim_.cancel(rto_event_);
+    rto_event_ = 0;
+  }
+}
+
+void TcpConnection::onRtoFire() {
+  if (error_ || state_ != State::Established) return;
+  const bool data_outstanding = snd_una_ < snd_nxt_;
+  const bool fin_outstanding = fin_sent_ && !fin_acked_;
+  if (!data_outstanding && !fin_outstanding) return;
+  // Loss response: multiplicative decrease and go-back-N from snd_una_.
+  const double flight = static_cast<double>(snd_nxt_ - snd_una_);
+  ssthresh_ = std::max(flight / 2.0, 2.0 * kTcpMss);
+  cwnd_ = kTcpMss;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  rtt_pending_ = false;  // Karn: discard sample that spans a retransmit
+  rto_ = std::min(rto_ * 2, kernelTime(opts_.max_rto));
+  if (data_outstanding) {
+    snd_nxt_ = snd_una_;  // go-back-N; later segments resend as cwnd reopens
+    const std::uint64_t end = dataEnd();
+    const std::uint64_t limit = snd_una_ + static_cast<std::uint64_t>(effectiveWindow());
+    if (snd_nxt_ < end && snd_nxt_ < limit) {
+      const std::size_t len = static_cast<std::size_t>(std::min<std::uint64_t>(
+          {static_cast<std::uint64_t>(kTcpMss), end - snd_nxt_, limit - snd_nxt_}));
+      sendSegment(snd_nxt_, len, true);
+      snd_nxt_ += len;
+    }
+  } else {
+    sendFinSegment();
+    ++retransmits_;
+  }
+  armRto();
+}
+
+void TcpConnection::armPersist() {
+  if (persist_event_ != 0) return;
+  auto self = shared_from_this();
+  persist_event_ = sim_.scheduleAfter(kernelTime(opts_.persist_interval), [self] {
+    self->persist_event_ = 0;
+    self->onPersistFire();
+  });
+}
+
+void TcpConnection::onPersistFire() {
+  if (error_ || state_ != State::Established) return;
+  if (peer_window_ > 0) {
+    pump();
+    return;
+  }
+  if (snd_nxt_ >= dataEnd()) return;  // nothing left to probe for
+  // 1-byte window probe; the receiver ACKs with its current window even if
+  // it cannot accept the byte.
+  sendSegment(snd_nxt_, 1, true);
+  armPersist();
+}
+
+// --------------------------------------------------------- receive engine --
+
+void TcpConnection::onPacket(Packet&& pkt) {
+  if (pkt.flags & kFlagRst) {
+    enterError("RST from peer");
+    return;
+  }
+
+  switch (state_) {
+    case State::SynSent:
+      if ((pkt.flags & kFlagSyn) && (pkt.flags & kFlagAck)) {
+        state_ = State::Established;
+        peer_window_ = pkt.window;
+        cancelRto();
+        sendPureAck();
+        established_cond_.notifyAll();
+        pump();
+      }
+      return;
+    case State::SynReceived:
+      if (pkt.flags & kFlagSyn) {
+        // Our SYN|ACK was lost; repeat it.
+        sendSynAck();
+        return;
+      }
+      if (pkt.flags & kFlagAck) {
+        state_ = State::Established;
+        peer_window_ = pkt.window;
+        stack_.connectionEstablished(*this);
+        // Data may ride on the completing ACK; fall through.
+        if (!pkt.payload.empty() || (pkt.flags & kFlagFin)) break;
+        return;
+      }
+      return;
+    case State::Established:
+      if (pkt.flags & kFlagSyn) {
+        // Peer never saw our final ACK of its SYN|ACK; re-ACK.
+        sendPureAck();
+        return;
+      }
+      break;
+    case State::Closed:
+      return;
+  }
+
+  if (pkt.flags & kFlagAck) {
+    onAck(pkt.ack, pkt.window, pkt.payload.empty() && !(pkt.flags & kFlagFin));
+  }
+  if (!pkt.payload.empty() || (pkt.flags & kFlagFin)) {
+    onData(std::move(pkt));
+  }
+}
+
+void TcpConnection::onAck(std::uint64_t ack, std::int64_t window, bool pure_ack) {
+  peer_window_ = window;
+  if (ack > snd_una_) {
+    const std::uint64_t newly_acked = ack - snd_una_;
+    send_buf_.erase(send_buf_.begin(),
+                    send_buf_.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min<std::uint64_t>(newly_acked, send_buf_.size())));
+    snd_una_ = ack;
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    dup_acks_ = 0;
+    if (rtt_pending_ && ack >= rtt_seq_) {
+      rtt_pending_ = false;
+      updateRttEstimate(sim_.now() - rtt_sent_at_);
+    }
+    if (in_recovery_) {
+      if (ack >= recover_) {
+        in_recovery_ = false;  // every pre-loss segment accounted for
+      } else if (snd_una_ < snd_nxt_) {
+        // Partial ACK: the next hole is at snd_una_; retransmit it now.
+        const std::size_t len = static_cast<std::size_t>(std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(kTcpMss), snd_nxt_ - snd_una_));
+        sendSegment(snd_una_, len, true);
+      }
+    } else {
+      // Congestion window growth (frozen during recovery).
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += kTcpMss;  // slow start: one MSS per ACK
+      } else {
+        cwnd_ += static_cast<double>(kTcpMss) * kTcpMss / cwnd_;  // CA: ~MSS per RTT
+      }
+      cwnd_ = std::min(cwnd_, static_cast<double>(opts_.send_buffer));
+    }
+    if (fin_sent_ && ack > fin_seq_) fin_acked_ = true;
+    cancelRto();
+    if (snd_una_ < snd_nxt_ || (fin_sent_ && !fin_acked_)) armRto();
+    writable_.notifyAll();
+    pump();
+    maybeFinish();
+  } else if (ack == snd_una_ && snd_una_ < snd_nxt_ && pure_ack) {
+    if (++dup_acks_ == 3 && !in_recovery_) {
+      // Fast retransmit of the first unacked segment, then NewReno recovery.
+      in_recovery_ = true;
+      recover_ = snd_nxt_;
+      ssthresh_ = std::max(static_cast<double>(snd_nxt_ - snd_una_) / 2.0, 2.0 * kTcpMss);
+      cwnd_ = ssthresh_;
+      rtt_pending_ = false;
+      const std::size_t len = static_cast<std::size_t>(std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(kTcpMss), snd_nxt_ - snd_una_));
+      sendSegment(snd_una_, len, true);
+      armRto();
+    }
+  } else if (peer_window_ > 0) {
+    // Window update without new data acked.
+    pump();
+  }
+}
+
+void TcpConnection::onData(Packet&& pkt) {
+  bool advanced = false;
+  if (!pkt.payload.empty()) {
+    const std::uint64_t seq = pkt.seq;
+    const std::uint64_t seg_end = seq + pkt.payload.size();
+    if (seg_end <= rcv_nxt_) {
+      // Stale retransmission: just re-ACK below.
+    } else if (seq <= rcv_nxt_) {
+      // In-order (possibly with a stale prefix). Accept what fits.
+      const std::size_t skip = static_cast<std::size_t>(rcv_nxt_ - seq);
+      const std::int64_t capacity = advertisedWindow();
+      const std::size_t fresh = pkt.payload.size() - skip;
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::int64_t>(static_cast<std::int64_t>(fresh), capacity));
+      if (take > 0) {
+        recv_buf_.insert(recv_buf_.end(), pkt.payload.begin() + static_cast<std::ptrdiff_t>(skip),
+                         pkt.payload.begin() + static_cast<std::ptrdiff_t>(skip + take));
+        rcv_nxt_ += take;
+        advanced = true;
+        // Drain any now-contiguous out-of-order segments.
+        for (auto it = out_of_order_.begin(); it != out_of_order_.end();) {
+          if (it->first > rcv_nxt_) break;
+          const auto& data = it->second;
+          const std::uint64_t oend = it->first + data.size();
+          if (oend > rcv_nxt_) {
+            const std::size_t oskip = static_cast<std::size_t>(rcv_nxt_ - it->first);
+            recv_buf_.insert(recv_buf_.end(), data.begin() + static_cast<std::ptrdiff_t>(oskip),
+                             data.end());
+            rcv_nxt_ = oend;
+          }
+          out_of_order_bytes_ -= static_cast<std::int64_t>(data.size());
+          it = out_of_order_.erase(it);
+        }
+      }
+    } else {
+      // Out of order: hold if it fits in the window.
+      if (out_of_order_bytes_ + static_cast<std::int64_t>(pkt.payload.size()) <=
+              advertisedWindow() &&
+          out_of_order_.find(pkt.seq) == out_of_order_.end()) {
+        out_of_order_bytes_ += static_cast<std::int64_t>(pkt.payload.size());
+        out_of_order_.emplace(pkt.seq, std::move(pkt.payload));
+      }
+    }
+  }
+  if (pkt.flags & kFlagFin) {
+    if (!peer_fin_) {
+      peer_fin_ = true;
+      peer_fin_seq_ = pkt.seq;
+    }
+  }
+  if (peer_fin_ && rcv_nxt_ == peer_fin_seq_) {
+    rcv_nxt_ = peer_fin_seq_ + 1;  // FIN consumes one sequence number
+    advanced = true;
+  }
+  sendPureAck();
+  if (advanced) readable_.notifyAll();
+  maybeFinish();
+}
+
+void TcpConnection::updateRttEstimate(sim::SimTime sample) {
+  if (srtt_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    const sim::SimTime err = std::abs(srtt_ - sample);
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  rto_ = std::clamp(srtt_ + 4 * rttvar_, kernelTime(opts_.min_rto), kernelTime(opts_.max_rto));
+}
+
+void TcpConnection::enterError(const std::string& what) {
+  if (error_) return;
+  error_ = true;
+  error_what_ = what;
+  state_ = State::Closed;
+  cancelRto();
+  if (persist_event_ != 0) {
+    sim_.cancel(persist_event_);
+    persist_event_ = 0;
+  }
+  established_cond_.notifyAll();
+  readable_.notifyAll();
+  writable_.notifyAll();
+  stack_.removeConnection(*this);
+}
+
+void TcpConnection::maybeFinish() {
+  // Fully closed in both directions: retire from the stack's table.
+  if (fin_acked_ && peer_fin_ && recv_buf_.empty() && state_ == State::Established) {
+    state_ = State::Closed;
+    cancelRto();
+    readable_.notifyAll();
+    stack_.removeConnection(*this);
+  }
+}
+
+// ===========================================================================
+// TcpListener
+// ===========================================================================
+
+TcpListener::TcpListener(TcpStack& stack, std::uint16_t port)
+    : stack_(stack),
+      port_(port),
+      backlog_(std::make_unique<sim::Channel<std::shared_ptr<TcpConnection>>>(stack.simulator())) {}
+
+std::shared_ptr<TcpConnection> TcpListener::accept() {
+  if (closed_) throw UsageError("accept on closed listener");
+  return backlog_->recv();
+}
+
+std::shared_ptr<TcpConnection> TcpListener::acceptFor(sim::SimTime timeout) {
+  if (closed_) throw UsageError("accept on closed listener");
+  auto v = backlog_->recvFor(timeout);
+  return v ? *v : nullptr;
+}
+
+void TcpListener::close() {
+  if (closed_) return;
+  closed_ = true;
+  stack_.removeListener(port_);
+  backlog_->close();
+}
+
+// ===========================================================================
+// TcpStack
+// ===========================================================================
+
+TcpStack::TcpStack(PacketNetwork& net, NodeId node, TcpOptions opts)
+    : net_(net), node_(node), opts_(opts) {}
+
+TcpStack::~TcpStack() = default;
+
+std::shared_ptr<TcpListener> TcpStack::listen(std::uint16_t port) {
+  if (listeners_.count(port)) throw UsageError("port already listening");
+  auto listener = std::shared_ptr<TcpListener>(new TcpListener(*this, port));
+  listeners_[port] = listener.get();
+  return listener;
+}
+
+std::uint16_t TcpStack::allocateEphemeralPort() {
+  for (int tries = 0; tries < 16384; ++tries) {
+    std::uint16_t p = next_ephemeral_;
+    next_ephemeral_ = (next_ephemeral_ == 65535) ? 49152 : next_ephemeral_ + 1;
+    bool taken = false;
+    for (const auto& [key, conn] : connections_) {
+      if (key.local_port == p) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken && !listeners_.count(p)) return p;
+  }
+  throw UsageError("ephemeral ports exhausted");
+}
+
+std::shared_ptr<TcpConnection> TcpStack::connect(NodeId dst, std::uint16_t port) {
+  const std::uint16_t lport = allocateEphemeralPort();
+  auto conn = std::shared_ptr<TcpConnection>(new TcpConnection(*this, dst, lport, port, opts_));
+  connections_[ConnKey{lport, dst, port}] = conn;
+  conn->startConnect();
+  while (conn->state_ != TcpConnection::State::Established && !conn->error_) {
+    conn->established_cond_.wait();
+  }
+  if (conn->error_) throw ConnectionRefused(conn->error_what_);
+  return conn;
+}
+
+void TcpStack::onPacket(Packet&& pkt) {
+  const ConnKey key{pkt.dst_port, pkt.src, pkt.src_port};
+  auto it = connections_.find(key);
+  if (it != connections_.end()) {
+    // Keep the connection alive across the callback even if it retires.
+    auto conn = it->second;
+    conn->onPacket(std::move(pkt));
+    return;
+  }
+  if ((pkt.flags & kFlagSyn) && !(pkt.flags & kFlagAck)) {
+    auto lit = listeners_.find(pkt.dst_port);
+    if (lit != listeners_.end() && !lit->second->closed_) {
+      auto conn = std::shared_ptr<TcpConnection>(
+          new TcpConnection(*this, pkt.src, pkt.dst_port, pkt.src_port, opts_));
+      conn->state_ = TcpConnection::State::SynReceived;
+      conn->peer_window_ = pkt.window;
+      connections_[key] = conn;
+      conn->sendSynAck();
+      return;
+    }
+  }
+  if (!(pkt.flags & kFlagRst)) sendRst(pkt);
+}
+
+void TcpStack::connectionEstablished(TcpConnection& conn) {
+  auto lit = listeners_.find(conn.local_port_);
+  if (lit == listeners_.end() || lit->second->closed_) return;
+  const ConnKey key{conn.local_port_, conn.remote_node_, conn.remote_port_};
+  auto it = connections_.find(key);
+  if (it != connections_.end()) lit->second->backlog_->trySend(it->second);
+}
+
+void TcpStack::sendRst(const Packet& cause) {
+  Packet rst;
+  rst.src = node_;
+  rst.dst = cause.src;
+  rst.protocol = Protocol::Tcp;
+  rst.src_port = cause.dst_port;
+  rst.dst_port = cause.src_port;
+  rst.flags = kFlagRst;
+  net_.send(std::move(rst));
+}
+
+void TcpStack::removeConnection(const TcpConnection& conn) {
+  connections_.erase(ConnKey{conn.local_port_, conn.remote_node_, conn.remote_port_});
+}
+
+void TcpStack::removeListener(std::uint16_t port) { listeners_.erase(port); }
+
+}  // namespace mg::net

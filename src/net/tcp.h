@@ -1,0 +1,251 @@
+// A TCP-like reliable byte-stream transport over the packet network.
+//
+// Implements the mechanisms that shape Grid traffic behaviour at the scale
+// the paper models: 3-way handshake, cumulative ACKs, sliding window with
+// slow start / congestion avoidance, RTO + fast retransmit, receiver flow
+// control with zero-window probing, and FIN/RST teardown. Omissions relative
+// to a kernel TCP (SACK, delayed ACK, Nagle, timestamps) are deliberate:
+// they trade a little realism for determinism and clarity, and none change
+// the latency/bandwidth shapes the validation experiments measure.
+//
+// All app-facing calls (connect/accept/send/recv) block the calling
+// simulated process; protocol machinery runs in event context.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "net/packet_network.h"
+#include "sim/channel.h"
+#include "sim/condition.h"
+
+namespace mg::net {
+
+/// Peer reset the connection or the transport hit an unrecoverable error.
+class ConnectionReset : public mg::Error {
+ public:
+  explicit ConnectionReset(const std::string& what) : mg::Error("connection reset: " + what) {}
+};
+
+/// connect() could not establish: refused (RST) or retries exhausted.
+class ConnectionRefused : public mg::Error {
+ public:
+  explicit ConnectionRefused(const std::string& what) : mg::Error("connection refused: " + what) {}
+};
+
+struct TcpOptions {
+  std::int64_t send_buffer = 1 << 20;   // bytes
+  std::int64_t recv_buffer = 1 << 20;   // bytes
+  std::int64_t initial_cwnd = 2 * kTcpMss;
+  std::int64_t initial_ssthresh = 64 * 1024;
+  sim::SimTime min_rto = 200 * sim::kMillisecond;  // virtual time
+  sim::SimTime max_rto = 10 * sim::kSecond;
+  sim::SimTime syn_timeout = 1 * sim::kSecond;
+  int syn_retries = 5;
+  sim::SimTime persist_interval = 500 * sim::kMillisecond;
+};
+
+class TcpStack;
+
+/// One established (or in-progress) connection endpoint.
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+ public:
+  ~TcpConnection() = default;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Blocking send of exactly n bytes (copies into the send buffer, waiting
+  /// for space). Throws ConnectionReset on error, UsageError after close().
+  void send(const void* data, std::size_t n);
+
+  /// Blocking receive of 1..max bytes; returns 0 at orderly EOF.
+  std::size_t recv(void* buf, std::size_t max);
+
+  /// Blocking receive of exactly n bytes; throws ConnectionReset if the
+  /// stream ends early.
+  void recvExact(void* buf, std::size_t n);
+
+  /// Queue an orderly close (FIN after all buffered data). Idempotent.
+  void close();
+
+  NodeId localNode() const { return local_node_; }
+  NodeId remoteNode() const { return remote_node_; }
+  std::uint16_t localPort() const { return local_port_; }
+  std::uint16_t remotePort() const { return remote_port_; }
+  bool established() const;
+
+  std::int64_t bytesSent() const { return bytes_sent_; }
+  std::int64_t bytesReceived() const { return bytes_received_; }
+  std::int64_t retransmits() const { return retransmits_; }
+
+ private:
+  friend class TcpStack;
+  enum class State { SynSent, SynReceived, Established, Closed };
+
+  TcpConnection(TcpStack& stack, NodeId remote_node, std::uint16_t local_port,
+                std::uint16_t remote_port, const TcpOptions& opts);
+
+  // -- protocol engine (event context) --
+  void onPacket(Packet&& pkt);
+  void onAck(std::uint64_t ack, std::int64_t window, bool pure_ack);
+  void onData(Packet&& pkt);
+  void startConnect();
+  void sendSyn(bool is_retry);
+  void sendSynAck();
+  void sendPureAck();
+  void sendFinSegment();
+  void sendSegment(std::uint64_t seq, std::size_t len, bool is_retransmit);
+  void pump();
+  void armRto();
+  void cancelRto();
+  void onRtoFire();
+  void armPersist();
+  void onPersistFire();
+  void enterError(const std::string& what);
+  void maybeFinish();
+
+  std::int64_t effectiveWindow() const;
+  std::int64_t advertisedWindow() const;
+  std::uint64_t dataEnd() const { return snd_una_ + send_buf_.size(); }
+  Packet makePacket(std::uint8_t flags) const;
+  void updateRttEstimate(sim::SimTime sample);
+  sim::SimTime kernelTime(sim::SimTime virtual_time) const;
+
+  TcpStack& stack_;
+  sim::Simulator& sim_;
+  TcpOptions opts_;
+
+  NodeId local_node_;
+  NodeId remote_node_;
+  std::uint16_t local_port_;
+  std::uint16_t remote_port_;
+
+  State state_ = State::Closed;
+  bool error_ = false;
+  std::string error_what_;
+  int syn_attempts_ = 0;
+
+  // Send side. send_buf_ holds stream bytes [snd_una_, snd_una_+size).
+  std::deque<std::uint8_t> send_buf_;
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  double cwnd_ = 0;
+  double ssthresh_ = 0;
+  std::int64_t peer_window_ = kTcpMss;
+  int dup_acks_ = 0;
+  // NewReno-style recovery: while in recovery, each partial ACK retransmits
+  // the next hole instead of waiting out an RTO (burst losses would
+  // otherwise stall 200 ms per hole).
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  std::uint64_t fin_seq_ = 0;
+  bool local_closed_ = false;  // app called close()
+
+  // RTT estimation (Karn: one sample at a time, never from retransmits).
+  bool rtt_pending_ = false;
+  std::uint64_t rtt_seq_ = 0;
+  sim::SimTime rtt_sent_at_ = 0;
+  sim::SimTime srtt_ = 0;
+  sim::SimTime rttvar_ = 0;
+  sim::SimTime rto_ = 0;  // kernel-clock units
+
+  sim::EventId rto_event_ = 0;
+  sim::EventId persist_event_ = 0;
+
+  // Receive side.
+  std::deque<std::uint8_t> recv_buf_;
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> out_of_order_;
+  std::int64_t out_of_order_bytes_ = 0;
+  bool peer_fin_ = false;
+  std::uint64_t peer_fin_seq_ = 0;
+  std::int64_t last_advertised_window_ = 0;
+
+  sim::Condition established_cond_;
+  sim::Condition readable_;
+  sim::Condition writable_;
+
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t bytes_received_ = 0;
+  std::int64_t retransmits_ = 0;
+};
+
+/// A passive listening socket; accept() yields connections in SYN order.
+class TcpListener {
+ public:
+  /// Block until a connection completes the handshake.
+  std::shared_ptr<TcpConnection> accept();
+
+  /// Accept with timeout; nullptr on expiry.
+  std::shared_ptr<TcpConnection> acceptFor(sim::SimTime timeout);
+
+  std::uint16_t port() const { return port_; }
+  void close();
+
+ private:
+  friend class TcpStack;
+  TcpListener(TcpStack& stack, std::uint16_t port);
+
+  TcpStack& stack_;
+  std::uint16_t port_;
+  bool closed_ = false;
+  std::unique_ptr<sim::Channel<std::shared_ptr<TcpConnection>>> backlog_;
+};
+
+/// The per-host TCP endpoint table. Packets are fed in by HostStack.
+class TcpStack {
+ public:
+  TcpStack(PacketNetwork& net, NodeId node, TcpOptions opts = {});
+  ~TcpStack();
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  /// Start listening; throws UsageError if the port is taken.
+  std::shared_ptr<TcpListener> listen(std::uint16_t port);
+
+  /// Blocking active open; throws ConnectionRefused on failure.
+  std::shared_ptr<TcpConnection> connect(NodeId dst, std::uint16_t port);
+
+  /// Transport dispatch (called by HostStack).
+  void onPacket(Packet&& pkt);
+
+  /// A passive connection completed its handshake; hand it to the listener.
+  void connectionEstablished(TcpConnection& conn);
+
+  NodeId node() const { return node_; }
+  PacketNetwork& network() { return net_; }
+  sim::Simulator& simulator() { return net_.simulator(); }
+  const TcpOptions& options() const { return opts_; }
+
+ private:
+  friend class TcpConnection;
+  friend class TcpListener;
+
+  struct ConnKey {
+    std::uint16_t local_port;
+    NodeId remote_node;
+    std::uint16_t remote_port;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+
+  void sendRst(const Packet& cause);
+  void removeConnection(const TcpConnection& conn);
+  void removeListener(std::uint16_t port);
+  std::uint16_t allocateEphemeralPort();
+
+  PacketNetwork& net_;
+  NodeId node_;
+  TcpOptions opts_;
+  std::map<ConnKey, std::shared_ptr<TcpConnection>> connections_;
+  std::map<std::uint16_t, TcpListener*> listeners_;
+  std::uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace mg::net

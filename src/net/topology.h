@@ -1,0 +1,120 @@
+// Network topology: a graph of nodes (hosts and routers) connected by
+// full-duplex links with bandwidth, propagation latency, queue capacity and
+// an optional random loss rate. Static shortest-path routing tables are
+// computed with Dijkstra over a latency+serialization weight.
+//
+// This is the structural half of the paper's NSE substitute: "The VINT/NSE
+// simulation system allows definition of an arbitrary network configuration."
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/config.h"
+
+namespace mg::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+constexpr NodeId kNoNode = -1;
+constexpr LinkId kNoLink = -1;
+
+enum class NodeKind { Host, Router };
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::Host;
+};
+
+/// A full-duplex link: both directions have independent queues in the
+/// PacketNetwork but share these parameters.
+struct Link {
+  std::string name;
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  double bandwidth_bps = 0;
+  sim::SimTime latency = 0;
+  std::int64_t queue_bytes = 256 * 1024;  // drop-tail buffer per direction
+  double loss_rate = 0.0;                 // random per-packet loss (failure injection)
+  bool up = true;
+};
+
+class Topology {
+ public:
+  NodeId addHost(std::string name);
+  NodeId addRouter(std::string name);
+  LinkId addLink(std::string name, NodeId a, NodeId b, double bandwidth_bps,
+                 sim::SimTime latency, std::int64_t queue_bytes = 256 * 1024,
+                 double loss_rate = 0.0);
+
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
+  const Link& link(LinkId id) const { return links_.at(static_cast<size_t>(id)); }
+  Link& mutableLink(LinkId id) { return links_.at(static_cast<size_t>(id)); }
+
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  int linkCount() const { return static_cast<int>(links_.size()); }
+
+  /// Node id by name; kNoNode if absent.
+  NodeId findNode(const std::string& name) const;
+  /// Link id by name; kNoLink if absent.
+  LinkId findLink(const std::string& name) const;
+
+  /// Links incident to a node.
+  const std::vector<LinkId>& linksAt(NodeId id) const { return adjacency_.at(static_cast<size_t>(id)); }
+
+  /// The other endpoint of a link.
+  NodeId peer(LinkId id, NodeId from) const;
+
+  /// Build a topology from config sections:
+  ///   [node r0]      kind = router
+  ///   [node h0]      kind = host        (kind defaults to host)
+  ///   [link l0]      a = h0
+  ///                  b = r0
+  ///                  bandwidth = 100Mbps
+  ///                  latency = 0.1ms
+  ///                  queue = 256KB       (optional)
+  ///                  loss = 0.0          (optional)
+  static Topology fromConfig(const util::Config& cfg);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+/// All-pairs next-hop routing, recomputable when links change state.
+class RoutingTable {
+ public:
+  /// Compute routes over all `up` links. Weight of a link is its latency
+  /// plus the serialization time of one MTU-sized packet, so routing prefers
+  /// fast, short links; ties break toward lower node ids (determinism).
+  explicit RoutingTable(const Topology& topo);
+
+  /// Recompute after link state changes.
+  void recompute(const Topology& topo);
+
+  /// The link to take from `from` toward `dst`; kNoLink if unreachable.
+  LinkId nextLink(NodeId from, NodeId dst) const;
+
+  /// Full path (sequence of links) from src to dst; empty if unreachable or
+  /// src == dst.
+  std::vector<LinkId> path(NodeId src, NodeId dst) const;
+
+  /// End-to-end propagation latency along path(src, dst); -1 if unreachable.
+  sim::SimTime pathLatency(const Topology& topo, NodeId src, NodeId dst) const;
+
+  /// Minimum bandwidth along path(src, dst); 0 if unreachable.
+  double bottleneckBandwidth(const Topology& topo, NodeId src, NodeId dst) const;
+
+ private:
+  int n_ = 0;
+  // next_[dst * n_ + from] = link to take from `from` toward `dst`.
+  std::vector<LinkId> next_;
+  const Topology* topo_ = nullptr;
+};
+
+}  // namespace mg::net

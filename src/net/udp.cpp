@@ -1,0 +1,120 @@
+#include "net/udp.h"
+
+#include <algorithm>
+
+namespace mg::net {
+
+// ------------------------------------------------------------- UdpSocket --
+
+UdpSocket::UdpSocket(UdpStack& stack, std::uint16_t port)
+    : stack_(stack), port_(port), inbox_(std::make_unique<sim::Channel<Datagram>>(stack.simulator())) {}
+
+UdpSocket::~UdpSocket() { close(); }
+
+Datagram UdpSocket::recvFrom() {
+  if (closed_) throw UsageError("recv on closed udp socket");
+  return inbox_->recv();
+}
+
+std::optional<Datagram> UdpSocket::recvFromFor(sim::SimTime timeout) {
+  if (closed_) throw UsageError("recv on closed udp socket");
+  return inbox_->recvFor(timeout);
+}
+
+void UdpSocket::sendTo(NodeId dst, std::uint16_t dst_port, std::vector<std::uint8_t> data) {
+  if (closed_) throw UsageError("send on closed udp socket");
+  stack_.sendFrom(port_, dst, dst_port, std::move(data));
+}
+
+void UdpSocket::close() {
+  if (closed_) return;
+  closed_ = true;
+  stack_.unbind(port_);
+  inbox_->close();
+}
+
+// -------------------------------------------------------------- UdpStack --
+
+UdpStack::UdpStack(PacketNetwork& net, NodeId node) : net_(net), node_(node) {}
+
+std::shared_ptr<UdpSocket> UdpStack::bind(std::uint16_t port) {
+  if (sockets_.count(port)) throw UsageError("udp port already bound");
+  auto sock = std::shared_ptr<UdpSocket>(new UdpSocket(*this, port));
+  sockets_[port] = sock.get();
+  return sock;
+}
+
+void UdpStack::sendTo(NodeId dst, std::uint16_t dst_port, std::vector<std::uint8_t> data) {
+  for (int tries = 0; tries < 16384; ++tries) {
+    std::uint16_t p = next_ephemeral_;
+    next_ephemeral_ = (next_ephemeral_ == 65535) ? 49152 : next_ephemeral_ + 1;
+    if (!sockets_.count(p)) {
+      sendFrom(p, dst, dst_port, std::move(data));
+      return;
+    }
+  }
+  throw UsageError("udp ephemeral ports exhausted");
+}
+
+void UdpStack::sendFrom(std::uint16_t src_port, NodeId dst, std::uint16_t dst_port,
+                        std::vector<std::uint8_t> data) {
+  if (data.size() > kMaxDatagram) throw UsageError("datagram exceeds 65507 bytes");
+  constexpr std::size_t kFragPayload = static_cast<std::size_t>(kMtuBytes - kUdpIpHeaderBytes);
+  const std::size_t nfrag = data.empty() ? 1 : (data.size() + kFragPayload - 1) / kFragPayload;
+  const std::uint32_t id = next_datagram_id_++;
+  for (std::size_t f = 0; f < nfrag; ++f) {
+    Packet p;
+    p.src = node_;
+    p.dst = dst;
+    p.protocol = Protocol::Udp;
+    p.src_port = src_port;
+    p.dst_port = dst_port;
+    p.datagram_id = id;
+    p.fragment = static_cast<std::uint16_t>(f);
+    p.fragment_count = static_cast<std::uint16_t>(nfrag);
+    const std::size_t begin = f * kFragPayload;
+    const std::size_t end = std::min(data.size(), begin + kFragPayload);
+    p.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                     data.begin() + static_cast<std::ptrdiff_t>(end));
+    net_.send(std::move(p));
+  }
+}
+
+void UdpStack::onPacket(Packet&& pkt) {
+  auto sit = sockets_.find(pkt.dst_port);
+  if (sit == sockets_.end()) return;  // no ICMP modeling; silently dropped
+
+  if (pkt.fragment_count <= 1) {
+    sit->second->inbox_->trySend(Datagram{pkt.src, pkt.src_port, std::move(pkt.payload)});
+    return;
+  }
+
+  const ReassemblyKey key{pkt.src, pkt.src_port, pkt.datagram_id};
+  Reassembly& r = reassembly_[key];
+  if (r.fragments.empty()) {
+    r.started = simulator().now();
+    r.fragment_count = pkt.fragment_count;
+    // Garbage-collect if the datagram never completes.
+    simulator().scheduleAfter(net_.scaleDuration(kReassemblyTimeout), [this, key] {
+      auto it = reassembly_.find(key);
+      if (it != reassembly_.end()) {
+        ++dropped_incomplete_;
+        reassembly_.erase(it);
+      }
+    });
+  }
+  r.fragments[pkt.fragment] = std::move(pkt.payload);
+  if (r.fragments.size() == r.fragment_count) {
+    Datagram d{pkt.src, pkt.src_port, {}};
+    for (auto& [idx, frag] : r.fragments) {
+      d.data.insert(d.data.end(), frag.begin(), frag.end());
+    }
+    reassembly_.erase(key);
+    auto sit2 = sockets_.find(pkt.dst_port);
+    if (sit2 != sockets_.end()) sit2->second->inbox_->trySend(std::move(d));
+  }
+}
+
+void UdpStack::unbind(std::uint16_t port) { sockets_.erase(port); }
+
+}  // namespace mg::net

@@ -1,0 +1,56 @@
+#include "npb/cost_model.h"
+
+#include "util/error.h"
+
+namespace mg::npb {
+
+KernelCost costFor(Benchmark b, NpbClass c) {
+  KernelCost k;
+  const bool a = (c == NpbClass::A);
+  switch (b) {
+    case Benchmark::EP:
+      // 2^24 (S) / 2^28 (A) pairs, ~100 ops per pair incl. transcendental.
+      k.total_ops = a ? 2.1e11 : 1.3e10;
+      k.class_iterations = 1;
+      k.executed_iterations = 1;
+      k.executed_pairs_per_rank = 1 << 16;
+      return k;
+    case Benchmark::IS:
+      // 10 ranking iterations over 2^16 (S) / 2^23 (A) keys.
+      k.total_ops = a ? 6.4e10 : 2.0e9;
+      k.class_iterations = 10;
+      k.executed_iterations = 10;
+      k.class_keys = a ? (1ll << 23) : (1ll << 16);
+      k.executed_keys_per_rank = 1 << 13;
+      return k;
+    case Benchmark::MG:
+      // 4 V-cycles on 32^3 (S) / 256^3 (A).
+      k.total_ops = a ? 1.1e11 : 6.0e9;
+      k.class_iterations = 4;
+      k.executed_iterations = 4;
+      k.class_grid = a ? 256 : 32;
+      k.executed_grid = 32;
+      return k;
+    case Benchmark::LU:
+      // SSOR: 50 (S) / 250 (A) iterations on 12^3 / 64^3. The mini-kernel
+      // executes fewer sweeps and charges proportionally more per sweep; the
+      // pipeline message pattern repeats per executed iteration.
+      k.total_ops = a ? 5.3e11 : 1.8e10;
+      k.class_iterations = a ? 250 : 50;
+      k.executed_iterations = a ? 50 : 20;
+      k.class_grid = a ? 64 : 12;
+      k.executed_grid = 24;
+      return k;
+    case Benchmark::BT:
+      // ADI: 200 (S: 60) iterations on 64^3 (S: 12^3).
+      k.total_ops = a ? 7.9e11 : 2.5e10;
+      k.class_iterations = a ? 200 : 60;
+      k.executed_iterations = a ? 40 : 20;
+      k.class_grid = a ? 64 : 12;
+      k.executed_grid = 24;
+      return k;
+  }
+  throw mg::UsageError("unknown benchmark");
+}
+
+}  // namespace mg::npb

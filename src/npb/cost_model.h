@@ -1,0 +1,42 @@
+// The class cost model: how much work and traffic each benchmark class
+// represents, and how far the executed mini-problem is scaled down.
+//
+// Totals are chosen so that a 4-process run on the modeled Alpha cluster
+// (4 x 533 Mops) lands in the paper's Fig 10 / Fig 11 time ranges; the
+// *ratios* (compute per message, bytes per message, message counts) follow
+// the NPB 2.3 problem shapes:
+//
+//   class S grids: EP 2^24 pairs, MG 32^3, IS 2^16 keys, LU/BT 12^3
+//   class A grids: EP 2^28 pairs, MG 256^3, IS 2^23 keys, LU/BT 64^3
+#pragma once
+
+#include <cstdint>
+
+#include "npb/npb.h"
+
+namespace mg::npb {
+
+struct KernelCost {
+  /// Modeled operations across all ranks for the whole run.
+  double total_ops = 0;
+  /// Iterations the real benchmark performs (ops are charged for these).
+  int class_iterations = 1;
+  /// Iterations the mini-kernel actually executes (message pattern repeats
+  /// this many times; per-iteration charge is scaled up accordingly).
+  int executed_iterations = 1;
+  /// Class problem edge (grid benchmarks) — message sizes derive from it.
+  int class_grid = 0;
+  /// Edge of the executed (reduced) global grid.
+  int executed_grid = 0;
+  /// Class key count (IS).
+  std::int64_t class_keys = 0;
+  /// Keys actually sorted per rank (IS).
+  std::int64_t executed_keys_per_rank = 0;
+  /// Random pairs actually generated per rank (EP).
+  std::int64_t executed_pairs_per_rank = 0;
+};
+
+/// The cost table. Throws for unsupported combinations.
+KernelCost costFor(Benchmark b, NpbClass c);
+
+}  // namespace mg::npb

@@ -1,0 +1,109 @@
+// Typed bounded/unbounded mailbox for process-to-process messaging inside
+// one simulation. vos sockets and the grid services are built on channels.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "sim/condition.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace mg::sim {
+
+/// Thrown by recv() when the channel is closed and drained.
+class ChannelClosed : public mg::Error {
+ public:
+  ChannelClosed() : mg::Error("channel closed") {}
+};
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim, size_t capacity = std::numeric_limits<size_t>::max())
+      : sim_(sim), capacity_(capacity), readable_(sim), writable_(sim) {
+    if (capacity_ == 0) throw mg::UsageError("channel capacity must be >= 1");
+  }
+
+  /// Blocking send; waits while the channel is full. Throws ChannelClosed if
+  /// the channel is (or becomes) closed.
+  void send(T value) {
+    while (!closed_ && items_.size() >= capacity_) writable_.wait();
+    if (closed_) throw ChannelClosed{};
+    items_.push_back(std::move(value));
+    readable_.notifyOne();
+  }
+
+  /// Non-blocking send; false when full or closed.
+  bool trySend(T value) {
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    readable_.notifyOne();
+    return true;
+  }
+
+  /// Blocking receive; waits while empty. Throws ChannelClosed when the
+  /// channel is closed and all queued items have been drained.
+  T recv() {
+    while (items_.empty()) {
+      if (closed_) throw ChannelClosed{};
+      readable_.wait();
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    writable_.notifyOne();
+    return v;
+  }
+
+  /// Receive with timeout; nullopt on expiry. Throws ChannelClosed when
+  /// closed and drained.
+  std::optional<T> recvFor(SimTime timeout) {
+    const SimTime deadline = sim_.now() + timeout;
+    while (items_.empty()) {
+      if (closed_) throw ChannelClosed{};
+      const SimTime remaining = deadline - sim_.now();
+      if (remaining <= 0 || !readable_.waitFor(remaining)) {
+        if (!items_.empty()) break;  // raced with a send at the deadline
+        return std::nullopt;
+      }
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    writable_.notifyOne();
+    return v;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> tryRecv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    writable_.notifyOne();
+    return v;
+  }
+
+  /// Close the channel: senders and (once drained) receivers get
+  /// ChannelClosed. Idempotent.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    readable_.notifyAll();
+    writable_.notifyAll();
+  }
+
+  bool closed() const { return closed_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  Simulator& sim_;
+  size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  Condition readable_;
+  Condition writable_;
+};
+
+}  // namespace mg::sim

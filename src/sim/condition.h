@@ -1,0 +1,77 @@
+// Mesa-style condition variable for simulated processes.
+//
+// Usage follows the classic pattern — always re-check the predicate:
+//
+//   while (queue.empty()) cond.wait();
+//
+// Waiters are woken in FIFO order, preserving determinism.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/simulator.h"
+
+namespace mg::sim {
+
+class Condition {
+ public:
+  explicit Condition(Simulator& sim) : sim_(sim) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Block the calling process until notified. Re-check your predicate.
+  void wait() {
+    Process& p = sim_.currentProcess();
+    WaiterGuard guard(*this, p);
+    sim_.suspend();
+  }
+
+  /// Block until notified or timeout. True if notified, false on timeout.
+  bool waitFor(SimTime timeout) {
+    Process& p = sim_.currentProcess();
+    WaiterGuard guard(*this, p);
+    return sim_.suspendFor(timeout);
+  }
+
+  /// Wake the longest-waiting process, if any.
+  void notifyOne() {
+    if (waiters_.empty()) return;
+    Process* p = waiters_.front();
+    waiters_.pop_front();
+    sim_.wake(*p);
+  }
+
+  /// Wake every waiting process.
+  void notifyAll() {
+    std::deque<Process*> ws;
+    ws.swap(waiters_);
+    for (Process* p : ws) sim_.wake(*p);
+  }
+
+  size_t waiterCount() const { return waiters_.size(); }
+
+  Simulator& simulator() { return sim_; }
+
+ private:
+  // Registers the waiter and removes it on scope exit — including when the
+  // wait is unwound by ProcessKilled or expires by timeout, so the deque
+  // never holds a process that is no longer waiting here.
+  class WaiterGuard {
+   public:
+    WaiterGuard(Condition& c, Process& p) : c_(c), p_(p) { c_.waiters_.push_back(&p_); }
+    ~WaiterGuard() {
+      auto& w = c_.waiters_;
+      w.erase(std::remove(w.begin(), w.end(), &p_), w.end());
+    }
+
+   private:
+    Condition& c_;
+    Process& p_;
+  };
+
+  Simulator& sim_;
+  std::deque<Process*> waiters_;
+};
+
+}  // namespace mg::sim

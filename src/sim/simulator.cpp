@@ -1,0 +1,237 @@
+#include "sim/simulator.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/log.h"
+
+namespace mg::sim {
+
+// ---------------------------------------------------------------------------
+// Process: one OS thread, strictly alternating with the kernel thread.
+// ---------------------------------------------------------------------------
+
+struct Process::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  enum class Turn { Kernel, Proc } turn = Turn::Kernel;
+  std::thread thread;
+};
+
+Process::Process(Simulator& sim, std::uint64_t id, std::string name, std::function<void()> body)
+    : sim_(sim), id_(id), name_(std::move(name)), body_(std::move(body)), impl_(std::make_unique<Impl>()) {
+  impl_->thread = std::thread([this] { threadMain(); });
+}
+
+Process::~Process() {
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+void Process::threadMain() {
+  // Wait for the first resume before running the body.
+  {
+    std::unique_lock lock(impl_->mutex);
+    impl_->cv.wait(lock, [&] { return impl_->turn == Impl::Turn::Proc; });
+  }
+  if (!kill_) {
+    try {
+      body_();
+    } catch (const ProcessKilled&) {
+      // Normal teardown path.
+    } catch (const std::exception& e) {
+      MG_LOG_ERROR("sim") << "process '" << name_ << "' died with exception: " << e.what();
+    }
+  }
+  finished_ = true;
+  std::unique_lock lock(impl_->mutex);
+  impl_->turn = Impl::Turn::Kernel;
+  impl_->cv.notify_all();
+}
+
+void Process::resumeFromKernel() {
+  {
+    std::unique_lock lock(impl_->mutex);
+    impl_->turn = Impl::Turn::Proc;
+    impl_->cv.notify_all();
+    impl_->cv.wait(lock, [&] { return impl_->turn == Impl::Turn::Kernel; });
+  }
+  if (finished_ && impl_->thread.joinable()) impl_->thread.join();
+}
+
+void Process::yieldToKernel() {
+  std::unique_lock lock(impl_->mutex);
+  impl_->turn = Impl::Turn::Kernel;
+  impl_->cv.notify_all();
+  impl_->cv.wait(lock, [&] { return impl_->turn == Impl::Turn::Proc; });
+  if (kill_) throw ProcessKilled{};
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() { shutdown(); }
+
+EventId Simulator::scheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw UsageError("scheduleAt in the past");
+  EventId id = next_event_id_++;
+  queue_.push(QueuedEvent{t, next_seq_++, id});
+  pending_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::scheduleAfter(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) throw UsageError("negative delay");
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { pending_.erase(id); }
+
+Process& Simulator::spawn(std::string name, std::function<void()> body) {
+  if (shutting_down_) throw UsageError("spawn during shutdown");
+  // Not make_unique: the constructor is private and Simulator is a friend.
+  std::unique_ptr<Process> proc(new Process(*this, next_process_id_++, std::move(name), std::move(body)));
+  Process& ref = *proc;
+  processes_.push_back(std::move(proc));
+  scheduleResume(ref);
+  return ref;
+}
+
+void Simulator::scheduleResume(Process& p) {
+  p.wake_pending_ = true;
+  scheduleAt(now_, [this, proc = &p] {
+    proc->wake_pending_ = false;
+    runProcessSlice(*proc);
+  });
+}
+
+void Simulator::runProcessSlice(Process& p) {
+  if (p.finished_) return;
+  Process* prev = current_;
+  current_ = &p;
+  p.suspended_ = false;
+  p.resumeFromKernel();
+  current_ = prev;
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) {
+    QueuedEvent ev = queue_.top();
+    queue_.pop();
+    auto it = pending_.find(ev.id);
+    if (it == pending_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    pending_.erase(it);
+    now_ = ev.time;
+    ++events_executed_;
+    fn();
+  }
+  return now_;
+}
+
+void Simulator::runUntil(SimTime t) {
+  if (t < now_) throw UsageError("runUntil in the past");
+  while (!queue_.empty() && queue_.top().time <= t) {
+    QueuedEvent ev = queue_.top();
+    queue_.pop();
+    auto it = pending_.find(ev.id);
+    if (it == pending_.end()) continue;
+    std::function<void()> fn = std::move(it->second);
+    pending_.erase(it);
+    now_ = ev.time;
+    ++events_executed_;
+    fn();
+  }
+  now_ = t;
+}
+
+void Simulator::shutdown() {
+  shutting_down_ = true;
+  // Kill in creation order; each killed process unwinds synchronously.
+  for (auto& p : processes_) {
+    if (!p->finished_) {
+      p->kill_ = true;
+      runProcessSlice(*p);
+    }
+  }
+  processes_.clear();
+  shutting_down_ = false;
+}
+
+void Simulator::delay(SimTime d) {
+  if (d < 0) throw UsageError("negative delay");
+  Process& p = currentProcess();
+  scheduleAt(now_ + d, [this, proc = &p] {
+    proc->wake_pending_ = false;
+    runProcessSlice(*proc);
+  });
+  p.wake_pending_ = true;
+  p.suspended_ = true;
+  p.yieldToKernel();
+}
+
+void Simulator::suspend() {
+  Process& p = currentProcess();
+  ++p.wait_epoch_;
+  p.suspended_ = true;
+  p.timed_out_ = false;
+  p.yieldToKernel();
+}
+
+bool Simulator::suspendFor(SimTime timeout) {
+  if (timeout < 0) throw UsageError("negative timeout");
+  Process& p = currentProcess();
+  const std::uint64_t epoch = ++p.wait_epoch_;
+  p.suspended_ = true;
+  p.timed_out_ = false;
+  p.timeout_event_ = scheduleAt(now_ + timeout, [this, proc = &p, epoch] {
+    // Stale if the process was woken (epoch bumped) or already running.
+    if (proc->wait_epoch_ != epoch || !proc->suspended_) return;
+    proc->timeout_event_ = 0;
+    proc->timed_out_ = true;
+    proc->wake_pending_ = false;
+    runProcessSlice(*proc);
+  });
+  p.yieldToKernel();
+  if (p.timeout_event_ != 0) {
+    cancel(p.timeout_event_);
+    p.timeout_event_ = 0;
+  }
+  return !p.timed_out_;
+}
+
+Process& Simulator::currentProcess() {
+  if (!current_) throw UsageError("blocking call outside process context");
+  return *current_;
+}
+
+void Simulator::wake(Process& p) {
+  if (p.finished_ || !p.suspended_ || p.wake_pending_) return;
+  ++p.wait_epoch_;  // invalidate any pending suspendFor timeout
+  if (p.timeout_event_ != 0) {
+    cancel(p.timeout_event_);
+    p.timeout_event_ = 0;
+  }
+  scheduleResume(p);
+}
+
+int Simulator::liveProcessCount() const {
+  int n = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished_) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Simulator::suspendedProcessNames() const {
+  std::vector<std::string> names;
+  for (const auto& p : processes_) {
+    if (!p->finished_ && p->suspended_) names.push_back(p->name());
+  }
+  return names;
+}
+
+}  // namespace mg::sim

@@ -1,0 +1,191 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns a time-ordered event queue and a set of cooperative
+// Processes. Exactly one thing runs at a time: either the kernel (dispatching
+// events) or one process (between two of its blocking calls). Processes are
+// backed by OS threads but are scheduled strictly one-at-a-time by a handoff
+// protocol, so simulation semantics are single-threaded and deterministic:
+// the same configuration and seed give bit-identical runs.
+//
+// Process code blocks via Simulator::delay / suspend / suspendFor (usually
+// indirectly, through Channel, Condition, or the vos socket layer). At
+// shutdown every unfinished process is unwound with a ProcessKilled
+// exception; process code must let it propagate (never swallow with
+// catch(...)) and must not issue new blocking calls while unwinding.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/error.h"
+
+namespace mg::sim {
+
+class Simulator;
+
+/// Thrown inside a process when the simulator tears it down. Not derived
+/// from mg::Error so that generic error handling does not accidentally
+/// swallow it.
+struct ProcessKilled {};
+
+/// A cooperative simulated process. Created via Simulator::spawn.
+class Process {
+ public:
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t id() const { return id_; }
+  bool finished() const { return finished_; }
+
+ private:
+  friend class Simulator;
+  Process(Simulator& sim, std::uint64_t id, std::string name, std::function<void()> body);
+
+  void threadMain();
+  /// Kernel side: transfer control to the process; returns when it yields.
+  void resumeFromKernel();
+  /// Process side: return control to the kernel; returns when resumed.
+  void yieldToKernel();
+
+  Simulator& sim_;
+  std::uint64_t id_;
+  std::string name_;
+  std::function<void()> body_;
+
+  // Handoff state, guarded by mutex_. `turn_` says who may run.
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+
+  bool finished_ = false;
+  bool kill_ = false;
+  // True while the process is suspended waiting for wake()/timeout.
+  bool suspended_ = false;
+  // True when a resume event for this process is already queued.
+  bool wake_pending_ = false;
+  // Set by the timeout path so suspendFor can report expiry.
+  bool timed_out_ = false;
+  // Monotonic counter distinguishing separate suspend episodes, so a stale
+  // timeout event cannot wake a later suspend.
+  std::uint64_t wait_epoch_ = 0;
+  // Pending suspendFor timeout event, cancelled eagerly on wake so expired
+  // timers do not linger in the queue and stretch run()'s end time.
+  std::uint64_t timeout_event_ = 0;
+};
+
+using EventId = std::uint64_t;
+
+/// The event-driven simulation core.
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now). Events at equal times run
+  /// in scheduling order.
+  EventId scheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` (>= 0).
+  EventId scheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-run or unknown event is a
+  /// no-op (callers often race benignly with their own timeouts).
+  void cancel(EventId id);
+
+  /// Create a process whose body starts at the current time.
+  Process& spawn(std::string name, std::function<void()> body);
+
+  /// Run until the event queue is empty. Returns the final time.
+  SimTime run();
+
+  /// Run events with time <= t, then set now to t.
+  void runUntil(SimTime t);
+
+  /// Kill all unfinished processes and join their threads. Called by run()
+  /// completion is NOT implied — daemons stay blocked until shutdown() or
+  /// destruction.
+  void shutdown();
+
+  // --- process-context API (callable only from inside a process) ---
+
+  /// Block the calling process for `d` simulated time.
+  void delay(SimTime d);
+
+  /// Block the calling process until another entity calls wake() on it.
+  void suspend();
+
+  /// Block until wake() or until `timeout` elapses. True if woken, false on
+  /// timeout.
+  bool suspendFor(SimTime timeout);
+
+  /// The currently running process. Throws UsageError from kernel context.
+  Process& currentProcess();
+
+  /// True when called from inside a process.
+  bool inProcessContext() const { return current_ != nullptr; }
+
+  // --- any-context API ---
+
+  /// Wake a suspended process (schedules its resume at the current time).
+  /// No-op if the process is not suspended or already has a wake pending;
+  /// see Condition for the standard mesa-style recheck idiom.
+  void wake(Process& p);
+
+  /// Number of processes that have not finished.
+  int liveProcessCount() const;
+
+  /// Names of processes currently suspended; useful for diagnosing deadlock
+  /// when run() returns while work was expected.
+  std::vector<std::string> suspendedProcessNames() const;
+
+  /// Total events executed (kernel throughput metric for bench_kernel_perf).
+  std::uint64_t eventsExecuted() const { return events_executed_; }
+
+ private:
+  friend class Process;
+
+  struct QueuedEvent {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct EventOrder {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among equal times
+    }
+  };
+
+  void runProcessSlice(Process& p);
+  void scheduleResume(Process& p);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_event_id_ = 1;
+  std::uint64_t next_process_id_ = 1;
+  std::uint64_t events_executed_ = 0;
+  bool shutting_down_ = false;
+
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, EventOrder> queue_;
+  // Pending (non-cancelled) event bodies, keyed by id. Lazy cancellation:
+  // cancelled ids are simply absent when popped.
+  std::unordered_map<EventId, std::function<void()>> pending_;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* current_ = nullptr;
+};
+
+}  // namespace mg::sim

@@ -1,0 +1,28 @@
+// Simulation time: signed 64-bit nanoseconds.
+//
+// Integer time makes event ordering exact and runs reproducible across
+// platforms; doubles are converted at the API boundary only.
+#pragma once
+
+#include <cstdint>
+
+namespace mg::sim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Convert seconds (double) to SimTime, rounding to the nearest nanosecond.
+constexpr SimTime fromSeconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert SimTime to seconds.
+constexpr double toSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace mg::sim

@@ -1,0 +1,50 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace mg::util {
+
+namespace {
+
+LogLevel levelFromEnv() {
+  const char* env = std::getenv("MG_LOG");
+  if (!env) return LogLevel::Warn;
+  const std::string s = toLower(env);
+  if (s == "trace") return LogLevel::Trace;
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  if (s == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{levelFromEnv()};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void logLine(LogLevel level, const char* component, const std::string& message) {
+  std::fprintf(stderr, "[%-5s] %-10s %s\n", levelName(level), component, message.c_str());
+}
+
+}  // namespace mg::util

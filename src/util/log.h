@@ -1,0 +1,51 @@
+// Leveled logging. Default level is Warn so tests and benches stay quiet;
+// set MG_LOG=debug (or trace/info/warn/error/off) to see more.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mg::util {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Current global level (initialized once from the MG_LOG environment variable).
+LogLevel logLevel();
+
+/// Override the level programmatically (benches use this to silence modules).
+void setLogLevel(LogLevel level);
+
+/// Emit one line to stderr; used via the MG_LOG_* macros below.
+void logLine(LogLevel level, const char* component, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* component) : level_(level), component_(component) {}
+  ~LogStream() { logLine(level_, component_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace mg::util
+
+// Component is a short tag, e.g. MG_LOG_DEBUG("net") << "packet " << id;
+#define MG_LOG_AT(level, component)                      \
+  if (::mg::util::logLevel() > (level)) {                \
+  } else                                                 \
+    ::mg::util::detail::LogStream(level, component)
+
+#define MG_LOG_TRACE(component) MG_LOG_AT(::mg::util::LogLevel::Trace, component)
+#define MG_LOG_DEBUG(component) MG_LOG_AT(::mg::util::LogLevel::Debug, component)
+#define MG_LOG_INFO(component) MG_LOG_AT(::mg::util::LogLevel::Info, component)
+#define MG_LOG_WARN(component) MG_LOG_AT(::mg::util::LogLevel::Warn, component)
+#define MG_LOG_ERROR(component) MG_LOG_AT(::mg::util::LogLevel::Error, component)

@@ -1,0 +1,129 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace mg::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  have_spare_ = false;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  have_spare_ = true;
+  return u * m;
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double rate) { return -std::log(1.0 - uniform()) / rate; }
+
+Rng Rng::split() {
+  Rng child(0);
+  std::uint64_t sm = next();
+  for (auto& s : child.s_) s = splitmix64(sm);
+  return child;
+}
+
+// ---------------------------------------------------------------------------
+// NPB generator. All arithmetic is exact in doubles: operands stay below 2^46
+// and partial products below 2^52, the NPB trick.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kR23 = 0x1.0p-23;
+constexpr double kR46 = 0x1.0p-46;
+constexpr double kT23 = 0x1.0p23;
+constexpr double kT46 = 0x1.0p46;
+constexpr double kNpbA = 1220703125.0;  // 5^13
+
+// One LCG step: returns a*x mod 2^46, exactly, using double arithmetic.
+double lcgStep(double a, double x) {
+  const double a1 = std::floor(kR23 * a);
+  const double a2 = a - kT23 * a1;
+  const double x1 = std::floor(kR23 * x);
+  const double x2 = x - kT23 * x1;
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = std::floor(kR23 * t1);
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = std::floor(kR46 * t3);
+  return t3 - kT46 * t4;
+}
+
+}  // namespace
+
+double NpbRandom::next() {
+  x_ = lcgStep(kNpbA, x_);
+  return kR46 * x_;
+}
+
+void NpbRandom::jump(double seed, std::uint64_t k) {
+  // Compute a^k mod 2^46 by binary exponentiation, then multiply onto seed.
+  double b = kNpbA;
+  double t = seed;
+  while (k != 0) {
+    if (k & 1) t = lcgStep(b, t);
+    b = lcgStep(b, b);
+    k >>= 1;
+  }
+  x_ = t;
+}
+
+}  // namespace mg::util

@@ -1,0 +1,80 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation draws from a seeded generator so
+// that a (configuration, seed) pair reproduces a run bit-for-bit — the
+// "scientific and repeatable experimentation" goal of the paper.
+//
+// Two generators are provided:
+//  * Xoshiro256** — general-purpose simulation randomness (quantum jitter,
+//    competition noise, workload synthesis).
+//  * NpbRandom    — the NAS Parallel Benchmarks linear congruential generator
+//    (x_{k+1} = a·x_k mod 2^46, a = 5^13), used by the EP and IS kernels so
+//    their numerics follow the published benchmark definition.
+#pragma once
+
+#include <cstdint>
+
+namespace mg::util {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize state from a 64-bit seed via SplitMix64 expansion.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Fork a statistically independent child stream (used to give each
+  /// simulated entity its own stream regardless of creation order).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0;
+};
+
+/// The NPB pseudorandom generator: x_{k+1} = a * x_k (mod 2^46), a = 5^13.
+/// Returns uniform doubles in (0, 1). Supports O(log k) jump-ahead, which the
+/// EP benchmark uses to give each rank an independent subsequence.
+class NpbRandom {
+ public:
+  static constexpr double kDefaultSeed = 271828183.0;
+
+  explicit NpbRandom(double seed = kDefaultSeed) : x_(seed) {}
+
+  /// Next uniform double in (0, 1).
+  double next();
+
+  /// Current state.
+  double state() const { return x_; }
+
+  /// Skip ahead k steps from seed s: sets state to a^k * s mod 2^46.
+  void jump(double seed, std::uint64_t k);
+
+ private:
+  double x_;
+};
+
+}  // namespace mg::util

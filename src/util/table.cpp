@@ -1,0 +1,93 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace mg::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw UsageError("table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw UsageError(format("table row has %zu cells, expected %zu", cells.size(), headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(const char* s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(double v) {
+  cells_.push_back(format("%.4g", v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(int v) {
+  cells_.push_back(format("%d", v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(long long v) {
+  cells_.push_back(format("%lld", v));
+  return *this;
+}
+Table::RowBuilder::~RowBuilder() { table_.addRow(std::move(cells_)); }
+
+std::string Table::render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) line += std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = renderRow(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += renderRow(row);
+  return out;
+}
+
+std::string Table::renderCsv() const {
+  auto field = [](const std::string& s) {
+    if (s.find(',') != std::string::npos) return "\"" + s + "\"";
+    return s;
+  };
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += field(headers_[c]);
+    if (c + 1 < headers_.size()) out += ',';
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += field(row[c]);
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "== " << title << " ==\n";
+  os << render() << "\n";
+}
+
+}  // namespace mg::util

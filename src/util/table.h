@@ -1,0 +1,53 @@
+// ASCII table and CSV emission for the experiment harnesses. Every bench
+// binary prints its figure/table in this format so EXPERIMENTS.md rows can be
+// regenerated mechanically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mg::util {
+
+/// A simple column-aligned table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.4g, keeps strings as-is.
+  class RowBuilder {
+   public:
+    RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& operator<<(const std::string& s);
+    RowBuilder& operator<<(const char* s);
+    RowBuilder& operator<<(double v);
+    RowBuilder& operator<<(int v);
+    RowBuilder& operator<<(long long v);
+    ~RowBuilder();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  size_t rowCount() const { return rows_.size(); }
+
+  /// Render with column alignment and a header rule.
+  std::string render() const;
+
+  /// Render as CSV (no escaping beyond quoting fields containing commas).
+  std::string renderCsv() const;
+
+  /// Print render() to the stream with an optional title line.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mg::util

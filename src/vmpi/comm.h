@@ -1,0 +1,153 @@
+// vmpi: an MPI-like message-passing library over the virtual socket layer.
+//
+// The NAS Parallel Benchmarks and CACTUS are MPI programs; vmpi provides the
+// subset they need — blocking and nonblocking point-to-point with
+// (source, tag) matching, and tree/ring collectives — implemented entirely
+// on vos::StreamSocket, so the same benchmark binary runs on the reference
+// platform and inside the MicroGrid emulation.
+//
+// Rank bootstrap follows the Globus model: the co-allocator (grid/
+// coallocator.h) plants MG_JOB_* environment variables, and Comm::init
+// derives rank, size, and peer addresses from them.
+//
+// Messages carry an optional `wire_bytes` override: the payload is padded on
+// the wire to that size. The NPB mini-kernels use it to transmit full
+// class-sized messages while computing on reduced arrays (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/registry.h"
+#include "sim/condition.h"
+#include "vos/context.h"
+
+namespace mg::vmpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;  // payload bytes received (before truncation check)
+};
+
+enum class Op { Sum, Max, Min };
+
+class Comm;
+
+/// Handle for a nonblocking operation; wait() through the owning Comm.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return impl_ != nullptr; }
+
+ private:
+  friend class Comm;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+class Comm {
+ public:
+  /// Bootstrap from a GRAM job environment (MG_JOB_SIZE, MG_JOB_HOSTS,
+  /// MG_RANK_BASE, MG_LOCAL_INDEX, MG_PORT_BASE).
+  static std::unique_ptr<Comm> init(grid::JobContext& jc);
+
+  /// Direct construction (tests, examples): rank_hosts[r] is the virtual
+  /// hostname running rank r. Every rank must call this, once.
+  static std::unique_ptr<Comm> init(vos::HostContext& ctx, int rank,
+                                    std::vector<std::string> rank_hosts,
+                                    std::uint16_t port_base = 5000);
+
+  ~Comm();
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(rank_hosts_.size()); }
+  vos::HostContext& context() { return ctx_; }
+
+  /// MPI_Wtime: virtual seconds.
+  double wtime() const;
+
+  // --- point to point ---
+
+  /// Blocking send. `wire_bytes`, when larger than `bytes`, pads the
+  /// transmission to model a bigger message.
+  void send(int dest, int tag, const void* data, std::size_t bytes, std::size_t wire_bytes = 0);
+
+  /// Blocking receive with matching; kAnySource / kAnyTag wildcards.
+  /// Throws if the matched message exceeds `max_bytes`.
+  Status recv(int source, int tag, void* buf, std::size_t max_bytes);
+
+  /// Nonblocking variants.
+  Request isend(int dest, int tag, const void* data, std::size_t bytes,
+                std::size_t wire_bytes = 0);
+  Request irecv(int source, int tag, void* buf, std::size_t max_bytes);
+  Status wait(Request& req);
+  void waitAll(std::vector<Request>& reqs);
+
+  /// Exchange with one partner without deadlock.
+  Status sendRecv(int dest, int send_tag, const void* send_data, std::size_t send_bytes,
+                  int source, int recv_tag, void* recv_buf, std::size_t recv_max,
+                  std::size_t send_wire_bytes = 0);
+
+  // --- collectives (all ranks must participate, in matching order) ---
+
+  void barrier();
+  void bcast(void* data, std::size_t bytes, int root);
+  void reduce(double* data, std::size_t n, Op op, int root);
+  void allreduce(double* data, std::size_t n, Op op);
+  void allreduce(std::int64_t* data, std::size_t n, Op op);
+  /// Ring algorithm (the A3 collectives ablation compares it with the
+  /// default reduce+bcast).
+  void allreduceRing(double* data, std::size_t n, Op op);
+  /// Gather equal-size blocks to root (root's result holds size()*bytes).
+  void gather(const void* send, std::size_t bytes, void* recv, int root);
+  void scatter(const void* send, std::size_t bytes, void* recv, int root);
+  /// Personalized all-to-all with per-destination sizes. send_blocks[d] goes
+  /// to rank d; returns the block received from each rank.
+  std::vector<std::vector<std::uint8_t>> alltoallv(
+      const std::vector<std::vector<std::uint8_t>>& send_blocks);
+
+  /// Close all connections; receiver daemons drain and exit.
+  void finalize();
+
+  std::int64_t bytesSent() const { return bytes_sent_; }
+  std::int64_t messagesSent() const { return messages_sent_; }
+
+ private:
+  struct Message {
+    int source;
+    int tag;
+    std::vector<std::uint8_t> payload;
+  };
+
+  Comm(vos::HostContext& ctx, int rank, std::vector<std::string> rank_hosts,
+       std::uint16_t port_base);
+  void connectMesh();
+  vos::StreamSocket& socketTo(int peer);
+  void startReceiver(int peer, std::shared_ptr<vos::StreamSocket> sock);
+  bool matchFromInbox(int source, int tag, void* buf, std::size_t max_bytes, Status& status);
+  static void applyOp(double* acc, const double* in, std::size_t n, Op op);
+  static void applyOp(std::int64_t* acc, const std::int64_t* in, std::size_t n, Op op);
+
+  vos::HostContext& ctx_;
+  int rank_;
+  std::vector<std::string> rank_hosts_;
+  std::uint16_t port_base_;
+  std::shared_ptr<vos::Listener> listener_;
+  std::vector<std::shared_ptr<vos::StreamSocket>> sockets_;  // by peer rank
+  std::deque<Message> inbox_;
+  sim::Condition inbox_cond_;
+  bool finalized_ = false;
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t messages_sent_ = 0;
+};
+
+}  // namespace mg::vmpi

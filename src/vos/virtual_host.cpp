@@ -1,0 +1,53 @@
+#include "vos/virtual_host.h"
+
+#include <algorithm>
+
+namespace mg::vos {
+
+void HostMapper::add(VirtualHostInfo info) {
+  if (info.hostname.empty()) throw ConfigError("virtual host needs a hostname");
+  if (contains(info.hostname) || (!info.virtual_ip.empty() && contains(info.virtual_ip))) {
+    throw ConfigError("duplicate virtual host '" + info.hostname + "'");
+  }
+  hosts_.push_back(std::move(info));
+}
+
+const VirtualHostInfo& HostMapper::resolve(const std::string& name_or_ip) const {
+  for (const auto& h : hosts_) {
+    if (h.hostname == name_or_ip || h.virtual_ip == name_or_ip) return h;
+  }
+  throw UnknownHost(name_or_ip);
+}
+
+const VirtualHostInfo& HostMapper::byNode(net::NodeId node) const {
+  for (const auto& h : hosts_) {
+    if (h.node == node) return h;
+  }
+  throw UnknownHost("node " + std::to_string(node));
+}
+
+bool HostMapper::contains(const std::string& name_or_ip) const {
+  return std::any_of(hosts_.begin(), hosts_.end(), [&](const VirtualHostInfo& h) {
+    return h.hostname == name_or_ip || h.virtual_ip == name_or_ip;
+  });
+}
+
+std::vector<const VirtualHostInfo*> HostMapper::hostsOnPhysical(const std::string& physical) const {
+  std::vector<const VirtualHostInfo*> out;
+  for (const auto& h : hosts_) {
+    if (h.physical_host == physical) out.push_back(&h);
+  }
+  return out;
+}
+
+std::vector<std::string> HostMapper::physicalHosts() const {
+  std::vector<std::string> out;
+  for (const auto& h : hosts_) {
+    if (std::find(out.begin(), out.end(), h.physical_host) == out.end()) {
+      out.push_back(h.physical_host);
+    }
+  }
+  return out;
+}
+
+}  // namespace mg::vos

@@ -1,0 +1,59 @@
+// Virtual host descriptors and the virtual->physical mapping table.
+//
+// Paper §2.2.1: "each virtual host is mapped to a physical machine using a
+// mapping table from virtual IP address to physical IP address. All relevant
+// library calls are intercepted and mapped from virtual to physical space."
+// HostMapper is that table; resolve() is the interposed gethostbyname().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/error.h"
+
+namespace mg::vos {
+
+/// One virtual host: identity, resources, and its physical placement.
+struct VirtualHostInfo {
+  std::string hostname;       // e.g. "vm0.ucsd.edu"
+  std::string virtual_ip;     // e.g. "1.11.11.1"
+  double cpu_ops = 0;         // virtual CPU speed, operations/second
+  std::int64_t memory_bytes = 0;
+  std::string physical_host;  // name of the physical machine it maps to
+  net::NodeId node = net::kNoNode;  // this host's node in the virtual topology
+};
+
+/// Unknown hostname / IP passed to a name-resolution call.
+class UnknownHost : public mg::Error {
+ public:
+  explicit UnknownHost(const std::string& name) : mg::Error("unknown virtual host: " + name) {}
+};
+
+class HostMapper {
+ public:
+  /// Register a virtual host. Hostname and IP must be unique.
+  void add(VirtualHostInfo info);
+
+  /// Resolve a hostname or virtual IP; throws UnknownHost.
+  const VirtualHostInfo& resolve(const std::string& name_or_ip) const;
+
+  /// Lookup by topology node; throws UnknownHost.
+  const VirtualHostInfo& byNode(net::NodeId node) const;
+
+  bool contains(const std::string& name_or_ip) const;
+
+  const std::vector<VirtualHostInfo>& hosts() const { return hosts_; }
+
+  /// All virtual hosts mapped onto the given physical machine.
+  std::vector<const VirtualHostInfo*> hostsOnPhysical(const std::string& physical) const;
+
+  /// Distinct physical machine names, in first-use order.
+  std::vector<std::string> physicalHosts() const;
+
+ private:
+  std::vector<VirtualHostInfo> hosts_;
+};
+
+}  // namespace mg::vos

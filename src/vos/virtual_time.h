@@ -1,0 +1,45 @@
+// Virtual time (paper §2.3, "Virtualizing Time").
+//
+// Programs monitor progress with gettimeofday(); the MicroGrid returns
+// "appropriately adjusted times ... to provide the illusion of a virtual
+// machine at full speed". VirtualTime maps the kernel (emulation wall-clock)
+// timeline to the virtual timeline by the chosen simulation rate:
+//
+//     virtual_seconds = rate * kernel_seconds
+//
+// A rate of 0.04 (paper Fig 17) means one virtual second takes 25 emulation
+// seconds.
+#pragma once
+
+#include "sim/time.h"
+#include "util/error.h"
+
+namespace mg::vos {
+
+class VirtualTime {
+ public:
+  /// `rate` is virtual seconds per kernel second; must be positive.
+  explicit VirtualTime(double rate) : rate_(rate) {
+    if (rate <= 0) throw ConfigError("simulation rate must be positive");
+  }
+
+  double rate() const { return rate_; }
+
+  /// The virtualized gettimeofday(): kernel clock -> virtual seconds.
+  double toVirtualSeconds(sim::SimTime kernel_time) const {
+    return sim::toSeconds(kernel_time) * rate_;
+  }
+
+  /// Virtual seconds -> kernel clock duration.
+  sim::SimTime toKernel(double virtual_seconds) const {
+    return sim::fromSeconds(virtual_seconds / rate_);
+  }
+
+  /// Kernel duration per unit of virtual duration (the network time_scale).
+  double kernelPerVirtual() const { return 1.0 / rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace mg::vos

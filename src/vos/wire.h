@@ -1,0 +1,23 @@
+// Length-prefixed message framing over StreamSocket, shared by the GIS and
+// GRAM wire protocols. Frames are a 4-byte big-endian length followed by the
+// payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vos/context.h"
+
+namespace mg::vos {
+
+/// Frames larger than this are rejected (wire-protocol sanity bound).
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Send one framed message.
+void sendFrame(StreamSocket& sock, const std::string& payload);
+
+/// Receive one framed message; throws mg::Error on EOF mid-frame or
+/// oversized frames.
+std::string recvFrame(StreamSocket& sock);
+
+}  // namespace mg::vos

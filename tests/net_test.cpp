@@ -1,0 +1,887 @@
+// Tests for the network substrate: topology/routing, the packet-level
+// simulator, TCP and UDP transports, and the flow-level reference model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "net/flow_network.h"
+#include "net/host_stack.h"
+#include "net/packet_network.h"
+#include "net/tcp.h"
+#include "net/topology.h"
+#include "net/udp.h"
+#include "sim/simulator.h"
+#include "util/config.h"
+
+using namespace mg::net;
+using mg::sim::SimTime;
+using mg::sim::Simulator;
+namespace st = mg::sim;
+
+// ---------------------------------------------------------------- fixture --
+
+namespace {
+
+/// Two hosts joined by one 100 Mbps / 0.1 ms Ethernet-like link.
+struct TwoHostNet {
+  Simulator sim;
+  NodeId a, b;
+  std::unique_ptr<PacketNetwork> net;
+  std::unique_ptr<HostStack> stack_a, stack_b;
+
+  explicit TwoHostNet(double bw = 100e6, SimTime lat = st::fromSeconds(0.1e-3),
+                      double loss = 0.0, PacketNetworkOptions opts = {}) {
+    Topology topo;
+    a = topo.addHost("a");
+    b = topo.addHost("b");
+    topo.addLink("l", a, b, bw, lat, 256 * 1024, loss);
+    net = std::make_unique<PacketNetwork>(sim, std::move(topo), opts);
+    stack_a = std::make_unique<HostStack>(*net, a);
+    stack_b = std::make_unique<HostStack>(*net, b);
+  }
+};
+
+std::vector<std::uint8_t> patternBytes(size_t n, std::uint8_t salt = 0) {
+  std::vector<std::uint8_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>((i * 131 + salt) & 0xff);
+  return v;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- topology --
+
+TEST(Topology, AddAndFind) {
+  Topology t;
+  NodeId h = t.addHost("h0");
+  NodeId r = t.addRouter("r0");
+  LinkId l = t.addLink("l0", h, r, 100e6, 1000);
+  EXPECT_EQ(t.nodeCount(), 2);
+  EXPECT_EQ(t.linkCount(), 1);
+  EXPECT_EQ(t.findNode("h0"), h);
+  EXPECT_EQ(t.findNode("nope"), kNoNode);
+  EXPECT_EQ(t.findLink("l0"), l);
+  EXPECT_EQ(t.node(r).kind, NodeKind::Router);
+  EXPECT_EQ(t.peer(l, h), r);
+  EXPECT_EQ(t.peer(l, r), h);
+}
+
+TEST(Topology, RejectsBadInput) {
+  Topology t;
+  NodeId h = t.addHost("h");
+  EXPECT_THROW(t.addHost("h"), mg::ConfigError);
+  EXPECT_THROW(t.addLink("l", h, h, 100e6, 0), mg::ConfigError);
+  EXPECT_THROW(t.addLink("l", h, 99, 100e6, 0), mg::ConfigError);
+  NodeId g = t.addHost("g");
+  EXPECT_THROW(t.addLink("l", h, g, 0, 0), mg::ConfigError);
+  EXPECT_THROW(t.addLink("l", h, g, 100e6, -1), mg::ConfigError);
+  EXPECT_THROW(t.addLink("l", h, g, 100e6, 0, 1024, 1.5), mg::ConfigError);
+}
+
+TEST(Topology, FromConfig) {
+  auto cfg = mg::util::Config::parse(R"(
+[node h0]
+[node h1]
+[node r0]
+kind = router
+[link l0]
+a = h0
+b = r0
+bandwidth = 100Mbps
+latency = 0.1ms
+[link l1]
+a = r0
+b = h1
+bandwidth = 622Mbps
+latency = 2ms
+queue = 512KB
+loss = 0.01
+)");
+  Topology t = Topology::fromConfig(cfg);
+  EXPECT_EQ(t.nodeCount(), 3);
+  EXPECT_EQ(t.linkCount(), 2);
+  EXPECT_EQ(t.node(t.findNode("r0")).kind, NodeKind::Router);
+  const Link& l1 = t.link(t.findLink("l1"));
+  EXPECT_DOUBLE_EQ(l1.bandwidth_bps, 622e6);
+  EXPECT_EQ(l1.latency, st::fromSeconds(2e-3));
+  EXPECT_EQ(l1.queue_bytes, 512 * 1024);
+  EXPECT_DOUBLE_EQ(l1.loss_rate, 0.01);
+}
+
+TEST(Topology, FromConfigUnknownNodeThrows) {
+  auto cfg = mg::util::Config::parse("[link l]\na = x\nb = y\nbandwidth = 1Mbps\nlatency = 1ms\n");
+  EXPECT_THROW(Topology::fromConfig(cfg), mg::ConfigError);
+}
+
+// ---------------------------------------------------------------- routing --
+
+TEST(Routing, LineTopologyPath) {
+  Topology t;
+  NodeId n0 = t.addHost("n0");
+  NodeId r = t.addRouter("r");
+  NodeId n1 = t.addHost("n1");
+  LinkId l0 = t.addLink("l0", n0, r, 100e6, 1000);
+  LinkId l1 = t.addLink("l1", r, n1, 100e6, 1000);
+  RoutingTable rt(t);
+  EXPECT_EQ(rt.path(n0, n1), (std::vector<LinkId>{l0, l1}));
+  EXPECT_EQ(rt.path(n1, n0), (std::vector<LinkId>{l1, l0}));
+  EXPECT_EQ(rt.nextLink(n0, n1), l0);
+  EXPECT_TRUE(rt.path(n0, n0).empty());
+}
+
+TEST(Routing, PrefersLowerLatencyPath) {
+  Topology t;
+  NodeId s = t.addHost("s");
+  NodeId d = t.addHost("d");
+  NodeId r1 = t.addRouter("r1");
+  NodeId r2 = t.addRouter("r2");
+  // Slow path s-r1-d (10ms links), fast path s-r2-d (1ms links).
+  t.addLink("s1", s, r1, 100e6, st::fromSeconds(10e-3));
+  t.addLink("d1", r1, d, 100e6, st::fromSeconds(10e-3));
+  LinkId f1 = t.addLink("s2", s, r2, 100e6, st::fromSeconds(1e-3));
+  LinkId f2 = t.addLink("d2", r2, d, 100e6, st::fromSeconds(1e-3));
+  RoutingTable rt(t);
+  EXPECT_EQ(rt.path(s, d), (std::vector<LinkId>{f1, f2}));
+  EXPECT_EQ(rt.pathLatency(t, s, d), st::fromSeconds(2e-3));
+}
+
+TEST(Routing, BottleneckBandwidth) {
+  Topology t;
+  NodeId a = t.addHost("a");
+  NodeId r = t.addRouter("r");
+  NodeId b = t.addHost("b");
+  t.addLink("fast", a, r, 622e6, 1000);
+  t.addLink("slow", r, b, 10e6, 1000);
+  RoutingTable rt(t);
+  EXPECT_DOUBLE_EQ(rt.bottleneckBandwidth(t, a, b), 10e6);
+}
+
+TEST(Routing, UnreachableNodes) {
+  Topology t;
+  NodeId a = t.addHost("a");
+  NodeId b = t.addHost("b");  // no link
+  RoutingTable rt(t);
+  EXPECT_EQ(rt.nextLink(a, b), kNoLink);
+  EXPECT_TRUE(rt.path(a, b).empty());
+  EXPECT_EQ(rt.pathLatency(t, a, b), -1);
+  EXPECT_DOUBLE_EQ(rt.bottleneckBandwidth(t, a, b), 0.0);
+}
+
+TEST(Routing, RecomputeAfterLinkDown) {
+  Topology t;
+  NodeId a = t.addHost("a");
+  NodeId b = t.addHost("b");
+  NodeId r = t.addRouter("r");
+  LinkId direct = t.addLink("direct", a, b, 100e6, st::fromSeconds(1e-3));
+  LinkId via1 = t.addLink("via1", a, r, 100e6, st::fromSeconds(5e-3));
+  LinkId via2 = t.addLink("via2", r, b, 100e6, st::fromSeconds(5e-3));
+  RoutingTable rt(t);
+  EXPECT_EQ(rt.path(a, b), (std::vector<LinkId>{direct}));
+  t.mutableLink(direct).up = false;
+  rt.recompute(t);
+  EXPECT_EQ(rt.path(a, b), (std::vector<LinkId>{via1, via2}));
+}
+
+// ---------------------------------------------------------- packet network --
+
+TEST(PacketNetwork, DeliversWithExpectedTiming) {
+  Simulator sim;
+  Topology topo;
+  NodeId a = topo.addHost("a");
+  NodeId b = topo.addHost("b");
+  topo.addLink("l", a, b, 100e6, st::fromSeconds(0.1e-3));
+  PacketNetworkOptions opts;
+  PacketNetwork net(sim, std::move(topo), opts);
+  SimTime delivered_at = -1;
+  net.attachHost(b, [&](Packet&&) { delivered_at = sim.now(); });
+
+  Packet p;
+  p.src = a;
+  p.dst = b;
+  p.protocol = Protocol::Udp;
+  p.payload = patternBytes(1000);
+  const SimTime tx = st::fromSeconds(p.wireBytes() * 8.0 / 100e6);
+  sim.spawn("send", [&] { net.send(std::move(p)); });
+  sim.run();
+  const SimTime expected = opts.host_stack_delay + tx + st::fromSeconds(0.1e-3) + opts.host_stack_delay;
+  EXPECT_NEAR(static_cast<double>(delivered_at), static_cast<double>(expected), 1000.0);
+  EXPECT_EQ(net.stats().packets_delivered, 1);
+  EXPECT_EQ(net.stats().bytes_delivered, 1000);
+}
+
+TEST(PacketNetwork, MultiHopForwardsThroughRouter) {
+  Simulator sim;
+  Topology topo;
+  NodeId a = topo.addHost("a");
+  NodeId r = topo.addRouter("r");
+  NodeId b = topo.addHost("b");
+  topo.addLink("l0", a, r, 100e6, st::fromSeconds(1e-3));
+  topo.addLink("l1", r, b, 100e6, st::fromSeconds(1e-3));
+  PacketNetwork net(sim, std::move(topo), {});
+  bool delivered = false;
+  net.attachHost(b, [&](Packet&&) { delivered = true; });
+  Packet p;
+  p.src = a;
+  p.dst = b;
+  p.payload = patternBytes(100);
+  net.send(std::move(p));
+  sim.run();
+  EXPECT_TRUE(delivered);
+  // Router latency: > 2ms total propagation.
+  EXPECT_GT(sim.now(), st::fromSeconds(2e-3));
+}
+
+TEST(PacketNetwork, QueueOverflowDrops) {
+  Simulator sim;
+  Topology topo;
+  NodeId a = topo.addHost("a");
+  NodeId b = topo.addHost("b");
+  // Tiny queue: 3 KB holds just two 1500 B packets.
+  topo.addLink("l", a, b, 1e6, st::fromSeconds(1e-3), 3000);
+  PacketNetwork net(sim, std::move(topo), {});
+  int delivered = 0;
+  net.attachHost(b, [&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.payload = patternBytes(1400);
+    net.send(std::move(p));
+  }
+  sim.run();
+  EXPECT_GT(net.stats().packets_dropped_queue, 0);
+  EXPECT_EQ(delivered + net.stats().packets_dropped_queue, 10);
+}
+
+TEST(PacketNetwork, RandomLossIsDeterministicPerSeed) {
+  auto countDelivered = [](std::uint64_t seed) {
+    Simulator sim;
+    Topology topo;
+    NodeId a = topo.addHost("a");
+    NodeId b = topo.addHost("b");
+    topo.addLink("l", a, b, 100e6, 1000, 256 * 1024, 0.3);
+    PacketNetworkOptions opts;
+    opts.seed = seed;
+    PacketNetwork net(sim, std::move(topo), opts);
+    int delivered = 0;
+    net.attachHost(b, [&](Packet&&) { ++delivered; });
+    for (int i = 0; i < 200; ++i) {
+      Packet p;
+      p.src = a;
+      p.dst = b;
+      p.payload = patternBytes(100);
+      net.send(std::move(p));
+    }
+    sim.run();
+    return delivered;
+  };
+  int d1 = countDelivered(1);
+  EXPECT_EQ(d1, countDelivered(1));
+  EXPECT_GT(d1, 100);  // ~140 expected
+  EXPECT_LT(d1, 180);
+}
+
+TEST(PacketNetwork, LinkDownDropsAndUnreachable) {
+  Simulator sim;
+  Topology topo;
+  NodeId a = topo.addHost("a");
+  NodeId b = topo.addHost("b");
+  LinkId l = topo.addLink("l", a, b, 100e6, 1000);
+  PacketNetwork net(sim, std::move(topo), {});
+  int delivered = 0;
+  net.attachHost(b, [&](Packet&&) { ++delivered; });
+  net.setLinkUp(l, false);
+  Packet p;
+  p.src = a;
+  p.dst = b;
+  p.payload = patternBytes(10);
+  net.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().packets_dropped_down, 1);
+}
+
+TEST(PacketNetwork, TimeScaleStretchesKernelTime) {
+  auto endTime = [](double scale) {
+    Simulator sim;
+    Topology topo;
+    NodeId a = topo.addHost("a");
+    NodeId b = topo.addHost("b");
+    topo.addLink("l", a, b, 100e6, st::fromSeconds(1e-3));
+    PacketNetworkOptions opts;
+    opts.time_scale = scale;
+    PacketNetwork net(sim, std::move(topo), opts);
+    net.attachHost(b, [](Packet&&) {});
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.payload = patternBytes(100);
+    net.send(std::move(p));
+    return sim.run();
+  };
+  const double t1 = static_cast<double>(endTime(1.0));
+  const double t4 = static_cast<double>(endTime(4.0));
+  EXPECT_NEAR(t4 / t1, 4.0, 0.01);
+}
+
+// --------------------------------------------------------------------- tcp --
+
+TEST(Tcp, ConnectAcceptEcho) {
+  TwoHostNet f;
+  std::string got;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    char buf[64];
+    size_t n = conn->recv(buf, sizeof buf);
+    conn->send(buf, n);  // echo
+    conn->close();
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    const char msg[] = "hello grid";
+    conn->send(msg, sizeof msg - 1);
+    char buf[64];
+    conn->recvExact(buf, sizeof msg - 1);
+    got.assign(buf, sizeof msg - 1);
+    conn->close();
+  });
+  f.sim.run();
+  EXPECT_EQ(got, "hello grid");
+}
+
+TEST(Tcp, LargeTransferIntegrity) {
+  TwoHostNet f;
+  const size_t kSize = 1 << 20;
+  auto data = patternBytes(kSize, 7);
+  std::vector<std::uint8_t> received;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    received.resize(kSize);
+    conn->recvExact(received.data(), kSize);
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    conn->send(data.data(), data.size());
+    conn->close();
+  });
+  f.sim.run();
+  EXPECT_EQ(received, data);
+}
+
+TEST(Tcp, ThroughputApproachesLinkEfficiency) {
+  TwoHostNet f;  // 100 Mbps
+  const size_t kSize = 4 << 20;
+  SimTime start = 0, end = 0;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    std::vector<std::uint8_t> sink(kSize);
+    start = f.sim.now();
+    conn->recvExact(sink.data(), kSize);
+    end = f.sim.now();
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    auto data = patternBytes(1 << 16);
+    for (size_t sent = 0; sent < kSize; sent += data.size()) conn->send(data.data(), data.size());
+    conn->close();
+  });
+  f.sim.run();
+  const double seconds = st::toSeconds(end - start);
+  const double mbps = kSize * 8.0 / seconds / 1e6;
+  // Ethernet+IP+TCP efficiency bound is ~94.9 Mbps of payload on 100 Mbps.
+  EXPECT_GT(mbps, 88.0);
+  EXPECT_LT(mbps, 95.0);
+}
+
+TEST(Tcp, SurvivesRandomLoss) {
+  TwoHostNet f(100e6, st::fromSeconds(0.5e-3), /*loss=*/0.02);
+  const size_t kSize = 256 * 1024;
+  auto data = patternBytes(kSize, 3);
+  std::vector<std::uint8_t> received;
+  std::shared_ptr<TcpConnection> client_conn;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    received.resize(kSize);
+    conn->recvExact(received.data(), kSize);
+  });
+  f.sim.spawn("client", [&] {
+    client_conn = f.stack_a->tcp().connect(f.b, 80);
+    client_conn->send(data.data(), data.size());
+    client_conn->close();
+  });
+  f.sim.run();
+  EXPECT_EQ(received, data);
+  // Read after run(): send() returns when bytes are buffered, so the
+  // retransmissions happen after the app-level calls complete.
+  ASSERT_NE(client_conn, nullptr);
+  EXPECT_GT(client_conn->retransmits(), 0);
+}
+
+TEST(Tcp, ConnectionRefusedWhenNoListener) {
+  TwoHostNet f;
+  bool refused = false;
+  f.sim.spawn("client", [&] {
+    try {
+      f.stack_a->tcp().connect(f.b, 9999);
+    } catch (const ConnectionRefused&) {
+      refused = true;
+    }
+  });
+  f.sim.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST(Tcp, EofAfterPeerClose) {
+  TwoHostNet f;
+  size_t eof_result = 99;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    const char msg[] = "bye";
+    conn->send(msg, 3);
+    conn->close();
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    char buf[16];
+    conn->recvExact(buf, 3);
+    eof_result = conn->recv(buf, sizeof buf);
+  });
+  f.sim.run();
+  EXPECT_EQ(eof_result, 0u);
+}
+
+TEST(Tcp, RecvExactThrowsOnEarlyClose) {
+  TwoHostNet f;
+  bool threw = false;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    const char msg[] = "xx";
+    conn->send(msg, 2);
+    conn->close();
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    char buf[10];
+    try {
+      conn->recvExact(buf, 10);
+    } catch (const ConnectionReset&) {
+      threw = true;
+    }
+  });
+  f.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Tcp, FlowControlWithSlowReader) {
+  TwoHostNet f;
+  const size_t kSize = 3 << 20;  // 3 MB > 1 MB recv buffer
+  size_t total = 0;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    std::vector<std::uint8_t> buf(64 * 1024);
+    for (;;) {
+      f.sim.delay(20 * st::kMillisecond);  // slow consumer
+      size_t n = conn->recv(buf.data(), buf.size());
+      if (n == 0) break;
+      total += n;
+    }
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    auto data = patternBytes(1 << 16);
+    for (size_t sent = 0; sent < kSize; sent += data.size()) conn->send(data.data(), data.size());
+    conn->close();
+  });
+  f.sim.run();
+  EXPECT_EQ(total, kSize);
+}
+
+TEST(Tcp, BidirectionalSimultaneousTransfer) {
+  TwoHostNet f;
+  const size_t kSize = 200 * 1024;
+  std::vector<std::uint8_t> got_a, got_b;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    auto out = patternBytes(kSize, 1);
+    got_b.resize(kSize);
+    f.sim.spawn("server-writer", [conn, out, &f] {
+      auto copy = out;
+      conn->send(copy.data(), copy.size());
+      (void)f;
+    });
+    conn->recvExact(got_b.data(), kSize);
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    auto out = patternBytes(kSize, 2);
+    f.sim.spawn("client-writer", [conn, out] {
+      auto copy = out;
+      conn->send(copy.data(), copy.size());
+    });
+    got_a.resize(kSize);
+    conn->recvExact(got_a.data(), kSize);
+  });
+  f.sim.run();
+  EXPECT_EQ(got_a, patternBytes(kSize, 1));
+  EXPECT_EQ(got_b, patternBytes(kSize, 2));
+}
+
+TEST(Tcp, MultipleConnectionsShareLink) {
+  TwoHostNet f;
+  const size_t kSize = 512 * 1024;
+  int done = 0;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    for (int i = 0; i < 3; ++i) {
+      auto conn = listener->accept();
+      f.sim.spawn("handler" + std::to_string(i), [conn, &done] {
+        std::vector<std::uint8_t> sink(kSize);
+        conn->recvExact(sink.data(), kSize);
+        ++done;
+      });
+    }
+  });
+  for (int c = 0; c < 3; ++c) {
+    f.sim.spawn("client" + std::to_string(c), [&, c] {
+      f.sim.delay(c * st::kMillisecond);
+      auto conn = f.stack_a->tcp().connect(f.b, 80);
+      auto data = patternBytes(kSize, static_cast<std::uint8_t>(c));
+      conn->send(data.data(), data.size());
+      conn->close();
+    });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 3);
+}
+
+TEST(Tcp, SendAfterCloseThrows) {
+  TwoHostNet f;
+  bool threw = false;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    char c;
+    conn->recv(&c, 1);
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    conn->send("x", 1);
+    conn->close();
+    conn->close();  // idempotent
+    try {
+      conn->send("y", 1);
+    } catch (const mg::UsageError&) {
+      threw = true;
+    }
+  });
+  f.sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Tcp, AcceptForTimesOut) {
+  TwoHostNet f;
+  bool timed_out = false;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->acceptFor(50 * st::kMillisecond);
+    timed_out = (conn == nullptr);
+  });
+  f.sim.run();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Tcp, ListenTwiceOnSamePortThrows) {
+  TwoHostNet f;
+  f.sim.spawn("p", [&] {
+    auto l1 = f.stack_a->tcp().listen(80);
+    EXPECT_THROW(f.stack_a->tcp().listen(80), mg::UsageError);
+    l1->close();
+    auto l2 = f.stack_a->tcp().listen(80);  // reusable after close
+    l2->close();
+  });
+  f.sim.run();
+}
+
+TEST(Tcp, SmallMessageLatencyDominatedByPropagation) {
+  TwoHostNet f(100e6, st::fromSeconds(25e-3));  // 25 ms one-way
+  SimTime rtt = 0;
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    char c;
+    conn->recv(&c, 1);
+    conn->send(&c, 1);
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    SimTime t0 = f.sim.now();
+    conn->send("x", 1);
+    char c;
+    conn->recvExact(&c, 1);
+    rtt = f.sim.now() - t0;
+  });
+  f.sim.run();
+  EXPECT_GE(rtt, st::fromSeconds(50e-3));
+  EXPECT_LT(rtt, st::fromSeconds(55e-3));
+}
+
+// Parameterized sweep: transfer integrity across sizes (property-style).
+class TcpTransferSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TcpTransferSweep, TransferIsLossless) {
+  const size_t size = GetParam();
+  TwoHostNet f;
+  auto data = patternBytes(size, static_cast<std::uint8_t>(size & 0xff));
+  std::vector<std::uint8_t> received(size);
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    if (size > 0) conn->recvExact(received.data(), size);
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    if (size > 0) conn->send(data.data(), size);
+    conn->close();
+  });
+  f.sim.run();
+  EXPECT_EQ(received, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcpTransferSweep,
+                         ::testing::Values(0, 1, 4, 100, 1460, 1461, 4096, 65536, 262144));
+
+// Parameterized sweep: delivery is reliable across loss rates.
+class TcpLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpLossSweep, DeliversDespiteLoss) {
+  TwoHostNet f(100e6, st::fromSeconds(1e-3), GetParam());
+  const size_t kSize = 128 * 1024;
+  auto data = patternBytes(kSize, 9);
+  std::vector<std::uint8_t> received(kSize);
+  f.sim.spawn("server", [&] {
+    auto listener = f.stack_b->tcp().listen(80);
+    auto conn = listener->accept();
+    conn->recvExact(received.data(), kSize);
+  });
+  f.sim.spawn("client", [&] {
+    auto conn = f.stack_a->tcp().connect(f.b, 80);
+    conn->send(data.data(), kSize);
+    conn->close();
+  });
+  f.sim.run();
+  EXPECT_EQ(received, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossSweep, ::testing::Values(0.0, 0.005, 0.02, 0.05));
+
+// --------------------------------------------------------------------- udp --
+
+TEST(Udp, SendReceiveDatagram) {
+  TwoHostNet f;
+  std::vector<std::uint8_t> got;
+  NodeId from = kNoNode;
+  f.sim.spawn("server", [&] {
+    auto sock = f.stack_b->udp().bind(53);
+    Datagram d = sock->recvFrom();
+    got = d.data;
+    from = d.src_node;
+  });
+  f.sim.spawn("client", [&] { f.stack_a->udp().sendTo(f.b, 53, patternBytes(100)); });
+  f.sim.run();
+  EXPECT_EQ(got, patternBytes(100));
+  EXPECT_EQ(from, f.a);
+}
+
+TEST(Udp, LargeDatagramFragmentsAndReassembles) {
+  TwoHostNet f;
+  const size_t kSize = 20000;  // ~14 fragments
+  std::vector<std::uint8_t> got;
+  f.sim.spawn("server", [&] {
+    auto sock = f.stack_b->udp().bind(53);
+    got = sock->recvFrom().data;
+  });
+  f.sim.spawn("client", [&] { f.stack_a->udp().sendTo(f.b, 53, patternBytes(kSize, 5)); });
+  f.sim.run();
+  EXPECT_EQ(got, patternBytes(kSize, 5));
+}
+
+TEST(Udp, FragmentLossDropsWholeDatagram) {
+  TwoHostNet f(100e6, st::fromSeconds(1e-3), /*loss=*/0.5);
+  int received = 0;
+  f.sim.spawn("server", [&] {
+    auto sock = f.stack_b->udp().bind(53);
+    for (;;) {
+      auto d = sock->recvFromFor(st::kSecond);
+      if (!d) break;
+      ++received;
+    }
+  });
+  f.sim.spawn("client", [&] {
+    for (int i = 0; i < 20; ++i) f.stack_a->udp().sendTo(f.b, 53, patternBytes(10000));
+  });
+  f.sim.run();
+  // 10000 B = 7 fragments; P(all survive) = 0.5^7 < 1% — most datagrams die.
+  EXPECT_LT(received, 5);
+}
+
+TEST(Udp, OversizeDatagramThrows) {
+  TwoHostNet f;
+  f.sim.spawn("p", [&] {
+    EXPECT_THROW(f.stack_a->udp().sendTo(f.b, 53, std::vector<std::uint8_t>(70000)),
+                 mg::UsageError);
+  });
+  f.sim.run();
+}
+
+TEST(Udp, UnboundPortSilentlyDropped) {
+  TwoHostNet f;
+  f.sim.spawn("client", [&] { f.stack_a->udp().sendTo(f.b, 1234, patternBytes(10)); });
+  f.sim.run();  // must terminate without error
+  EXPECT_EQ(f.net->stats().packets_delivered, 1);  // delivered to stack, no socket
+}
+
+TEST(Udp, ReplyUsingSourceAddress) {
+  TwoHostNet f;
+  std::vector<std::uint8_t> reply;
+  f.sim.spawn("server", [&] {
+    auto sock = f.stack_b->udp().bind(7);
+    Datagram d = sock->recvFrom();
+    sock->sendTo(d.src_node, d.src_port, d.data);  // echo
+  });
+  f.sim.spawn("client", [&] {
+    auto sock = f.stack_a->udp().bind(5555);
+    sock->sendTo(f.b, 7, patternBytes(32, 1));
+    reply = sock->recvFrom().data;
+  });
+  f.sim.run();
+  EXPECT_EQ(reply, patternBytes(32, 1));
+}
+
+TEST(Udp, DoubleBindThrows) {
+  TwoHostNet f;
+  f.sim.spawn("p", [&] {
+    auto s1 = f.stack_a->udp().bind(99);
+    EXPECT_THROW(f.stack_a->udp().bind(99), mg::UsageError);
+    s1->close();
+    auto s2 = f.stack_a->udp().bind(99);
+  });
+  f.sim.run();
+}
+
+// ------------------------------------------------------------ flow network --
+
+namespace {
+Topology lineTopo(double bw1 = 100e6, double bw2 = 100e6) {
+  Topology t;
+  t.addHost("a");
+  t.addRouter("r");
+  t.addHost("b");
+  t.addLink("l0", 0, 1, bw1, st::fromSeconds(1e-3));
+  t.addLink("l1", 1, 2, bw2, st::fromSeconds(2e-3));
+  return t;
+}
+}  // namespace
+
+TEST(FlowNetwork, EstimateMatchesFormula) {
+  Simulator sim;
+  FlowNetworkOptions opts;
+  FlowNetwork fn(sim, lineTopo(100e6, 10e6), opts);
+  const std::int64_t bytes = 1'000'000;
+  const double wire_bits = bytes * opts.byte_overhead * 8.0;
+  const SimTime expected =
+      opts.per_message_overhead + st::fromSeconds(3e-3) + st::fromSeconds(wire_bits / 10e6);
+  EXPECT_NEAR(static_cast<double>(fn.estimate(0, 2, bytes)), static_cast<double>(expected), 10.0);
+}
+
+TEST(FlowNetwork, TransferBlocksForModeledDuration) {
+  Simulator sim;
+  FlowNetwork fn(sim, lineTopo(), {});
+  SimTime took = 0;
+  sim.spawn("p", [&] { took = fn.transfer(0, 2, 100000); });
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(took), static_cast<double>(fn.estimate(0, 2, 100000)),
+              static_cast<double>(st::kMillisecond));
+  EXPECT_EQ(fn.stats().transfers, 1);
+}
+
+TEST(FlowNetwork, ContentionSerializesFlows) {
+  Simulator sim;
+  FlowNetwork fn(sim, lineTopo(), {});
+  SimTime t1 = 0, t2 = 0;
+  sim.spawn("p1", [&] { t1 = fn.transfer(0, 2, 1'000'000); });
+  sim.spawn("p2", [&] { t2 = fn.transfer(0, 2, 1'000'000); });
+  sim.run();
+  // The second flow queues behind the first on both links: roughly 2x.
+  EXPECT_GT(static_cast<double>(t2), 1.7 * static_cast<double>(t1));
+}
+
+TEST(FlowNetwork, NoRouteThrows) {
+  Simulator sim;
+  Topology t;
+  t.addHost("a");
+  t.addHost("b");
+  FlowNetwork fn(sim, std::move(t), {});
+  bool threw = false;
+  sim.spawn("p", [&] {
+    try {
+      fn.transfer(0, 1, 100);
+    } catch (const mg::ConfigError&) {
+      threw = true;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(FlowNetwork, SameNodeTransferIsJustOverhead) {
+  Simulator sim;
+  FlowNetworkOptions opts;
+  FlowNetwork fn(sim, lineTopo(), opts);
+  SimTime took = -1;
+  sim.spawn("p", [&] { took = fn.transfer(0, 0, 12345); });
+  sim.run();
+  EXPECT_EQ(took, opts.per_message_overhead);
+}
+
+TEST(FlowNetwork, TimeScaleInvariantInNetworkTime) {
+  auto netDuration = [](double scale) {
+    Simulator sim;
+    FlowNetworkOptions opts;
+    opts.time_scale = scale;
+    FlowNetwork fn(sim, lineTopo(), opts);
+    SimTime took = 0;
+    sim.spawn("p", [&] { took = fn.transfer(0, 2, 500000); });
+    sim.run();
+    return took;
+  };
+  const SimTime d1 = netDuration(1.0);
+  const SimTime d8 = netDuration(8.0);
+  EXPECT_NEAR(static_cast<double>(d1), static_cast<double>(d8), 5.0);
+}
+
+TEST(Udp, IncompleteReassemblyTimesOutAndCounts) {
+  // Heavy loss: fragments go missing, partial datagrams must be garbage
+  // collected after the reassembly timeout and counted.
+  TwoHostNet f(100e6, st::fromSeconds(1e-3), /*loss=*/0.6);
+  f.sim.spawn("server", [&] {
+    auto sock = f.stack_b->udp().bind(53);
+    for (;;) {
+      auto d = sock->recvFromFor(40 * st::kSecond);
+      if (!d) break;
+    }
+  });
+  f.sim.spawn("client", [&] {
+    for (int i = 0; i < 30; ++i) f.stack_a->udp().sendTo(f.b, 53, patternBytes(6000));
+  });
+  f.sim.run();
+  EXPECT_GT(f.stack_b->udp().datagramsDroppedIncomplete(), 0);
+}

@@ -1,0 +1,196 @@
+// Property-style sweeps over network and platform parameters: invariants
+// that must hold across the whole configuration space, not just the presets.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/microgrid_platform.h"
+#include "core/reference_platform.h"
+#include "core/topologies.h"
+#include "net/host_stack.h"
+#include "net/packet_network.h"
+
+using namespace mg;
+namespace st = mg::sim;
+
+// --------------------------------------------------- TCP throughput law ---
+
+// Across link speeds and latencies, measured TCP goodput must approach
+// min(protocol-efficiency * bandwidth, window / RTT).
+class TcpGoodputLaw : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TcpGoodputLaw, GoodputMatchesTheory) {
+  auto [bw_bps, latency_s] = GetParam();
+  st::Simulator sim;
+  net::Topology topo;
+  auto a = topo.addHost("a");
+  auto b = topo.addHost("b");
+  topo.addLink("l", a, b, bw_bps, st::fromSeconds(latency_s), 1 << 20);
+  net::PacketNetwork net(sim, std::move(topo), {});
+  net::HostStack sa(net, a), sb(net, b);
+
+  const size_t kSize = 4 << 20;
+  st::SimTime start = 0, end = 0;
+  sim.spawn("server", [&] {
+    auto listener = sb.tcp().listen(80);
+    auto conn = listener->accept();
+    std::vector<std::uint8_t> sink(kSize);
+    start = sim.now();
+    conn->recvExact(sink.data(), kSize);
+    end = sim.now();
+  });
+  sim.spawn("client", [&] {
+    auto conn = sa.tcp().connect(b, 80);
+    std::vector<std::uint8_t> data(1 << 16, 0xcd);
+    for (size_t sent = 0; sent < kSize; sent += data.size()) conn->send(data.data(), data.size());
+    conn->close();
+  });
+  sim.run();
+
+  const double goodput = kSize * 8.0 / st::toSeconds(end - start);  // bits/s
+  const double efficiency_bound = bw_bps * 1460.0 / 1538.0;
+  // Window bound: 1 MB receive buffer over the round trip.
+  const double rtt = 2.0 * latency_s + 1e-3;  // plus stack/serialization slack
+  const double window_bound = (1 << 20) * 8.0 / rtt;
+  const double bound = std::min(efficiency_bound, window_bound);
+  EXPECT_LT(goodput, bound * 1.02);
+  EXPECT_GT(goodput, bound * 0.5) << "bw " << bw_bps << " lat " << latency_s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinkSpace, TcpGoodputLaw,
+    ::testing::Values(std::tuple{10e6, 1e-3}, std::tuple{100e6, 0.1e-3},
+                      std::tuple{100e6, 5e-3}, std::tuple{622e6, 1e-3},
+                      std::tuple{1.2e9, 0.05e-3}));
+
+// ------------------------------------------------ conservation property ---
+
+// Whatever the topology and loss rate, delivered payload bytes never exceed
+// injected payload bytes, and every injected packet is accounted for as
+// delivered or dropped.
+class PacketConservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(PacketConservation, EveryPacketAccounted) {
+  const double loss = GetParam();
+  st::Simulator sim;
+  net::Topology topo;
+  auto a = topo.addHost("a");
+  auto r1 = topo.addRouter("r1");
+  auto r2 = topo.addRouter("r2");
+  auto b = topo.addHost("b");
+  topo.addLink("l0", a, r1, 10e6, st::fromSeconds(1e-3), 1 << 20, loss);
+  topo.addLink("l1", r1, r2, 5e6, st::fromSeconds(1e-3), 1 << 20, loss);
+  topo.addLink("l2", r2, b, 10e6, st::fromSeconds(1e-3), 1 << 20, loss);
+  net::PacketNetwork net(sim, std::move(topo), {});
+  std::int64_t delivered_payload = 0;
+  net.attachHost(b, [&](net::Packet&& p) { delivered_payload += static_cast<std::int64_t>(p.payload.size()); });
+
+  const int kPackets = 500;
+  std::int64_t injected_payload = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    net::Packet p;
+    p.src = a;
+    p.dst = b;
+    p.protocol = net::Protocol::Udp;
+    p.payload.resize(static_cast<size_t>(100 + (i * 37) % 1300));
+    injected_payload += static_cast<std::int64_t>(p.payload.size());
+    net.send(std::move(p));
+  }
+  sim.run();
+  const auto& s = net.stats();
+  EXPECT_EQ(s.packets_sent, kPackets);
+  EXPECT_EQ(s.packets_delivered + s.packets_dropped_queue + s.packets_dropped_loss +
+                s.packets_dropped_down,
+            kPackets);
+  EXPECT_LE(delivered_payload, injected_payload);
+  EXPECT_EQ(delivered_payload, s.bytes_delivered);
+  if (loss == 0.0) {
+    // No random loss and queues big enough at this rate: drops only from
+    // queue overflow, which the slow middle link can cause.
+    EXPECT_EQ(s.packets_dropped_loss, 0);
+  } else {
+    EXPECT_GT(s.packets_dropped_loss, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, PacketConservation, ::testing::Values(0.0, 0.01, 0.1, 0.3));
+
+// ----------------------------------------- compute-time virtualization ----
+
+// For any (virtual speed, physical speed, rate) combination, a sustained
+// compute of W ops must take ~W / V virtual seconds on the MicroGrid.
+class ComputeVirtualization
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ComputeVirtualization, VirtualTimeEqualsWorkOverSpeed) {
+  auto [virt_ops, phys_ops, slowdown] = GetParam();
+  core::VirtualGridConfig cfg;
+  cfg.addPhysical("p", phys_ops);
+  cfg.addHost("v", "1.1.1.1", virt_ops, 1 << 20, "p");
+  cfg.addRouter("sw");
+  cfg.addLink("l", "v", "sw", 100e6, 1e-4);
+  core::MicroGridOptions opts;
+  opts.slowdown = slowdown;
+  core::MicroGridPlatform platform(cfg, opts);
+  const double work = virt_ops * 2.0;  // two virtual seconds of work
+  double t = -1;
+  platform.spawnOn("v", "w", [&](vos::HostContext& ctx) {
+    ctx.compute(work);
+    t = ctx.wallTime();
+  });
+  platform.run();
+  EXPECT_NEAR(t, 2.0, 0.07) << "V=" << virt_ops << " P=" << phys_ops << " slow=" << slowdown;
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, ComputeVirtualization,
+                         ::testing::Values(std::tuple{533e6, 533e6, 1.0},   // matched
+                                           std::tuple{100e6, 533e6, 1.0},   // slow virtual
+                                           std::tuple{2e9, 533e6, 1.0},     // fast virtual
+                                           std::tuple{533e6, 533e6, 4.0},   // slowed emulation
+                                           std::tuple{300e6, 1e9, 2.0}));
+
+// ------------------------------------------------ reference agreement -----
+
+// For a pure compute + single transfer workload, the two platforms must
+// agree across bandwidths (the network models differ only in protocol-level
+// detail).
+class PlatformAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlatformAgreement, BulkTransferTimesAgree) {
+  const double bw = GetParam();
+  auto makeCfg = [&] {
+    core::topologies::AlphaClusterParams params;
+    params.hosts = 2;
+    params.bandwidth_bps = bw;
+    return core::topologies::alphaCluster(params);
+  };
+  auto timeOn = [&](core::Platform& platform) {
+    double t = -1;
+    platform.spawnOn("vm0.ucsd.edu", "server", [&](vos::HostContext& ctx) {
+      auto listener = ctx.listen(80);
+      auto sock = listener->accept();
+      std::vector<std::uint8_t> sink(1 << 20);
+      sock->recvExact(sink.data(), sink.size());
+      t = ctx.wallTime();
+    });
+    platform.spawnOn("vm1.ucsd.edu", "client", [&](vos::HostContext& ctx) {
+      ctx.sleep(0.001);
+      auto sock = ctx.connect("vm0.ucsd.edu", 80);
+      std::vector<std::uint8_t> data(1 << 20, 1);
+      sock->send(data.data(), data.size());
+      sock->close();
+    });
+    platform.run();
+    return t;
+  };
+  auto ref_cfg = makeCfg();
+  core::ReferencePlatform ref(ref_cfg);
+  const double t_ref = timeOn(ref);
+  auto emu_cfg = makeCfg();
+  core::MicroGridPlatform emu(emu_cfg);
+  const double t_emu = timeOn(emu);
+  EXPECT_NEAR(t_emu / t_ref, 1.0, 0.25) << "bw " << bw;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, PlatformAgreement,
+                         ::testing::Values(10e6, 100e6, 622e6, 1.2e9));

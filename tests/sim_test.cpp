@@ -1,0 +1,548 @@
+// Unit tests for the discrete-event kernel: event ordering, processes,
+// conditions, channels, determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/condition.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+using namespace mg::sim;
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(fromSeconds(1.0), kSecond);
+  EXPECT_EQ(fromSeconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+  EXPECT_EQ(fromSeconds(0.0), 0);
+  EXPECT_EQ(fromSeconds(2.5e-9), 3);  // rounds to nearest ns
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(30, [&] { order.push_back(3); });
+  sim.scheduleAt(10, [&] { order.push_back(1); });
+  sim.scheduleAt(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.scheduleAt(10, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.scheduleAt(100, [&] {
+    sim.scheduleAfter(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.scheduleAt(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelUnknownIsNoop) {
+  Simulator sim;
+  sim.cancel(9999);  // must not throw
+  sim.run();
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.scheduleAt(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.scheduleAt(50, [] {}), mg::UsageError);
+  EXPECT_THROW(sim.scheduleAfter(-1, [] {}), mg::UsageError);
+}
+
+TEST(Simulator, RunUntilStopsAndSetsNow) {
+  Simulator sim;
+  std::vector<int> ran;
+  sim.scheduleAt(10, [&] { ran.push_back(1); });
+  sim.scheduleAt(100, [&] { ran.push_back(2); });
+  sim.runUntil(50);
+  EXPECT_EQ(ran, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), 50);
+  sim.run();
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+}
+
+TEST(Process, DelayAdvancesTime) {
+  Simulator sim;
+  std::vector<SimTime> stamps;
+  sim.spawn("p", [&] {
+    stamps.push_back(sim.now());
+    sim.delay(100);
+    stamps.push_back(sim.now());
+    sim.delay(kSecond);
+    stamps.push_back(sim.now());
+  });
+  sim.run();
+  EXPECT_EQ(stamps, (std::vector<SimTime>{0, 100, 100 + kSecond}));
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.spawn("a", [&] {
+    for (int i = 0; i < 3; ++i) {
+      log.push_back("a" + std::to_string(i));
+      sim.delay(10);
+    }
+  });
+  sim.spawn("b", [&] {
+    sim.delay(5);
+    for (int i = 0; i < 3; ++i) {
+      log.push_back("b" + std::to_string(i));
+      sim.delay(10);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2", "b2"}));
+}
+
+TEST(Process, SuspendAndWake) {
+  Simulator sim;
+  Process* sleeper = nullptr;
+  SimTime woke_at = -1;
+  sleeper = &sim.spawn("sleeper", [&] {
+    sim.suspend();
+    woke_at = sim.now();
+  });
+  sim.spawn("waker", [&] {
+    sim.delay(500);
+    sim.wake(*sleeper);
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, 500);
+}
+
+TEST(Process, SuspendForTimesOut) {
+  Simulator sim;
+  bool woken = true;
+  sim.spawn("p", [&] { woken = sim.suspendFor(100); });
+  sim.run();
+  EXPECT_FALSE(woken);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Process, SuspendForWokenBeforeTimeout) {
+  Simulator sim;
+  Process* p = nullptr;
+  bool woken = false;
+  SimTime end = -1;
+  p = &sim.spawn("p", [&] {
+    woken = sim.suspendFor(kSecond);
+    end = sim.now();
+  });
+  sim.spawn("w", [&] {
+    sim.delay(10);
+    sim.wake(*p);
+  });
+  sim.run();
+  EXPECT_TRUE(woken);
+  EXPECT_EQ(end, 10);
+  // The cancelled timeout must not stretch the run: final time is the wake.
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Process, StaleTimeoutDoesNotFireOnLaterSuspend) {
+  Simulator sim;
+  Process* p = nullptr;
+  std::vector<bool> results;
+  p = &sim.spawn("p", [&] {
+    results.push_back(sim.suspendFor(100));  // woken at t=10
+    results.push_back(sim.suspendFor(1000));  // must time out at 1010, not 100
+  });
+  sim.spawn("w", [&] {
+    sim.delay(10);
+    sim.wake(*p);
+  });
+  sim.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0]);
+  EXPECT_FALSE(results[1]);
+  EXPECT_EQ(sim.now(), 1010);
+}
+
+TEST(Process, WakeOnRunningProcessIsNoop) {
+  Simulator sim;
+  Process* p = nullptr;
+  p = &sim.spawn("p", [&] {
+    sim.wake(*p);  // self-wake while running: dropped
+    sim.delay(10);
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Process, BlockingCallOutsideProcessThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.delay(10), mg::UsageError);
+  EXPECT_THROW(sim.suspend(), mg::UsageError);
+  EXPECT_FALSE(sim.inProcessContext());
+}
+
+TEST(Process, SpawnFromWithinProcess) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.spawn("parent", [&] {
+    sim.delay(10);
+    sim.spawn("child", [&] {
+      log.push_back("child@" + std::to_string(sim.now()));
+    });
+    sim.delay(10);
+    log.push_back("parent@" + std::to_string(sim.now()));
+  });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"child@10", "parent@20"}));
+}
+
+TEST(Process, ShutdownKillsSuspendedDaemons) {
+  Simulator sim;
+  bool unwound = false;
+  sim.spawn("daemon", [&] {
+    struct Flag {
+      bool* f;
+      ~Flag() { *f = true; }
+    } flag{&unwound};
+    sim.suspend();  // never woken
+  });
+  sim.run();
+  EXPECT_EQ(sim.liveProcessCount(), 1);
+  EXPECT_EQ(sim.suspendedProcessNames(), (std::vector<std::string>{"daemon"}));
+  sim.shutdown();
+  EXPECT_TRUE(unwound);
+  EXPECT_EQ(sim.liveProcessCount(), 0);
+}
+
+TEST(Process, ExceptionInBodyDoesNotCrashKernel) {
+  Simulator sim;
+  sim.spawn("thrower", [&] {
+    sim.delay(5);
+    throw std::runtime_error("app bug");
+  });
+  SimTime end = sim.run();
+  EXPECT_EQ(end, 5);
+  EXPECT_EQ(sim.liveProcessCount(), 0);
+}
+
+TEST(Condition, NotifyOneWakesFifo) {
+  Simulator sim;
+  Condition cond(sim);
+  std::vector<int> woken;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("w" + std::to_string(i), [&, i] {
+      cond.wait();
+      woken.push_back(i);
+    });
+  }
+  sim.spawn("notifier", [&] {
+    sim.delay(10);
+    cond.notifyOne();
+    sim.delay(10);
+    cond.notifyOne();
+    sim.delay(10);
+    cond.notifyOne();
+  });
+  sim.run();
+  EXPECT_EQ(woken, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Condition, NotifyAllWakesEveryone) {
+  Simulator sim;
+  Condition cond(sim);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn("w" + std::to_string(i), [&] {
+      cond.wait();
+      ++woken;
+    });
+  }
+  sim.spawn("notifier", [&] {
+    sim.delay(1);
+    EXPECT_EQ(cond.waiterCount(), 5u);
+    cond.notifyAll();
+  });
+  sim.run();
+  EXPECT_EQ(woken, 5);
+  EXPECT_EQ(cond.waiterCount(), 0u);
+}
+
+TEST(Condition, WaitForTimeoutRemovesWaiter) {
+  Simulator sim;
+  Condition cond(sim);
+  bool notified = true;
+  sim.spawn("p", [&] { notified = cond.waitFor(50); });
+  sim.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(cond.waiterCount(), 0u);
+}
+
+TEST(Channel, SendRecvTransfersInOrder) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  sim.spawn("consumer", [&] {
+    for (int i = 0; i < 3; ++i) got.push_back(ch.recv());
+  });
+  sim.spawn("producer", [&] {
+    for (int i = 1; i <= 3; ++i) {
+      sim.delay(10);
+      ch.send(i * 11);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{11, 22, 33}));
+}
+
+TEST(Channel, BoundedChannelBlocksSender) {
+  Simulator sim;
+  Channel<int> ch(sim, 2);
+  SimTime third_sent = -1;
+  sim.spawn("producer", [&] {
+    ch.send(1);
+    ch.send(2);
+    ch.send(3);  // blocks until consumer drains one
+    third_sent = sim.now();
+  });
+  sim.spawn("consumer", [&] {
+    sim.delay(100);
+    EXPECT_EQ(ch.recv(), 1);
+  });
+  sim.run();
+  EXPECT_EQ(third_sent, 100);
+}
+
+TEST(Channel, TrySendTryRecv) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  sim.spawn("p", [&] {
+    EXPECT_FALSE(ch.tryRecv().has_value());
+    EXPECT_TRUE(ch.trySend(5));
+    EXPECT_FALSE(ch.trySend(6));  // full
+    auto v = ch.tryRecv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 5);
+  });
+  sim.run();
+}
+
+TEST(Channel, RecvForTimesOut) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::optional<int> got = 42;
+  sim.spawn("p", [&] { got = ch.recvFor(100); });
+  sim.run();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Channel, RecvForGetsValueBeforeTimeout) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::optional<int> got;
+  sim.spawn("consumer", [&] { got = ch.recvFor(kSecond); });
+  sim.spawn("producer", [&] {
+    sim.delay(10);
+    ch.send(7);
+  });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Channel, CloseUnblocksReceiverWithException) {
+  Simulator sim;
+  bool threw = false;
+  Channel<int> ch(sim);
+  sim.spawn("consumer", [&] {
+    try {
+      ch.recv();
+    } catch (const ChannelClosed&) {
+      threw = true;
+    }
+  });
+  sim.spawn("closer", [&] {
+    sim.delay(5);
+    ch.close();
+  });
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Channel, CloseDrainsQueuedItemsFirst) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  bool closed_seen = false;
+  sim.spawn("p", [&] {
+    ch.send(1);
+    ch.send(2);
+    ch.close();
+    try {
+      got.push_back(ch.recv());
+      got.push_back(ch.recv());
+      got.push_back(ch.recv());
+    } catch (const ChannelClosed&) {
+      closed_seen = true;
+    }
+  });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(closed_seen);
+}
+
+TEST(Channel, ZeroCapacityRejected) {
+  Simulator sim;
+  EXPECT_THROW(Channel<int>(sim, 0), mg::UsageError);
+}
+
+// Determinism: the same program produces the identical event trace twice.
+TEST(Determinism, IdenticalRunsProduceIdenticalLogs) {
+  auto runOnce = [] {
+    Simulator sim;
+    Channel<int> ch(sim);
+    std::vector<std::string> log;
+    for (int p = 0; p < 4; ++p) {
+      sim.spawn("prod" + std::to_string(p), [&, p] {
+        for (int i = 0; i < 5; ++i) {
+          sim.delay(10 * (p + 1));
+          ch.send(p * 100 + i);
+        }
+      });
+    }
+    sim.spawn("cons", [&] {
+      for (int i = 0; i < 20; ++i) {
+        int v = ch.recv();
+        log.push_back(std::to_string(sim.now()) + ":" + std::to_string(v));
+      }
+    });
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(Determinism, EventCounterAdvances) {
+  Simulator sim;
+  sim.scheduleAt(1, [] {});
+  sim.scheduleAt(2, [] {});
+  sim.run();
+  EXPECT_GE(sim.eventsExecuted(), 2u);
+}
+
+// --------------------------------------------------- kernel edge cases ----
+
+TEST(Simulator, RunUntilThenProcessContinues) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn("p", [&] {
+    for (int i = 0; i < 3; ++i) {
+      sim.delay(100);
+      log.push_back(sim.now());
+    }
+  });
+  sim.runUntil(150);
+  EXPECT_EQ(log, (std::vector<SimTime>{100}));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(Simulator, ManyProcessesTearDownCleanly) {
+  // 100 daemons blocked in different primitives; shutdown must unwind all.
+  Simulator sim;
+  auto cond = std::make_unique<Condition>(sim);
+  auto chan = std::make_unique<Channel<int>>(sim);
+  for (int i = 0; i < 100; ++i) {
+    switch (i % 3) {
+      case 0:
+        sim.spawn("s" + std::to_string(i), [&] { sim.suspend(); });
+        break;
+      case 1:
+        sim.spawn("c" + std::to_string(i), [&] { cond->wait(); });
+        break;
+      default:
+        sim.spawn("r" + std::to_string(i), [&] { chan->recv(); });
+        break;
+    }
+  }
+  sim.run();
+  EXPECT_EQ(sim.liveProcessCount(), 100);
+  sim.shutdown();
+  EXPECT_EQ(sim.liveProcessCount(), 0);
+}
+
+TEST(Channel, ManyProducersOneConsumerFifoPerProducer) {
+  Simulator sim;
+  Channel<std::pair<int, int>> ch(sim);
+  constexpr int kProducers = 10;
+  constexpr int kItems = 50;
+  for (int p = 0; p < kProducers; ++p) {
+    sim.spawn("prod" + std::to_string(p), [&, p] {
+      for (int i = 0; i < kItems; ++i) {
+        sim.delay((p + 1) % 7 + 1);
+        ch.send({p, i});
+      }
+    });
+  }
+  std::vector<int> last(kProducers, -1);
+  bool order_ok = true;
+  sim.spawn("cons", [&] {
+    for (int n = 0; n < kProducers * kItems; ++n) {
+      auto [p, i] = ch.recv();
+      if (i != last[static_cast<size_t>(p)] + 1) order_ok = false;
+      last[static_cast<size_t>(p)] = i;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(order_ok);
+  for (int v : last) EXPECT_EQ(v, kItems - 1);
+}
+
+TEST(Condition, KilledWaiterLeavesNoDanglingEntry) {
+  // A process killed while waiting must be removed from the waiter list;
+  // a later notify must not touch its freed Process.
+  Simulator sim;
+  auto cond = std::make_unique<Condition>(sim);
+  sim.spawn("w", [&] { cond->wait(); });
+  sim.run();
+  EXPECT_EQ(cond->waiterCount(), 1u);
+  sim.shutdown();  // unwinds the waiter through WaiterGuard
+  EXPECT_EQ(cond->waiterCount(), 0u);
+  cond->notifyAll();  // no waiters, no crash
+}
+
+TEST(Simulator, EventStormStaysOrdered) {
+  // Many same-time events interleaved with cancellations keep FIFO order.
+  Simulator sim;
+  std::vector<int> ran;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(sim.scheduleAt(10, [&ran, i] { ran.push_back(i); }));
+  }
+  for (int i = 0; i < 200; i += 2) sim.cancel(ids[static_cast<size_t>(i)]);
+  sim.run();
+  ASSERT_EQ(ran.size(), 100u);
+  for (size_t k = 0; k < ran.size(); ++k) EXPECT_EQ(ran[k], static_cast<int>(2 * k + 1));
+}

@@ -1,0 +1,333 @@
+// Tests for vmpi: point-to-point semantics, matching, nonblocking ops, and
+// collectives, run over real virtual sockets on the reference platform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/reference_platform.h"
+#include "core/topologies.h"
+#include "vmpi/comm.h"
+
+using namespace mg;
+using core::ReferencePlatform;
+using vmpi::Comm;
+
+namespace {
+
+/// Run `body(comm)` on `n` ranks, one per host of an n-host cluster.
+void runRanks(int n, const std::function<void(Comm&)>& body) {
+  core::topologies::AlphaClusterParams params;
+  params.hosts = n;
+  auto cfg = core::topologies::alphaCluster(params);
+  ReferencePlatform platform(cfg);
+  std::vector<std::string> hosts;
+  for (const auto& h : platform.mapper().hosts()) hosts.push_back(h.hostname);
+  for (int r = 0; r < n; ++r) {
+    platform.spawnOn(hosts[static_cast<size_t>(r)], "rank" + std::to_string(r),
+                     [r, hosts, &body](vos::HostContext& ctx) {
+                       auto comm = Comm::init(ctx, r, hosts);
+                       body(*comm);
+                       comm->finalize();
+                     });
+  }
+  platform.run();
+}
+
+}  // namespace
+
+TEST(Vmpi, RankAndSize) {
+  std::vector<int> seen(4, -1);
+  runRanks(4, [&](Comm& c) {
+    EXPECT_EQ(c.size(), 4);
+    seen[static_cast<size_t>(c.rank())] = c.rank();
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Vmpi, BlockingSendRecv) {
+  runRanks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const double v = 3.14159;
+      c.send(1, 7, &v, sizeof v);
+    } else {
+      double v = 0;
+      auto st = c.recv(0, 7, &v, sizeof v);
+      EXPECT_DOUBLE_EQ(v, 3.14159);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, sizeof v);
+    }
+  });
+}
+
+TEST(Vmpi, MessagesFromOneSenderArriveInOrder) {
+  runRanks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 20; ++i) c.send(1, 5, &i, sizeof i);
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        int v = -1;
+        c.recv(0, 5, &v, sizeof v);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Vmpi, TagMatchingSkipsNonMatching) {
+  runRanks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      int a = 1, b = 2;
+      c.send(1, 10, &a, sizeof a);
+      c.send(1, 20, &b, sizeof b);
+    } else {
+      int v = 0;
+      c.recv(0, 20, &v, sizeof v);  // match the second message first
+      EXPECT_EQ(v, 2);
+      c.recv(0, 10, &v, sizeof v);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(Vmpi, AnySourceAnyTag) {
+  runRanks(3, [](Comm& c) {
+    if (c.rank() != 0) {
+      const int v = 100 + c.rank();
+      c.send(0, c.rank(), &v, sizeof v);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        auto st = c.recv(vmpi::kAnySource, vmpi::kAnyTag, &v, sizeof v);
+        EXPECT_EQ(v, 100 + st.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 203);
+    }
+  });
+}
+
+TEST(Vmpi, SelfSend) {
+  runRanks(2, [](Comm& c) {
+    const int v = c.rank() * 11;
+    c.send(c.rank(), 3, &v, sizeof v);
+    int got = -1;
+    c.recv(c.rank(), 3, &got, sizeof got);
+    EXPECT_EQ(got, v);
+  });
+}
+
+TEST(Vmpi, OversizeMessageThrows) {
+  runRanks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::uint8_t> big(1024, 1);
+      c.send(1, 1, big.data(), big.size());
+    } else {
+      std::uint8_t small[16];
+      EXPECT_THROW(c.recv(0, 1, small, sizeof small), mg::Error);
+    }
+  });
+}
+
+TEST(Vmpi, IsendIrecvOverlap) {
+  runRanks(2, [](Comm& c) {
+    std::vector<double> out(1000), in(1000);
+    std::iota(out.begin(), out.end(), c.rank() * 1000.0);
+    auto sreq = c.isend(1 - c.rank(), 9, out.data(), out.size() * sizeof(double));
+    auto rreq = c.irecv(1 - c.rank(), 9, in.data(), in.size() * sizeof(double));
+    c.wait(sreq);
+    auto st = c.wait(rreq);
+    EXPECT_EQ(st.bytes, 1000 * sizeof(double));
+    EXPECT_DOUBLE_EQ(in.front(), (1 - c.rank()) * 1000.0);
+  });
+}
+
+TEST(Vmpi, WaitOnInvalidRequestThrows) {
+  runRanks(2, [](Comm& c) {
+    vmpi::Request req;
+    EXPECT_THROW(c.wait(req), mg::UsageError);
+    (void)c;
+  });
+}
+
+TEST(Vmpi, SendRecvExchanges) {
+  runRanks(2, [](Comm& c) {
+    const int mine = c.rank() + 50;
+    int theirs = -1;
+    c.sendRecv(1 - c.rank(), 4, &mine, sizeof mine, 1 - c.rank(), 4, &theirs, sizeof theirs);
+    EXPECT_EQ(theirs, (1 - c.rank()) + 50);
+  });
+}
+
+TEST(Vmpi, WireBytesPaddingSlowsTransfer) {
+  double small_time = 0, padded_time = 0;
+  runRanks(2, [&](Comm& c) {
+    // Warm up with a barrier so both ranks start together.
+    c.barrier();
+    const char byte = 'x';
+    if (c.rank() == 0) {
+      double t0 = c.wtime();
+      c.send(1, 1, &byte, 1);
+      char ack;
+      c.recv(1, 2, &ack, 1);
+      small_time = c.wtime() - t0;
+      t0 = c.wtime();
+      c.send(1, 3, &byte, 1, /*wire_bytes=*/1 << 20);
+      c.recv(1, 4, &ack, 1);
+      padded_time = c.wtime() - t0;
+    } else {
+      char b;
+      c.recv(0, 1, &b, 1);
+      c.send(0, 2, &b, 1);
+      c.recv(0, 3, &b, 1);
+      c.send(0, 4, &b, 1);
+    }
+  });
+  // 1 MB over 100 Mbps is ~90 ms; the 1-byte round trip is sub-millisecond.
+  EXPECT_GT(padded_time, 50 * small_time);
+}
+
+// ------------------------------------------------------------ collectives --
+
+class VmpiRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmpiRankSweep, BarrierSynchronizes) {
+  const int n = GetParam();
+  std::vector<double> after(static_cast<size_t>(n), 0);
+  runRanks(n, [&](Comm& c) {
+    // Stagger arrivals; everyone must leave after the last arrival.
+    c.context().sleep(0.01 * (c.rank() + 1));
+    c.barrier();
+    after[static_cast<size_t>(c.rank())] = c.wtime();
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GE(after[static_cast<size_t>(r)], 0.01 * n) << "rank " << r;
+  }
+}
+
+TEST_P(VmpiRankSweep, BcastFromEveryRoot) {
+  const int n = GetParam();
+  runRanks(n, [n](Comm& c) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<double> data(64, c.rank() == root ? root * 1.5 : -1.0);
+      c.bcast(data.data(), data.size() * sizeof(double), root);
+      for (double v : data) EXPECT_DOUBLE_EQ(v, root * 1.5);
+    }
+  });
+}
+
+TEST_P(VmpiRankSweep, AllreduceSum) {
+  const int n = GetParam();
+  runRanks(n, [n](Comm& c) {
+    std::vector<double> data(10);
+    for (size_t i = 0; i < data.size(); ++i) data[i] = c.rank() + static_cast<double>(i);
+    c.allreduce(data.data(), data.size(), vmpi::Op::Sum);
+    const double ranksum = n * (n - 1) / 2.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_DOUBLE_EQ(data[i], ranksum + n * static_cast<double>(i));
+    }
+  });
+}
+
+TEST_P(VmpiRankSweep, AllreduceMinMaxInt) {
+  const int n = GetParam();
+  runRanks(n, [n](Comm& c) {
+    std::int64_t v = c.rank() + 1;
+    c.allreduce(&v, 1, vmpi::Op::Max);
+    EXPECT_EQ(v, n);
+    std::int64_t w = c.rank() + 1;
+    c.allreduce(&w, 1, vmpi::Op::Min);
+    EXPECT_EQ(w, 1);
+  });
+}
+
+TEST_P(VmpiRankSweep, RingAllreduceMatchesTree) {
+  const int n = GetParam();
+  runRanks(n, [](Comm& c) {
+    std::vector<double> ring(37), tree(37);
+    for (size_t i = 0; i < ring.size(); ++i) {
+      ring[i] = tree[i] = std::sin(c.rank() * 3.0 + static_cast<double>(i));
+    }
+    c.allreduceRing(ring.data(), ring.size(), vmpi::Op::Sum);
+    c.allreduce(tree.data(), tree.size(), vmpi::Op::Sum);
+    for (size_t i = 0; i < ring.size(); ++i) EXPECT_NEAR(ring[i], tree[i], 1e-12);
+  });
+}
+
+TEST_P(VmpiRankSweep, GatherScatter) {
+  const int n = GetParam();
+  runRanks(n, [n](Comm& c) {
+    const std::int32_t mine = 100 + c.rank();
+    std::vector<std::int32_t> all(static_cast<size_t>(n));
+    c.gather(&mine, sizeof mine, all.data(), 0);
+    if (c.rank() == 0) {
+      for (int r = 0; r < n; ++r) EXPECT_EQ(all[static_cast<size_t>(r)], 100 + r);
+      for (int r = 0; r < n; ++r) all[static_cast<size_t>(r)] = 200 + r;
+    }
+    std::int32_t got = -1;
+    c.scatter(all.data(), sizeof got, &got, 0);
+    EXPECT_EQ(got, 200 + c.rank());
+  });
+}
+
+TEST_P(VmpiRankSweep, AlltoallvPersonalized) {
+  const int n = GetParam();
+  runRanks(n, [n](Comm& c) {
+    // Rank r sends d bytes of value (r*16+d) to rank d.
+    std::vector<std::vector<std::uint8_t>> blocks(static_cast<size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      blocks[static_cast<size_t>(d)].assign(static_cast<size_t>(d),
+                                            static_cast<std::uint8_t>(c.rank() * 16 + d));
+    }
+    auto got = c.alltoallv(blocks);
+    ASSERT_EQ(got.size(), static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      const auto& blk = got[static_cast<size_t>(s)];
+      ASSERT_EQ(blk.size(), static_cast<size_t>(c.rank())) << "from " << s;
+      for (auto b : blk) EXPECT_EQ(b, static_cast<std::uint8_t>(s * 16 + c.rank()));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, VmpiRankSweep, ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(Vmpi, CountersTrackTraffic) {
+  runRanks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::uint8_t> buf(1000, 1);
+      c.send(1, 1, buf.data(), buf.size());
+      c.send(1, 1, buf.data(), buf.size(), 5000);  // padded
+      EXPECT_EQ(c.messagesSent(), 2);
+      EXPECT_EQ(c.bytesSent(), 6000);
+    } else {
+      std::vector<std::uint8_t> buf(1000);
+      c.recv(0, 1, buf.data(), buf.size());
+      c.recv(0, 1, buf.data(), buf.size());
+    }
+  });
+}
+
+TEST(Vmpi, MultipleRanksPerHost) {
+  // 4 ranks on 2 hosts (2 each) — port allocation must not collide.
+  core::topologies::AlphaClusterParams params;
+  params.hosts = 2;
+  auto cfg = core::topologies::alphaCluster(params);
+  ReferencePlatform platform(cfg);
+  std::vector<std::string> hosts = {"vm0.ucsd.edu", "vm0.ucsd.edu", "vm1.ucsd.edu",
+                                    "vm1.ucsd.edu"};
+  std::vector<double> sums(4, 0);
+  for (int r = 0; r < 4; ++r) {
+    platform.spawnOn(hosts[static_cast<size_t>(r)], "rank" + std::to_string(r),
+                     [r, hosts, &sums](vos::HostContext& ctx) {
+                       auto comm = Comm::init(ctx, r, hosts);
+                       double v = r + 1.0;
+                       comm->allreduce(&v, 1, vmpi::Op::Sum);
+                       sums[static_cast<size_t>(r)] = v;
+                       comm->finalize();
+                     });
+  }
+  platform.run();
+  for (double s : sums) EXPECT_DOUBLE_EQ(s, 10.0);
+}
