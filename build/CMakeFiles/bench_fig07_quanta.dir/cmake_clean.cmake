@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_quanta.dir/bench/bench_fig07_quanta.cpp.o"
+  "CMakeFiles/bench_fig07_quanta.dir/bench/bench_fig07_quanta.cpp.o.d"
+  "bench/bench_fig07_quanta"
+  "bench/bench_fig07_quanta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_quanta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_npb.dir/bench/bench_fig10_npb.cpp.o"
+  "CMakeFiles/bench_fig10_npb.dir/bench/bench_fig10_npb.cpp.o.d"
+  "bench/bench_fig10_npb"
+  "bench/bench_fig10_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cpu_scaling.dir/bench/bench_fig12_cpu_scaling.cpp.o"
+  "CMakeFiles/bench_fig12_cpu_scaling.dir/bench/bench_fig12_cpu_scaling.cpp.o.d"
+  "bench/bench_fig12_cpu_scaling"
+  "bench/bench_fig12_cpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

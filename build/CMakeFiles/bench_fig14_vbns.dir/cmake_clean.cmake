@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_vbns.dir/bench/bench_fig14_vbns.cpp.o"
+  "CMakeFiles/bench_fig14_vbns.dir/bench/bench_fig14_vbns.cpp.o.d"
+  "bench/bench_fig14_vbns"
+  "bench/bench_fig14_vbns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_vbns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

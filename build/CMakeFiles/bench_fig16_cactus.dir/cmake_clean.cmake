@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_cactus.dir/bench/bench_fig16_cactus.cpp.o"
+  "CMakeFiles/bench_fig16_cactus.dir/bench/bench_fig16_cactus.cpp.o.d"
+  "bench/bench_fig16_cactus"
+  "bench/bench_fig16_cactus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

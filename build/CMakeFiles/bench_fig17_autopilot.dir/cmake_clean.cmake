@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_autopilot.dir/bench/bench_fig17_autopilot.cpp.o"
+  "CMakeFiles/bench_fig17_autopilot.dir/bench/bench_fig17_autopilot.cpp.o.d"
+  "bench/bench_fig17_autopilot"
+  "bench/bench_fig17_autopilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_autopilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactus_wavetoy.dir/cactus_wavetoy.cpp.o"
+  "CMakeFiles/cactus_wavetoy.dir/cactus_wavetoy.cpp.o.d"
+  "cactus_wavetoy"
+  "cactus_wavetoy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactus_wavetoy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgrun.dir/mgrun.cpp.o"
+  "CMakeFiles/mgrun.dir/mgrun.cpp.o.d"
+  "mgrun"
+  "mgrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

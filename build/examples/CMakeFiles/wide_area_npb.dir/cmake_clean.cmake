@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_area_npb.dir/wide_area_npb.cpp.o"
+  "CMakeFiles/wide_area_npb.dir/wide_area_npb.cpp.o.d"
+  "wide_area_npb"
+  "wide_area_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_area_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_apps.dir/microbench.cpp.o"
+  "CMakeFiles/mg_apps.dir/microbench.cpp.o.d"
+  "CMakeFiles/mg_apps.dir/wavetoy.cpp.o"
+  "CMakeFiles/mg_apps.dir/wavetoy.cpp.o.d"
+  "libmg_apps.a"
+  "libmg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autopilot/autopilot.cpp" "src/autopilot/CMakeFiles/mg_autopilot.dir/autopilot.cpp.o" "gcc" "src/autopilot/CMakeFiles/mg_autopilot.dir/autopilot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vos/CMakeFiles/mg_vos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

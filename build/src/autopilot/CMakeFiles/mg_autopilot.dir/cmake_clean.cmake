@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_autopilot.dir/autopilot.cpp.o"
+  "CMakeFiles/mg_autopilot.dir/autopilot.cpp.o.d"
+  "libmg_autopilot.a"
+  "libmg_autopilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_autopilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

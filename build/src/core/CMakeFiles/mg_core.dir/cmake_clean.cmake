@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_core.dir/launcher.cpp.o"
+  "CMakeFiles/mg_core.dir/launcher.cpp.o.d"
+  "CMakeFiles/mg_core.dir/microgrid_platform.cpp.o"
+  "CMakeFiles/mg_core.dir/microgrid_platform.cpp.o.d"
+  "CMakeFiles/mg_core.dir/reference_platform.cpp.o"
+  "CMakeFiles/mg_core.dir/reference_platform.cpp.o.d"
+  "CMakeFiles/mg_core.dir/topologies.cpp.o"
+  "CMakeFiles/mg_core.dir/topologies.cpp.o.d"
+  "CMakeFiles/mg_core.dir/virtual_grid.cpp.o"
+  "CMakeFiles/mg_core.dir/virtual_grid.cpp.o.d"
+  "libmg_core.a"
+  "libmg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

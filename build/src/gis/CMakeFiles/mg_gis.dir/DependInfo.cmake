@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gis/directory.cpp" "src/gis/CMakeFiles/mg_gis.dir/directory.cpp.o" "gcc" "src/gis/CMakeFiles/mg_gis.dir/directory.cpp.o.d"
+  "/root/repo/src/gis/filter.cpp" "src/gis/CMakeFiles/mg_gis.dir/filter.cpp.o" "gcc" "src/gis/CMakeFiles/mg_gis.dir/filter.cpp.o.d"
+  "/root/repo/src/gis/record.cpp" "src/gis/CMakeFiles/mg_gis.dir/record.cpp.o" "gcc" "src/gis/CMakeFiles/mg_gis.dir/record.cpp.o.d"
+  "/root/repo/src/gis/schema.cpp" "src/gis/CMakeFiles/mg_gis.dir/schema.cpp.o" "gcc" "src/gis/CMakeFiles/mg_gis.dir/schema.cpp.o.d"
+  "/root/repo/src/gis/service.cpp" "src/gis/CMakeFiles/mg_gis.dir/service.cpp.o" "gcc" "src/gis/CMakeFiles/mg_gis.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vos/CMakeFiles/mg_vos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

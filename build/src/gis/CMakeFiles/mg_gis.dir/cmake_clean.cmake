@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_gis.dir/directory.cpp.o"
+  "CMakeFiles/mg_gis.dir/directory.cpp.o.d"
+  "CMakeFiles/mg_gis.dir/filter.cpp.o"
+  "CMakeFiles/mg_gis.dir/filter.cpp.o.d"
+  "CMakeFiles/mg_gis.dir/record.cpp.o"
+  "CMakeFiles/mg_gis.dir/record.cpp.o.d"
+  "CMakeFiles/mg_gis.dir/schema.cpp.o"
+  "CMakeFiles/mg_gis.dir/schema.cpp.o.d"
+  "CMakeFiles/mg_gis.dir/service.cpp.o"
+  "CMakeFiles/mg_gis.dir/service.cpp.o.d"
+  "libmg_gis.a"
+  "libmg_gis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_gis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

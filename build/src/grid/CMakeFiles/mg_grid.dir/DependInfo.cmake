@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/coallocator.cpp" "src/grid/CMakeFiles/mg_grid.dir/coallocator.cpp.o" "gcc" "src/grid/CMakeFiles/mg_grid.dir/coallocator.cpp.o.d"
+  "/root/repo/src/grid/gram.cpp" "src/grid/CMakeFiles/mg_grid.dir/gram.cpp.o" "gcc" "src/grid/CMakeFiles/mg_grid.dir/gram.cpp.o.d"
+  "/root/repo/src/grid/rsl.cpp" "src/grid/CMakeFiles/mg_grid.dir/rsl.cpp.o" "gcc" "src/grid/CMakeFiles/mg_grid.dir/rsl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vos/CMakeFiles/mg_vos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_grid.dir/coallocator.cpp.o"
+  "CMakeFiles/mg_grid.dir/coallocator.cpp.o.d"
+  "CMakeFiles/mg_grid.dir/gram.cpp.o"
+  "CMakeFiles/mg_grid.dir/gram.cpp.o.d"
+  "CMakeFiles/mg_grid.dir/rsl.cpp.o"
+  "CMakeFiles/mg_grid.dir/rsl.cpp.o.d"
+  "libmg_grid.a"
+  "libmg_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

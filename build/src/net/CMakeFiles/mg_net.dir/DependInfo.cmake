@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow_network.cpp" "src/net/CMakeFiles/mg_net.dir/flow_network.cpp.o" "gcc" "src/net/CMakeFiles/mg_net.dir/flow_network.cpp.o.d"
+  "/root/repo/src/net/packet_network.cpp" "src/net/CMakeFiles/mg_net.dir/packet_network.cpp.o" "gcc" "src/net/CMakeFiles/mg_net.dir/packet_network.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/mg_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/mg_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/mg_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/mg_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/mg_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/mg_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

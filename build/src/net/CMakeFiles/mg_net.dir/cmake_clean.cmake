@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_net.dir/flow_network.cpp.o"
+  "CMakeFiles/mg_net.dir/flow_network.cpp.o.d"
+  "CMakeFiles/mg_net.dir/packet_network.cpp.o"
+  "CMakeFiles/mg_net.dir/packet_network.cpp.o.d"
+  "CMakeFiles/mg_net.dir/tcp.cpp.o"
+  "CMakeFiles/mg_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/mg_net.dir/topology.cpp.o"
+  "CMakeFiles/mg_net.dir/topology.cpp.o.d"
+  "CMakeFiles/mg_net.dir/udp.cpp.o"
+  "CMakeFiles/mg_net.dir/udp.cpp.o.d"
+  "libmg_net.a"
+  "libmg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

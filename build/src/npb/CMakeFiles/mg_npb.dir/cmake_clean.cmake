@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_npb.dir/bt.cpp.o"
+  "CMakeFiles/mg_npb.dir/bt.cpp.o.d"
+  "CMakeFiles/mg_npb.dir/cost_model.cpp.o"
+  "CMakeFiles/mg_npb.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mg_npb.dir/ep.cpp.o"
+  "CMakeFiles/mg_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/mg_npb.dir/is.cpp.o"
+  "CMakeFiles/mg_npb.dir/is.cpp.o.d"
+  "CMakeFiles/mg_npb.dir/lu.cpp.o"
+  "CMakeFiles/mg_npb.dir/lu.cpp.o.d"
+  "CMakeFiles/mg_npb.dir/mg_kernel.cpp.o"
+  "CMakeFiles/mg_npb.dir/mg_kernel.cpp.o.d"
+  "CMakeFiles/mg_npb.dir/npb.cpp.o"
+  "CMakeFiles/mg_npb.dir/npb.cpp.o.d"
+  "libmg_npb.a"
+  "libmg_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

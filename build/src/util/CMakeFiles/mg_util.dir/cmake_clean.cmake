@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_util.dir/config.cpp.o"
+  "CMakeFiles/mg_util.dir/config.cpp.o.d"
+  "CMakeFiles/mg_util.dir/log.cpp.o"
+  "CMakeFiles/mg_util.dir/log.cpp.o.d"
+  "CMakeFiles/mg_util.dir/rng.cpp.o"
+  "CMakeFiles/mg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mg_util.dir/stats.cpp.o"
+  "CMakeFiles/mg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mg_util.dir/strings.cpp.o"
+  "CMakeFiles/mg_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mg_util.dir/table.cpp.o"
+  "CMakeFiles/mg_util.dir/table.cpp.o.d"
+  "CMakeFiles/mg_util.dir/units.cpp.o"
+  "CMakeFiles/mg_util.dir/units.cpp.o.d"
+  "libmg_util.a"
+  "libmg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_vmpi.dir/comm.cpp.o"
+  "CMakeFiles/mg_vmpi.dir/comm.cpp.o.d"
+  "libmg_vmpi.a"
+  "libmg_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vos/cpu_scheduler.cpp" "src/vos/CMakeFiles/mg_vos.dir/cpu_scheduler.cpp.o" "gcc" "src/vos/CMakeFiles/mg_vos.dir/cpu_scheduler.cpp.o.d"
+  "/root/repo/src/vos/memory.cpp" "src/vos/CMakeFiles/mg_vos.dir/memory.cpp.o" "gcc" "src/vos/CMakeFiles/mg_vos.dir/memory.cpp.o.d"
+  "/root/repo/src/vos/virtual_host.cpp" "src/vos/CMakeFiles/mg_vos.dir/virtual_host.cpp.o" "gcc" "src/vos/CMakeFiles/mg_vos.dir/virtual_host.cpp.o.d"
+  "/root/repo/src/vos/wire.cpp" "src/vos/CMakeFiles/mg_vos.dir/wire.cpp.o" "gcc" "src/vos/CMakeFiles/mg_vos.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

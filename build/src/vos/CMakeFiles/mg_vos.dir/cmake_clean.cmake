@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_vos.dir/cpu_scheduler.cpp.o"
+  "CMakeFiles/mg_vos.dir/cpu_scheduler.cpp.o.d"
+  "CMakeFiles/mg_vos.dir/memory.cpp.o"
+  "CMakeFiles/mg_vos.dir/memory.cpp.o.d"
+  "CMakeFiles/mg_vos.dir/virtual_host.cpp.o"
+  "CMakeFiles/mg_vos.dir/virtual_host.cpp.o.d"
+  "CMakeFiles/mg_vos.dir/wire.cpp.o"
+  "CMakeFiles/mg_vos.dir/wire.cpp.o.d"
+  "libmg_vos.a"
+  "libmg_vos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_vos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_test.dir/gis_test.cpp.o"
+  "CMakeFiles/gis_test.dir/gis_test.cpp.o.d"
+  "gis_test"
+  "gis_test.pdb"
+  "gis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

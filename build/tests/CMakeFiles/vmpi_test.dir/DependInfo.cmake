@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vmpi_test.cpp" "tests/CMakeFiles/vmpi_test.dir/vmpi_test.cpp.o" "gcc" "tests/CMakeFiles/vmpi_test.dir/vmpi_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/mg_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gis/CMakeFiles/mg_gis.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/vos/CMakeFiles/mg_vos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
