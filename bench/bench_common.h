@@ -2,6 +2,7 @@
 // full GRAM submission path on a platform and report paper-style rows.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -31,6 +32,19 @@ inline std::vector<grid::AllocationPart> onePerHost(const core::Platform& platfo
   return parts;
 }
 
+/// When MG_METRICS=table or MG_METRICS=json is set in the environment, dump
+/// the platform simulator's metrics snapshot to stdout (after a workload).
+inline void maybeDumpMetrics(core::Platform& platform) {
+  const char* fmt = std::getenv("MG_METRICS");
+  if (!fmt) return;
+  const std::string f = fmt;
+  if (f == "json") {
+    std::cout << platform.simulator().metrics().snapshotJson() << "\n";
+  } else if (f == "table") {
+    platform.simulator().metrics().snapshotTable().print(std::cout, "metrics");
+  }
+}
+
 /// Run one NPB benchmark end-to-end (GIS + gatekeepers + co-allocation) and
 /// return the longest per-rank time. Aborts the harness on failure.
 inline double runNpbOn(core::Platform& platform, npb::Benchmark b, npb::NpbClass cls,
@@ -46,6 +60,7 @@ inline double runNpbOn(core::Platform& platform, npb::Benchmark b, npb::NpbClass
     std::cerr << "FATAL: " << exe << " run failed: " << result.error << "\n";
     std::exit(1);
   }
+  maybeDumpMetrics(platform);
   return sink.maxSeconds();
 }
 
@@ -64,6 +79,7 @@ inline double runWaveToyOn(core::Platform& platform, int grid_edge, int timestep
     std::cerr << "FATAL: wavetoy run failed: " << result.error << "\n";
     std::exit(1);
   }
+  maybeDumpMetrics(platform);
   return sink.maxSeconds();
 }
 

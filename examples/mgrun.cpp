@@ -14,6 +14,8 @@
 //   --parts H:N,...    allocation parts (default: one rank per host)
 //   --quantum MS       scheduler quantum in milliseconds (default 10)
 //   --slowdown N       run the emulation N times slower (default 1)
+//   --metrics FMT      dump the simulator metrics snapshot after the run
+//                      (FMT is table or json)
 //   --verbose          print per-rank results
 #include <iostream>
 #include <memory>
@@ -38,6 +40,7 @@ struct Options {
   std::string parts;
   double quantum_ms = 10.0;
   double slowdown = 1.0;
+  std::string metrics;  // "", "table", or "json"
   bool verbose = false;
   bool list = false;
 };
@@ -64,6 +67,11 @@ Options parseArgs(int argc, char** argv) {
       opt.quantum_ms = std::stod(next());
     } else if (flag == "--slowdown") {
       opt.slowdown = std::stod(next());
+    } else if (flag == "--metrics" || flag.rfind("--metrics=", 0) == 0) {
+      opt.metrics = (flag == "--metrics") ? next() : flag.substr(10);
+      if (opt.metrics != "table" && opt.metrics != "json") {
+        throw mg::UsageError("--metrics must be table or json");
+      }
     } else if (flag == "--verbose") {
       opt.verbose = true;
     } else if (flag == "--list-executables") {
@@ -129,6 +137,12 @@ int main(int argc, char** argv) {
     std::cout << "submitting " << opt.exe << " '" << opt.args << "' across " << parts.size()
               << " part(s)...\n";
     const auto result = launcher.run(opt.exe, opt.args, parts);
+
+    if (opt.metrics == "json") {
+      std::cout << platform->simulator().metrics().snapshotJson() << "\n";
+    } else if (opt.metrics == "table") {
+      platform->simulator().metrics().snapshotTable().print(std::cout, "metrics");
+    }
 
     if (!result.ok) {
       std::cerr << "job failed: " << result.error << "\n";

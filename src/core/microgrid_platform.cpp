@@ -145,7 +145,7 @@ MicroGridPlatform::MicroGridPlatform(const VirtualGridConfig& cfg, MicroGridOpti
     HostRt rt;
     rt.info = &host;
     rt.stack = std::make_unique<net::HostStack>(*net_, host.node, opts_.tcp);
-    rt.mem = std::make_unique<vos::MemoryManager>(host.memory_bytes);
+    rt.mem = std::make_unique<vos::MemoryManager>(host.memory_bytes, &sim_.metrics());
     rt.sched = schedulers_.at(host.physical_host).get();
     const double phys_ops = cfg.physical(host.physical_host).cpu_ops;
     rt.host_fraction = std::min(1.0, rate_ * host.cpu_ops / phys_ops);

@@ -229,7 +229,7 @@ vos::MemoryManager& ReferencePlatform::memoryFor(const std::string& hostname) {
   auto it = memory_.find(hostname);
   if (it == memory_.end()) {
     const auto& info = mapper_.resolve(hostname);
-    it = memory_.emplace(hostname, std::make_unique<vos::MemoryManager>(info.memory_bytes)).first;
+    it = memory_.emplace(hostname, std::make_unique<vos::MemoryManager>(info.memory_bytes, &sim_.metrics())).first;
   }
   return *it->second;
 }

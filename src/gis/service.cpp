@@ -8,12 +8,26 @@ namespace mg::gis {
 
 namespace {
 
-std::string handleRequest(Directory& dir, const std::string& request) {
+/// gis.service.* registry handles, resolved once per server.
+struct ServiceCounters {
+  explicit ServiceCounters(obs::MetricsRegistry& m)
+      : searches(m.counter("gis.service.searches")),
+        adds(m.counter("gis.service.adds")),
+        removes(m.counter("gis.service.removes")),
+        errors(m.counter("gis.service.errors")) {}
+  obs::Counter& searches;
+  obs::Counter& adds;
+  obs::Counter& removes;
+  obs::Counter& errors;
+};
+
+std::string handleRequest(Directory& dir, const std::string& request, ServiceCounters& counters) {
   try {
     const auto nl = request.find('\n');
     const std::string verb = (nl == std::string::npos) ? request : request.substr(0, nl);
     const std::string body = (nl == std::string::npos) ? "" : request.substr(nl + 1);
     if (verb == "SEARCH") {
+      counters.searches.inc();
       const auto lines = util::split(body, '\n');
       if (lines.size() < 3) return "ERR\nSEARCH needs base, scope, filter";
       const Dn base = Dn::parse(lines[0]);
@@ -31,14 +45,18 @@ std::string handleRequest(Directory& dir, const std::string& request) {
       return "OK\n" + payload;
     }
     if (verb == "ADD") {
+      counters.adds.inc();
       dir.upsert(Record::fromLdif(body));
       return "OK\n";
     }
     if (verb == "REMOVE") {
+      counters.removes.inc();
       return dir.remove(Dn::parse(body)) ? "OK\nremoved" : "OK\n";
     }
+    counters.errors.inc();
     return "ERR\nunknown verb '" + verb + "'";
   } catch (const mg::Error& e) {
+    counters.errors.inc();
     return std::string("ERR\n") + e.what();
   }
 }
@@ -47,14 +65,15 @@ std::string handleRequest(Directory& dir, const std::string& request) {
 
 void serveDirectory(vos::HostContext& ctx, Directory& dir, std::uint16_t port) {
   auto listener = ctx.listen(port);
+  auto counters = std::make_shared<ServiceCounters>(ctx.simulator().metrics());
   MG_LOG_INFO("gis") << "GIS server listening on " << ctx.hostname() << ":" << port;
   for (;;) {
     auto sock = listener->accept();
-    ctx.spawnProcess("gis-handler", [sock, &dir](vos::HostContext&) {
+    ctx.spawnProcess("gis-handler", [sock, &dir, counters](vos::HostContext& hctx) {
       try {
         for (;;) {
-          const std::string request = vos::recvFrame(*sock);
-          vos::sendFrame(*sock, handleRequest(dir, request));
+          const std::string request = vos::recvFrame(*sock, hctx.simulator().metrics());
+          vos::sendFrame(*sock, handleRequest(dir, request, *counters), hctx.simulator().metrics());
         }
       } catch (const mg::Error&) {
         // Client hung up; the connection is done.
@@ -69,8 +88,8 @@ GisClient::GisClient(vos::HostContext& ctx, std::string server_host, std::uint16
 
 std::string GisClient::request(const std::string& payload) {
   if (!sock_) sock_ = ctx_.connect(server_host_, port_);
-  vos::sendFrame(*sock_, payload);
-  const std::string reply = vos::recvFrame(*sock_);
+  vos::sendFrame(*sock_, payload, ctx_.simulator().metrics());
+  const std::string reply = vos::recvFrame(*sock_, ctx_.simulator().metrics());
   const auto nl = reply.find('\n');
   const std::string status = (nl == std::string::npos) ? reply : reply.substr(0, nl);
   const std::string body = (nl == std::string::npos) ? "" : reply.substr(nl + 1);

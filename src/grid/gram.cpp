@@ -200,8 +200,9 @@ void serveGatekeeper(vos::HostContext& ctx, const ExecutableRegistry& registry,
     ctx.spawnProcess("gk-handler", [sock, &registry, state, opts](vos::HostContext& hctx) {
       try {
         for (;;) {
-          const std::string request = vos::recvFrame(*sock);
-          vos::sendFrame(*sock, handleRequest(hctx, registry, state, opts, request));
+          const std::string request = vos::recvFrame(*sock, hctx.simulator().metrics());
+          vos::sendFrame(*sock, handleRequest(hctx, registry, state, opts, request),
+                         hctx.simulator().metrics());
         }
       } catch (const mg::Error&) {
         // client hung up
@@ -218,8 +219,8 @@ GramClient::GramClient(vos::HostContext& ctx, std::string subject)
 
 std::string GramClient::request(const std::string& host, const std::string& payload) {
   auto sock = ctx_.connect(host, kGatekeeperPort);
-  vos::sendFrame(*sock, payload);
-  const std::string reply = vos::recvFrame(*sock);
+  vos::sendFrame(*sock, payload, ctx_.simulator().metrics());
+  const std::string reply = vos::recvFrame(*sock, ctx_.simulator().metrics());
   sock->close();
   const auto nl = reply.find('\n');
   const std::string status = (nl == std::string::npos) ? reply : reply.substr(0, nl);

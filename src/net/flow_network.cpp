@@ -8,9 +8,19 @@
 namespace mg::net {
 
 FlowNetwork::FlowNetwork(sim::Simulator& sim, Topology topo, FlowNetworkOptions opts)
-    : sim_(sim), topo_(std::move(topo)), routing_(topo_), opts_(opts) {
+    : sim_(sim),
+      topo_(std::move(topo)),
+      routing_(topo_),
+      opts_(opts),
+      c_transfers_(sim.metrics().counter("net.flow.transfers")),
+      c_bytes_(sim.metrics().counter("net.flow.bytes")),
+      trace_(sim.traceBus().channel("net.flow")) {
   if (opts_.time_scale <= 0) throw UsageError("time_scale must be positive");
   link_free_at_.assign(static_cast<size_t>(topo_.linkCount()) * 2, 0);
+}
+
+FlowNetworkStats FlowNetwork::stats() const {
+  return FlowNetworkStats{c_transfers_.value(), c_bytes_.value()};
 }
 
 sim::SimTime FlowNetwork::estimate(NodeId src, NodeId dst, std::int64_t bytes) const {
@@ -42,8 +52,9 @@ sim::SimTime FlowNetwork::transfer(NodeId src, NodeId dst, std::int64_t bytes) {
 
 sim::SimTime FlowNetwork::reserveTransfer(NodeId src, NodeId dst, std::int64_t bytes) {
   if (bytes < 0) throw UsageError("negative transfer size");
-  ++stats_.transfers;
-  stats_.bytes += bytes;
+  c_transfers_.inc();
+  c_bytes_.inc(bytes);
+  if (trace_.enabled()) trace_.record(sim_.now(), "transfer", static_cast<double>(bytes));
   const double inv_scale = 1.0 / opts_.time_scale;
   const sim::SimTime now_net =
       static_cast<sim::SimTime>(std::llround(static_cast<double>(sim_.now()) * inv_scale));

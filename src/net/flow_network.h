@@ -28,6 +28,7 @@ struct FlowNetworkOptions {
   double byte_overhead = 1538.0 / 1460.0;
 };
 
+/// Snapshot view over the `net.flow.*` registry counters.
 struct FlowNetworkStats {
   std::int64_t transfers = 0;
   std::int64_t bytes = 0;
@@ -39,7 +40,7 @@ class FlowNetwork {
 
   const Topology& topology() const { return topo_; }
   const RoutingTable& routing() const { return routing_; }
-  const FlowNetworkStats& stats() const { return stats_; }
+  FlowNetworkStats stats() const;
 
   /// Blocking transfer of `bytes` payload from src to dst. Returns the
   /// network-time duration the transfer took (unscaled). Throws ConfigError
@@ -59,7 +60,9 @@ class FlowNetwork {
   Topology topo_;
   RoutingTable routing_;
   FlowNetworkOptions opts_;
-  FlowNetworkStats stats_;
+  obs::Counter& c_transfers_;
+  obs::Counter& c_bytes_;
+  obs::TraceBus::Channel& trace_;
   // Per-link, per-direction earliest availability, in network time.
   std::vector<sim::SimTime> link_free_at_;
 };

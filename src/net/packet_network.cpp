@@ -7,10 +7,34 @@
 namespace mg::net {
 
 PacketNetwork::PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOptions opts)
-    : sim_(sim), topo_(std::move(topo)), routing_(topo_), opts_(opts), rng_(opts.seed) {
+    : sim_(sim),
+      topo_(std::move(topo)),
+      routing_(topo_),
+      opts_(opts),
+      c_sent_(sim.metrics().counter("net.packet.sent")),
+      c_delivered_(sim.metrics().counter("net.packet.delivered")),
+      c_dropped_queue_(sim.metrics().counter("net.packet.dropped_queue")),
+      c_dropped_loss_(sim.metrics().counter("net.packet.dropped_loss")),
+      c_dropped_down_(sim.metrics().counter("net.packet.dropped_down")),
+      c_bytes_delivered_(sim.metrics().counter("net.packet.bytes_delivered")),
+      c_wire_bytes_(sim.metrics().counter("net.packet.wire_bytes_sent")),
+      trace_(sim.traceBus().channel("net.packet")),
+      rng_(opts.seed) {
   if (opts_.time_scale <= 0) throw UsageError("time_scale must be positive");
   handlers_.resize(static_cast<size_t>(topo_.nodeCount()));
   link_queues_.resize(static_cast<size_t>(topo_.linkCount()) * 2);
+}
+
+PacketNetworkStats PacketNetwork::stats() const {
+  PacketNetworkStats s;
+  s.packets_sent = c_sent_.value();
+  s.packets_delivered = c_delivered_.value();
+  s.packets_dropped_queue = c_dropped_queue_.value();
+  s.packets_dropped_loss = c_dropped_loss_.value();
+  s.packets_dropped_down = c_dropped_down_.value();
+  s.bytes_delivered = c_bytes_delivered_.value();
+  s.wire_bytes_sent = c_wire_bytes_.value();
+  return s;
 }
 
 sim::SimTime PacketNetwork::scaled(sim::SimTime t) const {
@@ -25,7 +49,7 @@ void PacketNetwork::send(Packet&& pkt) {
   if (pkt.src < 0 || pkt.src >= topo_.nodeCount() || pkt.dst < 0 || pkt.dst >= topo_.nodeCount()) {
     throw UsageError("packet endpoint out of range");
   }
-  ++stats_.packets_sent;
+  c_sent_.inc();
   // Sender-side protocol stack cost.
   sim_.scheduleAfter(scaled(opts_.host_stack_delay),
                      [this, p = std::move(pkt)]() mutable { forward(p.src, std::move(p)); });
@@ -38,7 +62,8 @@ void PacketNetwork::forward(NodeId at, Packet&& pkt) {
   }
   LinkId lid = routing_.nextLink(at, pkt.dst);
   if (lid == kNoLink || !topo_.link(lid).up) {
-    ++stats_.packets_dropped_down;
+    c_dropped_down_.inc();
+    if (trace_.enabled()) trace_.record(sim_.now(), "drop_down", static_cast<double>(pkt.wireBytes()));
     return;
   }
   enqueue(lid, at, std::move(pkt));
@@ -54,7 +79,8 @@ void PacketNetwork::enqueue(LinkId link, NodeId from, Packet&& pkt) {
   const Link& l = topo_.link(link);
   LinkQueue& q = queueFor(link, from);
   if (q.queued_bytes + pkt.wireBytes() > l.queue_bytes) {
-    ++stats_.packets_dropped_queue;
+    c_dropped_queue_.inc();
+    if (trace_.enabled()) trace_.record(sim_.now(), "drop_queue", static_cast<double>(pkt.wireBytes()), l.name);
     MG_LOG_TRACE("net") << "drop (queue full) on " << l.name;
     return;
   }
@@ -74,7 +100,7 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
   const Packet& head = q.queue.front();
   const double tx_seconds = static_cast<double>(head.wireBytes()) * 8.0 / l.bandwidth_bps;
   const sim::SimTime tx = sim::fromSeconds(tx_seconds);
-  stats_.wire_bytes_sent += head.wireBytes();
+  c_wire_bytes_.inc(head.wireBytes());
   sim_.scheduleAfter(scaled(tx), [this, link, from] {
     LinkQueue& lq = queueFor(link, from);
     Packet pkt = std::move(lq.queue.front());
@@ -83,9 +109,10 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
     const Link& lk = topo_.link(link);
     // Link may have gone down while the packet was in flight on the wire.
     if (!lk.up) {
-      ++stats_.packets_dropped_down;
+      c_dropped_down_.inc();
     } else if (lk.loss_rate > 0 && rng_.uniform() < lk.loss_rate) {
-      ++stats_.packets_dropped_loss;
+      c_dropped_loss_.inc();
+      if (trace_.enabled()) trace_.record(sim_.now(), "drop_loss", static_cast<double>(pkt.wireBytes()), lk.name);
     } else {
       const NodeId to = topo_.peer(link, from);
       const bool at_destination = (to == pkt.dst);
@@ -110,8 +137,9 @@ void PacketNetwork::deliverLocal(Packet&& pkt) {
     MG_LOG_TRACE("net") << "packet to unattached node " << topo_.node(pkt.dst).name;
     return;
   }
-  ++stats_.packets_delivered;
-  stats_.bytes_delivered += static_cast<std::int64_t>(pkt.payload.size());
+  c_delivered_.inc();
+  c_bytes_delivered_.inc(static_cast<std::int64_t>(pkt.payload.size()));
+  if (trace_.enabled()) trace_.record(sim_.now(), "deliver", static_cast<double>(pkt.payload.size()));
   h(std::move(pkt));
 }
 
@@ -129,7 +157,7 @@ void PacketNetwork::setLinkUp(LinkId link, bool up) {
       while (q.queue.size() > keep) {
         q.queued_bytes -= q.queue.back().wireBytes();
         q.queue.pop_back();
-        ++stats_.packets_dropped_down;
+        c_dropped_down_.inc();
       }
     }
   }

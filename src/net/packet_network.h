@@ -30,6 +30,9 @@ struct PacketNetworkOptions {
   std::uint64_t seed = 0xC0FFEE;
 };
 
+/// Snapshot view over the `net.packet.*` registry counters (the counters are
+/// the source of truth; this struct exists so call sites keep their
+/// `stats().packets_sent` shape).
 struct PacketNetworkStats {
   std::int64_t packets_sent = 0;       // injected by transports
   std::int64_t packets_delivered = 0;  // handed to a destination transport
@@ -49,7 +52,7 @@ class PacketNetwork {
   sim::Simulator& simulator() { return sim_; }
   const Topology& topology() const { return topo_; }
   const RoutingTable& routing() const { return routing_; }
-  const PacketNetworkStats& stats() const { return stats_; }
+  PacketNetworkStats stats() const;
   const PacketNetworkOptions& options() const { return opts_; }
 
   /// Install the transport dispatch for a host node. One handler per node;
@@ -88,7 +91,15 @@ class PacketNetwork {
   Topology topo_;
   RoutingTable routing_;
   PacketNetworkOptions opts_;
-  PacketNetworkStats stats_;
+  // net.packet.* counter handles, resolved once against sim_.metrics().
+  obs::Counter& c_sent_;
+  obs::Counter& c_delivered_;
+  obs::Counter& c_dropped_queue_;
+  obs::Counter& c_dropped_loss_;
+  obs::Counter& c_dropped_down_;
+  obs::Counter& c_bytes_delivered_;
+  obs::Counter& c_wire_bytes_;
+  obs::TraceBus::Channel& trace_;
   util::Rng rng_;
   std::vector<PacketHandler> handlers_;
   // linkqueues_[link * 2 + direction]

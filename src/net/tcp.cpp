@@ -76,6 +76,7 @@ void TcpConnection::send(const void* data, std::size_t n) {
     p += take;
     remaining -= take;
     bytes_sent_ += static_cast<std::int64_t>(take);
+    stack_.c_bytes_sent_.inc(static_cast<std::int64_t>(take));
     pump();
   }
 }
@@ -92,6 +93,7 @@ std::size_t TcpConnection::recv(void* buf, std::size_t max) {
   std::copy_n(recv_buf_.begin(), n, out);
   recv_buf_.erase(recv_buf_.begin(), recv_buf_.begin() + static_cast<std::ptrdiff_t>(n));
   bytes_received_ += static_cast<std::int64_t>(n);
+  stack_.c_bytes_received_.inc(static_cast<std::int64_t>(n));
   // Window-update ACK: tell a sender stalled on a closed window that space
   // has opened (replaces the receiver half of the persist machinery).
   if (last_advertised_window_ < kTcpMss && advertisedWindow() >= kTcpMss) {
@@ -127,7 +129,10 @@ void TcpConnection::startConnect() {
 }
 
 void TcpConnection::sendSyn(bool is_retry) {
-  if (is_retry) ++retransmits_;
+  if (is_retry) {
+    ++retransmits_;
+    stack_.c_retransmits_.inc();
+  }
   ++syn_attempts_;
   Packet p = makePacket(kFlagSyn);
   stack_.network().send(std::move(p));
@@ -167,8 +172,10 @@ void TcpConnection::sendSegment(std::uint64_t seq, std::size_t len, bool is_retr
   const std::size_t off = static_cast<std::size_t>(seq - snd_una_);
   std::copy_n(send_buf_.begin() + static_cast<std::ptrdiff_t>(off), len, p.payload.begin());
   last_advertised_window_ = p.window;
+  stack_.c_segments_.inc();
   if (is_retransmit) {
     ++retransmits_;
+    stack_.c_retransmits_.inc();
   } else if (!rtt_pending_) {
     // Karn's rule: sample only fresh segments, one at a time.
     rtt_pending_ = true;
@@ -251,6 +258,7 @@ void TcpConnection::onRtoFire() {
   } else {
     sendFinSegment();
     ++retransmits_;
+    stack_.c_retransmits_.inc();
   }
   armRto();
 }
@@ -516,7 +524,14 @@ void TcpListener::close() {
 // ===========================================================================
 
 TcpStack::TcpStack(PacketNetwork& net, NodeId node, TcpOptions opts)
-    : net_(net), node_(node), opts_(opts) {}
+    : net_(net),
+      node_(node),
+      opts_(opts),
+      c_connections_(net.simulator().metrics().counter("net.tcp.connections")),
+      c_segments_(net.simulator().metrics().counter("net.tcp.segments_sent")),
+      c_retransmits_(net.simulator().metrics().counter("net.tcp.retransmits")),
+      c_bytes_sent_(net.simulator().metrics().counter("net.tcp.bytes_sent")),
+      c_bytes_received_(net.simulator().metrics().counter("net.tcp.bytes_received")) {}
 
 TcpStack::~TcpStack() = default;
 
@@ -552,6 +567,7 @@ std::shared_ptr<TcpConnection> TcpStack::connect(NodeId dst, std::uint16_t port)
     conn->established_cond_.wait();
   }
   if (conn->error_) throw ConnectionRefused(conn->error_what_);
+  c_connections_.inc();
   return conn;
 }
 
@@ -582,6 +598,7 @@ void TcpStack::onPacket(Packet&& pkt) {
 void TcpStack::connectionEstablished(TcpConnection& conn) {
   auto lit = listeners_.find(conn.local_port_);
   if (lit == listeners_.end() || lit->second->closed_) return;
+  c_connections_.inc();
   const ConnKey key{conn.local_port_, conn.remote_node_, conn.remote_port_};
   auto it = connections_.find(key);
   if (it != connections_.end()) lit->second->backlog_->trySend(it->second);

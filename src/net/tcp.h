@@ -243,6 +243,13 @@ class TcpStack {
   PacketNetwork& net_;
   NodeId node_;
   TcpOptions opts_;
+  // Host-wide transport counters: every stack on a simulator resolves the
+  // same `net.tcp.*` registry entries, so these aggregate across hosts.
+  obs::Counter& c_connections_;
+  obs::Counter& c_segments_;
+  obs::Counter& c_retransmits_;
+  obs::Counter& c_bytes_sent_;
+  obs::Counter& c_bytes_received_;
   std::map<ConnKey, std::shared_ptr<TcpConnection>> connections_;
   std::map<std::uint16_t, TcpListener*> listeners_;
   std::uint16_t next_ephemeral_ = 49152;

@@ -35,7 +35,12 @@ void UdpSocket::close() {
 
 // -------------------------------------------------------------- UdpStack --
 
-UdpStack::UdpStack(PacketNetwork& net, NodeId node) : net_(net), node_(node) {}
+UdpStack::UdpStack(PacketNetwork& net, NodeId node)
+    : net_(net),
+      node_(node),
+      c_datagrams_sent_(net.simulator().metrics().counter("net.udp.datagrams_sent")),
+      c_datagrams_delivered_(net.simulator().metrics().counter("net.udp.datagrams_delivered")),
+      c_dropped_incomplete_(net.simulator().metrics().counter("net.udp.datagrams_dropped_incomplete")) {}
 
 std::shared_ptr<UdpSocket> UdpStack::bind(std::uint16_t port) {
   if (sockets_.count(port)) throw UsageError("udp port already bound");
@@ -62,6 +67,7 @@ void UdpStack::sendFrom(std::uint16_t src_port, NodeId dst, std::uint16_t dst_po
   constexpr std::size_t kFragPayload = static_cast<std::size_t>(kMtuBytes - kUdpIpHeaderBytes);
   const std::size_t nfrag = data.empty() ? 1 : (data.size() + kFragPayload - 1) / kFragPayload;
   const std::uint32_t id = next_datagram_id_++;
+  c_datagrams_sent_.inc();
   for (std::size_t f = 0; f < nfrag; ++f) {
     Packet p;
     p.src = node_;
@@ -85,6 +91,7 @@ void UdpStack::onPacket(Packet&& pkt) {
   if (sit == sockets_.end()) return;  // no ICMP modeling; silently dropped
 
   if (pkt.fragment_count <= 1) {
+    c_datagrams_delivered_.inc();
     sit->second->inbox_->trySend(Datagram{pkt.src, pkt.src_port, std::move(pkt.payload)});
     return;
   }
@@ -98,7 +105,7 @@ void UdpStack::onPacket(Packet&& pkt) {
     simulator().scheduleAfter(net_.scaleDuration(kReassemblyTimeout), [this, key] {
       auto it = reassembly_.find(key);
       if (it != reassembly_.end()) {
-        ++dropped_incomplete_;
+        c_dropped_incomplete_.inc();
         reassembly_.erase(it);
       }
     });
@@ -111,7 +118,10 @@ void UdpStack::onPacket(Packet&& pkt) {
     }
     reassembly_.erase(key);
     auto sit2 = sockets_.find(pkt.dst_port);
-    if (sit2 != sockets_.end()) sit2->second->inbox_->trySend(std::move(d));
+    if (sit2 != sockets_.end()) {
+      c_datagrams_delivered_.inc();
+      sit2->second->inbox_->trySend(std::move(d));
+    }
   }
 }
 

@@ -77,7 +77,7 @@ class UdpStack {
   PacketNetwork& network() { return net_; }
   sim::Simulator& simulator() { return net_.simulator(); }
 
-  std::int64_t datagramsDroppedIncomplete() const { return dropped_incomplete_; }
+  std::int64_t datagramsDroppedIncomplete() const { return c_dropped_incomplete_.value(); }
 
  private:
   friend class UdpSocket;
@@ -99,11 +99,14 @@ class UdpStack {
 
   PacketNetwork& net_;
   NodeId node_;
+  // Aggregated `net.udp.*` registry counters (shared across stacks).
+  obs::Counter& c_datagrams_sent_;
+  obs::Counter& c_datagrams_delivered_;
+  obs::Counter& c_dropped_incomplete_;
   std::map<std::uint16_t, UdpSocket*> sockets_;
   std::map<ReassemblyKey, Reassembly> reassembly_;
   std::uint32_t next_datagram_id_ = 1;
   std::uint16_t next_ephemeral_ = 49152;
-  std::int64_t dropped_incomplete_ = 0;
 };
 
 }  // namespace mg::net

@@ -1,0 +1,92 @@
+// The unified cross-layer metrics registry (DESIGN.md "Observability").
+//
+// Every layer that used to keep ad-hoc counters (PacketNetworkStats,
+// scheduler quanta, vmpi byte counts, GIS query counts, ...) registers named
+// instruments here instead. Names follow `layer.component.counter`, e.g.
+// "net.packet.sent" or "vos.sched.quanta".
+//
+// Hot-path cost is one pointer-indirected integer increment: components
+// resolve `Counter&` handles once at construction and bump them directly.
+// Handles are stable for the registry's lifetime (instruments live in a
+// deque and are never removed). Snapshots render as util::Table or JSON,
+// in sorted name order, so two identical runs produce byte-identical output.
+//
+// A registry belongs to one sim::Simulator (sim::Simulator::metrics()), so
+// independent simulations never share state and same-seed runs stay
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mg::obs {
+
+/// A monotonically increasing integer instrument.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { v_ += n; }
+  std::int64_t value() const { return v_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::int64_t v_ = 0;
+};
+
+/// A double-valued instrument: settable (level) or accumulating (total).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double v) { v_ += v; }
+  double value() const { return v_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  double v_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-get by name. The returned reference stays valid for the
+  /// registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Create-or-get; lo/hi/bins apply only on creation (a later lookup with
+  /// different bounds returns the existing histogram unchanged).
+  util::Histogram& histogram(const std::string& name, double lo, double hi, int bins);
+
+  /// Fast existence/read-only queries (0 / nullptr when absent).
+  std::int64_t counterValue(const std::string& name) const;
+  double gaugeValue(const std::string& name) const;
+  const util::Histogram* findHistogram(const std::string& name) const;
+
+  /// One row per instrument, sorted by name: (metric, type, value).
+  /// Histograms report their total sample count; per-bin data is in JSON.
+  util::Table snapshotTable() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"lo": ..,
+  /// "hi": .., "total": .., "bins": [..]}}} with sorted keys — byte-stable
+  /// across identical runs.
+  std::string snapshotJson() const;
+
+ private:
+  // Instruments live in deques (stable addresses); maps index by name.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<util::Histogram> histograms_;
+  std::map<std::string, Counter*> counter_index_;
+  std::map<std::string, Gauge*> gauge_index_;
+  std::map<std::string, util::Histogram*> histogram_index_;
+};
+
+}  // namespace mg::obs

@@ -71,9 +71,14 @@ void Process::yieldToKernel() {
 // Simulator
 // ---------------------------------------------------------------------------
 
-Simulator::Simulator() = default;
+Simulator::Simulator() {
+  owns_log_time_source_ = util::setLogSimTimeSource([this] { return now_; });
+}
 
-Simulator::~Simulator() { shutdown(); }
+Simulator::~Simulator() {
+  shutdown();
+  if (owns_log_time_source_) util::clearLogSimTimeSource();
+}
 
 EventId Simulator::scheduleAt(SimTime t, std::function<void()> fn) {
   if (t < now_) throw UsageError("scheduleAt in the past");
@@ -96,6 +101,8 @@ Process& Simulator::spawn(std::string name, std::function<void()> body) {
   std::unique_ptr<Process> proc(new Process(*this, next_process_id_++, std::move(name), std::move(body)));
   Process& ref = *proc;
   processes_.push_back(std::move(proc));
+  processes_spawned_.inc();
+  if (proc_trace_.enabled()) proc_trace_.record(now_, "spawn", static_cast<double>(ref.id()), ref.name());
   scheduleResume(ref);
   return ref;
 }
@@ -126,7 +133,7 @@ SimTime Simulator::run() {
     std::function<void()> fn = std::move(it->second);
     pending_.erase(it);
     now_ = ev.time;
-    ++events_executed_;
+    events_executed_.inc();
     fn();
   }
   return now_;
@@ -142,7 +149,7 @@ void Simulator::runUntil(SimTime t) {
     std::function<void()> fn = std::move(it->second);
     pending_.erase(it);
     now_ = ev.time;
-    ++events_executed_;
+    events_executed_.inc();
     fn();
   }
   now_ = t;
@@ -154,6 +161,8 @@ void Simulator::shutdown() {
   for (auto& p : processes_) {
     if (!p->finished_) {
       p->kill_ = true;
+      process_kills_.inc();
+      if (proc_trace_.enabled()) proc_trace_.record(now_, "kill", static_cast<double>(p->id()), p->name());
       runProcessSlice(*p);
     }
   }
@@ -210,6 +219,8 @@ Process& Simulator::currentProcess() {
 
 void Simulator::wake(Process& p) {
   if (p.finished_ || !p.suspended_ || p.wake_pending_) return;
+  process_wakes_.inc();
+  if (proc_trace_.enabled()) proc_trace_.record(now_, "wake", static_cast<double>(p.id()), p.name());
   ++p.wait_epoch_;  // invalidate any pending suspendFor timeout
   if (p.timeout_event_ != 0) {
     cancel(p.timeout_event_);

@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_bus.h"
 #include "sim/time.h"
 #include "util/error.h"
 
@@ -152,7 +154,19 @@ class Simulator {
   std::vector<std::string> suspendedProcessNames() const;
 
   /// Total events executed (kernel throughput metric for bench_kernel_perf).
-  std::uint64_t eventsExecuted() const { return events_executed_; }
+  std::uint64_t eventsExecuted() const {
+    return static_cast<std::uint64_t>(events_executed_.value());
+  }
+
+  /// The run-wide metrics registry: every layer attached to this simulator
+  /// registers its counters here (names: `layer.component.counter`).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The run-wide deterministic trace bus (disabled by default; enable
+  /// channels via traceBus().setEnabled("net", true) etc.).
+  obs::TraceBus& traceBus() { return trace_; }
+  const obs::TraceBus& traceBus() const { return trace_; }
 
  private:
   friend class Process;
@@ -172,12 +186,23 @@ class Simulator {
   void runProcessSlice(Process& p);
   void scheduleResume(Process& p);
 
+  // Declared before the counter/channel handles below, which point into it.
+  obs::MetricsRegistry metrics_;
+  obs::TraceBus trace_;
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_event_id_ = 1;
   std::uint64_t next_process_id_ = 1;
-  std::uint64_t events_executed_ = 0;
   bool shutting_down_ = false;
+  // True when this simulator installed the util::log sim-time source.
+  bool owns_log_time_source_ = false;
+
+  obs::Counter& events_executed_ = metrics_.counter("sim.kernel.events_executed");
+  obs::Counter& processes_spawned_ = metrics_.counter("sim.process.spawned");
+  obs::Counter& process_wakes_ = metrics_.counter("sim.process.wakes");
+  obs::Counter& process_kills_ = metrics_.counter("sim.process.kills");
+  obs::TraceBus::Channel& proc_trace_ = trace_.channel("sim.process");
 
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, EventOrder> queue_;
   // Pending (non-cancelled) event bodies, keyed by id. Lazy cancellation:

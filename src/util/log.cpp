@@ -25,6 +25,10 @@ LogLevel levelFromEnv() {
 
 std::atomic<LogLevel> g_level{levelFromEnv()};
 
+// Simulation semantics are single-threaded (one process or the kernel runs
+// at a time), so a plain function object is safe here.
+std::function<std::int64_t()> g_sim_time_source;
+
 const char* levelName(LogLevel level) {
   switch (level) {
     case LogLevel::Trace: return "TRACE";
@@ -44,7 +48,21 @@ LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void logLine(LogLevel level, const char* component, const std::string& message) {
-  std::fprintf(stderr, "[%-5s] %-10s %s\n", levelName(level), component, message.c_str());
+  if (g_sim_time_source) {
+    const double t = static_cast<double>(g_sim_time_source()) * 1e-9;
+    std::fprintf(stderr, "[%-5s] %-10s [t=%.6fs] %s\n", levelName(level), component, t,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%-5s] %-10s %s\n", levelName(level), component, message.c_str());
+  }
 }
+
+bool setLogSimTimeSource(std::function<std::int64_t()> source) {
+  if (g_sim_time_source) return false;
+  g_sim_time_source = std::move(source);
+  return true;
+}
+
+void clearLogSimTimeSource() { g_sim_time_source = nullptr; }
 
 }  // namespace mg::util

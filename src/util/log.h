@@ -2,6 +2,8 @@
 // set MG_LOG=debug (or trace/info/warn/error/off) to see more.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -17,6 +19,16 @@ void setLogLevel(LogLevel level);
 
 /// Emit one line to stderr; used via the MG_LOG_* macros below.
 void logLine(LogLevel level, const char* component, const std::string& message);
+
+/// Install a simulation-time source (current time in nanoseconds). While one
+/// is installed every log line is prefixed with the sim time, so interleaved
+/// component logs are orderable; without one, lines keep the plain format.
+/// Returns false (and installs nothing) if a source is already installed —
+/// sim::Simulator installs this automatically, first simulator wins.
+bool setLogSimTimeSource(std::function<std::int64_t()> source);
+
+/// Remove the installed source (no-op when none is installed).
+void clearLogSimTimeSource();
 
 namespace detail {
 class LogStream {

@@ -42,6 +42,8 @@ class Histogram {
 
   void add(double x);
 
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   int bins() const { return static_cast<int>(counts_.size()); }
   std::int64_t count(int bin) const { return counts_.at(static_cast<size_t>(bin)); }
   std::int64_t total() const { return total_; }

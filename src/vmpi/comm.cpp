@@ -101,7 +101,10 @@ Comm::Comm(vos::HostContext& ctx, int rank, std::vector<std::string> rank_hosts,
       rank_(rank),
       rank_hosts_(std::move(rank_hosts)),
       port_base_(port_base),
-      inbox_cond_(ctx.simulator()) {}
+      inbox_cond_(ctx.simulator()),
+      c_messages_(ctx.simulator().metrics().counter("vmpi.comm.messages_sent")),
+      c_bytes_(ctx.simulator().metrics().counter("vmpi.comm.bytes_sent")),
+      c_collectives_(ctx.simulator().metrics().counter("vmpi.comm.collectives")) {}
 
 Comm::~Comm() = default;
 
@@ -190,6 +193,8 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes, std::siz
   if (finalized_) throw mg::UsageError("vmpi: send after finalize");
   ++messages_sent_;
   bytes_sent_ += static_cast<std::int64_t>(std::max(bytes, wire_bytes));
+  c_messages_.inc();
+  c_bytes_.inc(static_cast<std::int64_t>(std::max(bytes, wire_bytes)));
   if (dest == rank_) {
     Message msg;
     msg.source = rank_;
@@ -307,6 +312,7 @@ Status Comm::sendRecv(int dest, int send_tag, const void* send_data, std::size_t
 // ------------------------------------------------------------- collectives --
 
 void Comm::barrier() {
+  c_collectives_.inc();
   const int n = size();
   std::uint8_t token = 1, got = 0;
   for (int k = 1; k < n; k <<= 1) {
@@ -317,6 +323,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(void* data, std::size_t bytes, int root) {
+  c_collectives_.inc();
   const int n = size();
   if (n == 1) return;
   const int vr = (rank_ - root + n) % n;
@@ -395,6 +402,7 @@ void binomialReduce(Comm& comm, int rank, int n, T* data, std::size_t count, int
 }  // namespace
 
 void Comm::reduce(double* data, std::size_t n, Op op, int root) {
+  c_collectives_.inc();
   binomialReduce(
       *this, rank_, size(), data, n, root,
       [op](double* acc, const double* in, std::size_t c) { applyOp(acc, in, c, op); }, kTagReduce,
@@ -407,6 +415,7 @@ void Comm::allreduce(double* data, std::size_t n, Op op) {
 }
 
 void Comm::allreduce(std::int64_t* data, std::size_t n, Op op) {
+  c_collectives_.inc();
   binomialReduce(
       *this, rank_, size(), data, n, 0,
       [op](std::int64_t* acc, const std::int64_t* in, std::size_t c) { applyOp(acc, in, c, op); },
@@ -415,6 +424,7 @@ void Comm::allreduce(std::int64_t* data, std::size_t n, Op op) {
 }
 
 void Comm::allreduceRing(double* data, std::size_t n, Op op) {
+  c_collectives_.inc();
   const int p = size();
   if (p == 1) return;
   // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
@@ -449,6 +459,7 @@ void Comm::allreduceRing(double* data, std::size_t n, Op op) {
 }
 
 void Comm::gather(const void* send, std::size_t bytes, void* recv_buf, int root) {
+  c_collectives_.inc();
   if (rank_ == root) {
     auto* out = static_cast<std::uint8_t*>(recv_buf);
     std::memcpy(out + static_cast<std::size_t>(rank_) * bytes, send, bytes);
@@ -462,6 +473,7 @@ void Comm::gather(const void* send, std::size_t bytes, void* recv_buf, int root)
 }
 
 void Comm::scatter(const void* send, std::size_t bytes, void* recv_buf, int root) {
+  c_collectives_.inc();
   if (rank_ == root) {
     const auto* in = static_cast<const std::uint8_t*>(send);
     for (int r = 0; r < size(); ++r) {
@@ -476,6 +488,7 @@ void Comm::scatter(const void* send, std::size_t bytes, void* recv_buf, int root
 
 std::vector<std::vector<std::uint8_t>> Comm::alltoallv(
     const std::vector<std::vector<std::uint8_t>>& send_blocks) {
+  c_collectives_.inc();
   const int p = size();
   if (static_cast<int>(send_blocks.size()) != p) {
     throw mg::UsageError("vmpi: alltoallv needs one block per rank");

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "grid/registry.h"
+#include "obs/metrics.h"
 #include "sim/condition.h"
 #include "vos/context.h"
 
@@ -118,6 +119,8 @@ class Comm {
   /// Close all connections; receiver daemons drain and exit.
   void finalize();
 
+  /// Per-communicator (per-rank) totals. The simulator-wide aggregates over
+  /// all ranks live in the `vmpi.comm.*` registry counters.
   std::int64_t bytesSent() const { return bytes_sent_; }
   std::int64_t messagesSent() const { return messages_sent_; }
 
@@ -148,6 +151,11 @@ class Comm {
   bool finalized_ = false;
   std::int64_t bytes_sent_ = 0;
   std::int64_t messages_sent_ = 0;
+  // Simulator-wide vmpi.comm.* aggregates (every rank resolves the same
+  // registry entries).
+  obs::Counter& c_messages_;
+  obs::Counter& c_bytes_;
+  obs::Counter& c_collectives_;
 };
 
 }  // namespace mg::vmpi

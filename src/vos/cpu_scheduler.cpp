@@ -11,7 +11,17 @@ constexpr double kEps = 1e-12;
 
 CpuScheduler::CpuScheduler(sim::Simulator& sim, double physical_ops, sim::SimTime quantum,
                            CompetitionProfile competition, std::uint64_t seed)
-    : sim_(sim), physical_ops_(physical_ops), quantum_(quantum), competition_(competition), rng_(seed) {
+    : sim_(sim),
+      physical_ops_(physical_ops),
+      quantum_(quantum),
+      competition_(competition),
+      c_quanta_(sim.metrics().counter("vos.sched.quanta")),
+      c_tasks_added_(sim.metrics().counter("vos.sched.tasks_added")),
+      g_cpu_seconds_(sim.metrics().gauge("vos.sched.cpu_seconds_delivered")),
+      // Fig 7's normalized quantum-length distribution, registry edition.
+      h_quantum_norm_(sim.metrics().histogram("vos.sched.quantum_norm", 0.8, 1.2, 40)),
+      trace_(sim.traceBus().channel("vos.sched")),
+      rng_(seed) {
   if (physical_ops <= 0) throw ConfigError("physical CPU speed must be positive");
   if (quantum <= 0) throw ConfigError("scheduler quantum must be positive");
   if (competition.capacity_cap <= 0 || competition.capacity_cap > 1.0) {
@@ -34,6 +44,7 @@ CpuScheduler::TaskId CpuScheduler::addTask(std::string name, double fraction) {
   t.start_time = sim_.now();
   t.live = true;
   tasks_.push_back(std::move(t));
+  c_tasks_added_.inc();
   return static_cast<TaskId>(tasks_.size() - 1);
 }
 
@@ -144,6 +155,10 @@ void CpuScheduler::scheduleNext() {
   const double full_quantum = nominal * jitter;
   const double cpu_slice = std::min(full_quantum, t.demand);
   quanta_log_.push_back(full_quantum / nominal);
+  c_quanta_.inc();
+  g_cpu_seconds_.add(cpu_slice);
+  h_quantum_norm_.add(full_quantum / nominal);
+  if (trace_.enabled()) trace_.record(sim_.now(), "quantum", full_quantum / nominal, t.name);
   const double cap = competition_.capacity_cap;
 
   // The task's pending demand is satisfied partway through the slice...

@@ -103,6 +103,12 @@ class CpuScheduler {
   double physical_ops_;
   sim::SimTime quantum_;
   CompetitionProfile competition_;
+  // vos.sched.* instruments (aggregated across schedulers on one simulator).
+  obs::Counter& c_quanta_;
+  obs::Counter& c_tasks_added_;
+  obs::Gauge& g_cpu_seconds_;
+  util::Histogram& h_quantum_norm_;
+  obs::TraceBus::Channel& trace_;
   util::Rng rng_;
 
   // deque: addTask while other tasks hold references across suspension.

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace mg::vos {
@@ -26,7 +27,10 @@ class MemoryManager {
   /// Per-process bookkeeping overhead, matching the paper's ~1 KB.
   static constexpr std::int64_t kProcessOverhead = 1024;
 
-  explicit MemoryManager(std::int64_t capacity_bytes);
+  /// With a registry (the platforms pass their simulator's), accounting is
+  /// mirrored into the `vos.mem.*` instruments; nullptr keeps the manager
+  /// standalone (unit tests).
+  explicit MemoryManager(std::int64_t capacity_bytes, obs::MetricsRegistry* registry = nullptr);
 
   using ProcessId = std::int32_t;
 
@@ -60,6 +64,10 @@ class MemoryManager {
 
   std::int64_t capacity_;
   std::int64_t used_ = 0;
+  // Optional vos.mem.* instruments (shared across hosts on one simulator).
+  obs::Counter* c_allocs_ = nullptr;
+  obs::Counter* c_oom_ = nullptr;
+  obs::Gauge* g_used_ = nullptr;
   std::vector<Proc> procs_;
 };
 

@@ -40,4 +40,17 @@ std::string recvFrame(StreamSocket& sock) {
   return payload;
 }
 
+void sendFrame(StreamSocket& sock, const std::string& payload, obs::MetricsRegistry& metrics) {
+  sendFrame(sock, payload);
+  metrics.counter("vos.wire.frames_sent").inc();
+  metrics.counter("vos.wire.bytes_sent").inc(static_cast<std::int64_t>(payload.size()) + 4);
+}
+
+std::string recvFrame(StreamSocket& sock, obs::MetricsRegistry& metrics) {
+  std::string payload = recvFrame(sock);
+  metrics.counter("vos.wire.frames_received").inc();
+  metrics.counter("vos.wire.bytes_received").inc(static_cast<std::int64_t>(payload.size()) + 4);
+  return payload;
+}
+
 }  // namespace mg::vos

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "vos/context.h"
 
 namespace mg::vos {
@@ -19,5 +20,11 @@ void sendFrame(StreamSocket& sock, const std::string& payload);
 /// Receive one framed message; throws mg::Error on EOF mid-frame or
 /// oversized frames.
 std::string recvFrame(StreamSocket& sock);
+
+/// Metrics-aware variants: also bump the `vos.wire.frames_{sent,received}`
+/// and `vos.wire.bytes_{sent,received}` counters. Control-plane traffic only
+/// (GIS/GRAM), so the per-frame name lookup is not a hot path.
+void sendFrame(StreamSocket& sock, const std::string& payload, obs::MetricsRegistry& metrics);
+std::string recvFrame(StreamSocket& sock, obs::MetricsRegistry& metrics);
 
 }  // namespace mg::vos

@@ -297,6 +297,37 @@ TEST(Stats, PercentError) {
   EXPECT_DOUBLE_EQ(mu::percentError(0.0, 0.0), 0.0);
 }
 
+TEST(Stats, RmsSkewSingleSampleTraces) {
+  // A one-point trace has zero duration and zero value range; the metric
+  // falls back to |value| for normalization instead of dividing by zero.
+  mu::Trace one{{0.0, 10.0}};
+  EXPECT_NEAR(mu::rmsPercentSkew(one, one), 0.0, 1e-12);
+  mu::Trace other{{5.0, 12.0}};
+  EXPECT_NEAR(mu::rmsPercentSkew(one, other), 20.0, 1e-9);  // 2/10 of |ref|
+  // All-zero single sample normalizes by 1.0.
+  mu::Trace zero{{0.0, 0.0}};
+  EXPECT_NEAR(mu::rmsPercentSkew(zero, other), 1200.0, 1e-9);
+}
+
+TEST(Stats, HistogramClampsAtExactBounds) {
+  mu::Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // exactly lo: first bin
+  h.add(10.0);  // exactly hi: would be bin 10, clamped into the last bin
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(9), 1);
+  EXPECT_EQ(h.total(), 2);
+}
+
+TEST(Stats, RunningStatsVarianceNeedsTwoSamples) {
+  mu::RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // n-1 denominator undefined at n=1
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(44.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);
+}
+
 // ----------------------------------------------------------------- config --
 
 TEST(Config, ParsesTypedSections) {
