@@ -3,8 +3,8 @@
 function(mg_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    mg_core mg_npb mg_apps mg_autopilot mg_vmpi mg_grid mg_gis mg_vos mg_net mg_sim mg_util
-    mg_warnings)
+    mg_core mg_fault mg_npb mg_apps mg_autopilot mg_vmpi mg_grid mg_gis mg_vos mg_net mg_sim
+    mg_util mg_warnings)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
 
@@ -21,6 +21,7 @@ mg_add_bench(bench_fig16_cactus)
 mg_add_bench(bench_fig17_autopilot)
 mg_add_bench(bench_ablation_netmodel)
 mg_add_bench(bench_ablation_collectives)
+mg_add_bench(bench_fault_resilience)
 
 add_executable(bench_kernel_perf ${CMAKE_SOURCE_DIR}/bench/bench_kernel_perf.cpp)
 target_link_libraries(bench_kernel_perf PRIVATE mg_sim mg_net mg_util benchmark::benchmark

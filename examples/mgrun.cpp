@@ -14,6 +14,10 @@
 //   --parts H:N,...    allocation parts (default: one rank per host)
 //   --quantum MS       scheduler quantum in milliseconds (default 10)
 //   --slowdown N       run the emulation N times slower (default 1)
+//   --faults FILE      fault schedule ([fault ...] sections; mgrid only).
+//                      [fault ...] sections in --config are picked up too.
+//   --resubmits N      resubmit a failed job up to N times (default: 2 when
+//                      faults are present, else 0)
 //   --metrics FMT      dump the simulator metrics snapshot after the run
 //                      (FMT is table or json)
 //   --verbose          print per-rank results
@@ -25,6 +29,7 @@
 #include "core/microgrid_platform.h"
 #include "core/reference_platform.h"
 #include "core/topologies.h"
+#include "fault/fault_injector.h"
 #include "npb/npb.h"
 #include "util/strings.h"
 
@@ -40,6 +45,8 @@ struct Options {
   std::string parts;
   double quantum_ms = 10.0;
   double slowdown = 1.0;
+  std::string faults_path;
+  int resubmits = -1;   // -1: default (2 with faults, 0 without)
   std::string metrics;  // "", "table", or "json"
   bool verbose = false;
   bool list = false;
@@ -67,6 +74,10 @@ Options parseArgs(int argc, char** argv) {
       opt.quantum_ms = std::stod(next());
     } else if (flag == "--slowdown") {
       opt.slowdown = std::stod(next());
+    } else if (flag == "--faults" || flag.rfind("--faults=", 0) == 0) {
+      opt.faults_path = (flag == "--faults") ? next() : flag.substr(9);
+    } else if (flag == "--resubmits") {
+      opt.resubmits = std::stoi(next());
     } else if (flag == "--metrics" || flag.rfind("--metrics=", 0) == 0) {
       opt.metrics = (flag == "--metrics") ? next() : flag.substr(10);
       if (opt.metrics != "table" && opt.metrics != "json") {
@@ -100,12 +111,17 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    core::VirtualGridConfig cfg =
-        opt.config_path.empty()
-            ? core::topologies::alphaCluster()
-            : core::VirtualGridConfig::fromConfig(util::Config::parseFile(opt.config_path));
+    fault::FaultPlan plan;
+    core::VirtualGridConfig cfg = core::topologies::alphaCluster();
+    if (!opt.config_path.empty()) {
+      const util::Config raw = util::Config::parseFile(opt.config_path);
+      cfg = core::VirtualGridConfig::fromConfig(raw);
+      plan.merge(fault::FaultPlan::fromConfig(raw));
+    }
+    if (!opt.faults_path.empty()) plan.merge(fault::FaultPlan::fromFile(opt.faults_path));
 
     std::unique_ptr<core::Platform> platform;
+    core::MicroGridPlatform* mgrid = nullptr;
     if (opt.platform == "mgrid") {
       core::MicroGridOptions mopts;
       mopts.quantum = sim::fromSeconds(opt.quantum_ms * 1e-3);
@@ -113,6 +129,7 @@ int main(int argc, char** argv) {
       auto p = std::make_unique<core::MicroGridPlatform>(cfg, mopts);
       std::cout << "MicroGrid platform, simulation rate " << p->rate() << ", quantum "
                 << opt.quantum_ms << " ms\n";
+      mgrid = p.get();
       platform = std::move(p);
     } else if (opt.platform == "pgrid") {
       platform = std::make_unique<core::ReferencePlatform>(cfg);
@@ -134,9 +151,32 @@ int main(int argc, char** argv) {
 
     core::Launcher launcher(*platform, registry);
     launcher.startServices(&cfg, "mgrun");
+
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!plan.empty()) {
+      if (mgrid == nullptr) {
+        throw mg::UsageError("fault injection needs --platform mgrid");
+      }
+      injector = std::make_unique<fault::FaultInjector>(*mgrid, plan);
+      injector->onHostCrash([&launcher](const std::string& h) { launcher.markHostDown(h); });
+      injector->onHostRestart([&launcher](const std::string& h) { launcher.markHostUp(h); });
+      injector->arm();
+      std::cout << "fault plan armed: " << plan.size() << " event(s)\n";
+    }
+    core::LaunchOptions lopts;
+    lopts.max_resubmits = opt.resubmits >= 0 ? opt.resubmits : (plan.empty() ? 0 : 2);
+    launcher.setLaunchOptions(lopts);
+
     std::cout << "submitting " << opt.exe << " '" << opt.args << "' across " << parts.size()
               << " part(s)...\n";
     const auto result = launcher.run(opt.exe, opt.args, parts);
+    if (injector) {
+      std::cout << injector->renderReport();
+      if (result.resubmits > 0) {
+        std::cout << "job resubmitted " << result.resubmits << " time(s); first error: "
+                  << result.attempt_errors.front() << "\n";
+      }
+    }
 
     if (opt.metrics == "json") {
       std::cout << platform->simulator().metrics().snapshotJson() << "\n";

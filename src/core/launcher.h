@@ -27,6 +27,20 @@ struct LaunchResult {
   double virtual_seconds = 0;
   double submitted_at = 0;
   double completed_at = 0;
+  /// Times the whole job was resubmitted after a failed attempt.
+  int resubmits = 0;
+  /// The error of each failed attempt, in order.
+  std::vector<std::string> attempt_errors;
+};
+
+/// Resilience knobs for Launcher::run. With max_resubmits > 0 a failed job
+/// is resubmitted (after a doubling virtual-time backoff), optionally
+/// re-placing parts whose hosts have dropped out of the GIS.
+struct LaunchOptions {
+  int max_resubmits = 0;
+  double backoff_seconds = 1.0;    // virtual; doubles per resubmission
+  bool replace_dead_hosts = true;  // re-place failed parts via a GIS search
+  grid::GramRetryPolicy retry;
 };
 
 class Launcher {
@@ -57,11 +71,23 @@ class Launcher {
   const std::string& gisHost() const { return gis_host_; }
   gis::Directory& directory() { return directory_; }
 
+  void setLaunchOptions(const LaunchOptions& opts) { opts_ = opts; }
+  const LaunchOptions& launchOptions() const { return opts_; }
+
+  /// Fault wiring: stamp the host's GIS record as expired *now*, so
+  /// placement searches stop seeing it. Called when a host crashes.
+  void markHostDown(const std::string& hostname);
+
+  /// Fault wiring: refresh the host's GIS record and respawn its gatekeeper
+  /// (and the GIS server, if it lived there). Called when a host restarts.
+  void markHostUp(const std::string& hostname);
+
  private:
   Platform& platform_;
   const grid::ExecutableRegistry& registry_;
   gis::Directory directory_;
   std::string gis_host_;
+  LaunchOptions opts_;
   bool services_started_ = false;
 };
 

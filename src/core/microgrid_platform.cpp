@@ -94,8 +94,9 @@ class MicroGridPlatform::MgContext : public vos::HostContext {
     return std::make_shared<MgSocket>(p_, rt_.stack->tcp().connect(target.node, port));
   }
 
-  void spawnProcess(const std::string& name, std::function<void(vos::HostContext&)> body) override {
-    p_.spawnOn(rt_.info->hostname, name, std::move(body));
+  sim::Process& spawnProcess(const std::string& name,
+                             std::function<void(vos::HostContext&)> body) override {
+    return p_.spawnOn(rt_.info->hostname, name, std::move(body));
   }
 
   sim::Simulator& simulator() override { return p_.sim_; }
@@ -167,23 +168,66 @@ MicroGridPlatform::HostRt& MicroGridPlatform::hostRt(const std::string& hostname
 void MicroGridPlatform::refraction(HostRt& rt) {
   if (rt.tasks.empty()) return;
   // "This CPU fraction is then divided across each process on a virtual
-  // host" (paper §2.4.1).
-  const double f = std::max(1e-9, rt.host_fraction / static_cast<double>(rt.tasks.size()));
+  // host" (paper §2.4.1). cpu_factor < 1 models a brownout.
+  const double f = std::max(
+      1e-9, rt.host_fraction * rt.cpu_factor / static_cast<double>(rt.tasks.size()));
   for (auto id : rt.tasks) rt.sched->setFraction(id, std::min(1.0, f));
+}
+
+void MicroGridPlatform::crashHost(const std::string& hostname) {
+  HostRt& rt = hostRt(hostname);
+  if (!rt.alive) return;
+  rt.alive = false;
+  MG_LOG_INFO("core") << "crash " << hostname;
+  // RSTs to peers are scheduled while the node is still up, so they escape
+  // onto the wire before the blackhole closes behind them.
+  rt.stack->tcp().abortAll("host " + hostname + " crashed");
+  // Kill every process; each unwinds synchronously, releasing its memory
+  // lease and scheduler slot. Finished entries are no-ops.
+  std::vector<sim::Process*> procs;
+  procs.swap(rt.procs);
+  for (sim::Process* p : procs) sim_.killProcess(*p);
+  net_->setNodeUp(rt.info->node, false);
+  net_->attachHost(rt.info->node, nullptr);  // the stack is about to die
+  rt.stack.reset();
+}
+
+void MicroGridPlatform::restartHost(const std::string& hostname) {
+  HostRt& rt = hostRt(hostname);
+  if (rt.alive) return;
+  rt.stack = std::make_unique<net::HostStack>(*net_, rt.info->node, opts_.tcp);
+  net_->setNodeUp(rt.info->node, true);
+  rt.alive = true;
+  MG_LOG_INFO("core") << "restart " << hostname;
+}
+
+bool MicroGridPlatform::hostAlive(const std::string& hostname) { return hostRt(hostname).alive; }
+
+void MicroGridPlatform::setHostCpuFactor(const std::string& hostname, double factor) {
+  if (factor <= 0 || factor > 1.0) throw UsageError("cpu factor must be in (0, 1]");
+  HostRt& rt = hostRt(hostname);
+  rt.cpu_factor = factor;
+  refraction(rt);
 }
 
 vos::CpuScheduler& MicroGridPlatform::schedulerFor(const std::string& physical_name) {
   return *schedulers_.at(physical_name);
 }
 
-void MicroGridPlatform::spawnOn(const std::string& host_or_ip, const std::string& process_name,
-                                std::function<void(vos::HostContext&)> body) {
+sim::Process& MicroGridPlatform::spawnOn(const std::string& host_or_ip,
+                                         const std::string& process_name,
+                                         std::function<void(vos::HostContext&)> body) {
   const vos::VirtualHostInfo& info = mapper_.resolve(host_or_ip);
-  sim_.spawn(process_name, [this, hostname = info.hostname, process_name, body = std::move(body)] {
-    HostRt& rt = hostRt(hostname);
-    MgContext ctx(*this, rt, process_name);
-    body(ctx);
-  });
+  HostRt& host = hostRt(info.hostname);
+  if (!host.alive) throw mg::Error("cannot spawn on crashed host " + info.hostname);
+  sim::Process& p =
+      sim_.spawn(process_name, [this, hostname = info.hostname, process_name, body = std::move(body)] {
+        HostRt& rt = hostRt(hostname);
+        MgContext ctx(*this, rt, process_name);
+        body(ctx);
+      });
+  host.procs.push_back(&p);
+  return p;
 }
 
 }  // namespace mg::core

@@ -52,8 +52,8 @@ class MicroGridPlatform : public Platform {
   const vos::HostMapper& mapper() const override { return mapper_; }
   double virtualNow() const override { return vt_->toVirtualSeconds(sim_.now()); }
 
-  void spawnOn(const std::string& host_or_ip, const std::string& process_name,
-               std::function<void(vos::HostContext&)> body) override;
+  sim::Process& spawnOn(const std::string& host_or_ip, const std::string& process_name,
+                        std::function<void(vos::HostContext&)> body) override;
 
   /// The chosen simulation rate (virtual seconds per emulation second).
   double rate() const { return rate_; }
@@ -64,6 +64,25 @@ class MicroGridPlatform : public Platform {
   /// Emulation wall-clock seconds consumed so far (the cost side of the
   /// Fig 15 trade-off).
   double emulationNow() const { return sim::toSeconds(sim_.now()); }
+
+  // --- fault-injection surface (src/fault drives these) ---
+
+  /// Crash a virtual host: RST every TCP peer (the dying kernel's last
+  /// gasp), kill every process on the host (each unwinds, releasing memory
+  /// and scheduler slots in O(active processes)), then blackhole the node.
+  /// Idempotent.
+  void crashHost(const std::string& hostname);
+
+  /// Bring a crashed host back with a cold stack: no processes, no
+  /// listeners, no directory presence — those are the launcher's job.
+  /// Idempotent.
+  void restartHost(const std::string& hostname);
+
+  bool hostAlive(const std::string& hostname);
+
+  /// CPU brownout: scale the host's CPU allocation by `factor` in (0, 1].
+  /// 1.0 restores full speed.
+  void setHostCpuFactor(const std::string& hostname, double factor);
 
  private:
   friend class MgContext;
@@ -77,7 +96,13 @@ class MicroGridPlatform : public Platform {
     std::unique_ptr<vos::MemoryManager> mem;
     vos::CpuScheduler* sched = nullptr;
     double host_fraction = 0;  // of the physical CPU, for all its processes
+    double cpu_factor = 1.0;   // brownout multiplier on host_fraction
+    bool alive = true;
     std::vector<vos::CpuScheduler::TaskId> tasks;  // live CPU-using processes
+    // Every process ever spawned on this host. Process objects outlive
+    // completion (the kernel retires them at shutdown), and killProcess is a
+    // no-op on finished ones, so stale entries are harmless.
+    std::vector<sim::Process*> procs;
   };
 
   HostRt& hostRt(const std::string& hostname);

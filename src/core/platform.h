@@ -28,9 +28,10 @@ class Platform {
   virtual const vos::HostMapper& mapper() const = 0;
 
   /// Start a process on the named virtual host (hostname or virtual IP).
-  /// The body receives that process's HostContext.
-  virtual void spawnOn(const std::string& host_or_ip, const std::string& process_name,
-                       std::function<void(vos::HostContext&)> body) = 0;
+  /// The body receives that process's HostContext. Returns the simulator
+  /// process so owners can killProcess() stragglers (fault teardown).
+  virtual sim::Process& spawnOn(const std::string& host_or_ip, const std::string& process_name,
+                                std::function<void(vos::HostContext&)> body) = 0;
 
   /// Current virtual time in seconds.
   virtual double virtualNow() const = 0;

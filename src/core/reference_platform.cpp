@@ -203,8 +203,9 @@ class ReferencePlatform::RefContext : public vos::HostContext {
     return local;
   }
 
-  void spawnProcess(const std::string& name, std::function<void(vos::HostContext&)> body) override {
-    p_.spawnOn(info_.hostname, name, std::move(body));
+  sim::Process& spawnProcess(const std::string& name,
+                             std::function<void(vos::HostContext&)> body) override {
+    return p_.spawnOn(info_.hostname, name, std::move(body));
   }
 
   sim::Simulator& simulator() override { return p_.sim_; }
@@ -234,10 +235,11 @@ vos::MemoryManager& ReferencePlatform::memoryFor(const std::string& hostname) {
   return *it->second;
 }
 
-void ReferencePlatform::spawnOn(const std::string& host_or_ip, const std::string& process_name,
-                                std::function<void(vos::HostContext&)> body) {
+sim::Process& ReferencePlatform::spawnOn(const std::string& host_or_ip,
+                                         const std::string& process_name,
+                                         std::function<void(vos::HostContext&)> body) {
   const vos::VirtualHostInfo& info = mapper_.resolve(host_or_ip);
-  sim_.spawn(process_name, [this, &info, process_name, body = std::move(body)] {
+  return sim_.spawn(process_name, [this, &info, process_name, body = std::move(body)] {
     RefContext ctx(*this, info, process_name);
     body(ctx);
   });

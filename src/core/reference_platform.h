@@ -36,8 +36,8 @@ class ReferencePlatform : public Platform {
   const vos::HostMapper& mapper() const override { return mapper_; }
   double virtualNow() const override { return sim::toSeconds(sim_.now()); }
 
-  void spawnOn(const std::string& host_or_ip, const std::string& process_name,
-               std::function<void(vos::HostContext&)> body) override;
+  sim::Process& spawnOn(const std::string& host_or_ip, const std::string& process_name,
+                        std::function<void(vos::HostContext&)> body) override;
 
   net::FlowNetwork& network() { return *flow_; }
 

@@ -1,0 +1,246 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/log.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace mg::fault {
+
+namespace {
+
+bool isLinkKind(FaultKind k) {
+  return k == FaultKind::LinkDown || k == FaultKind::LinkUp || k == FaultKind::LinkDegrade;
+}
+
+bool isHostKind(FaultKind k) {
+  return k == FaultKind::HostCrash || k == FaultKind::HostRestart ||
+         k == FaultKind::CpuBrownout;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(core::MicroGridPlatform& platform, FaultPlan plan)
+    : platform_(platform),
+      plan_(std::move(plan)),
+      c_injected_(platform.simulator().metrics().counter("fault.injected")),
+      trace_(platform.simulator().traceBus().channel("fault.injector")) {
+  // Register every per-kind counter up front so the metrics registry's
+  // contents do not depend on which faults actually fire (determinism of the
+  // --metrics=json output across plans).
+  for (FaultKind k : {FaultKind::LinkDown, FaultKind::LinkUp, FaultKind::LinkDegrade,
+                      FaultKind::HostCrash, FaultKind::HostRestart, FaultKind::CpuBrownout,
+                      FaultKind::Partition, FaultKind::Heal}) {
+    kind_counters_[faultKindName(k)] =
+        &platform.simulator().metrics().counter("fault." + faultKindName(k));
+  }
+  for (const auto& ev : plan_.events()) validate(ev);
+}
+
+void FaultInjector::validate(const FaultEvent& ev) const {
+  const net::Topology& topo = platform_.network().topology();
+  if (isLinkKind(ev.kind) && topo.findLink(ev.target) == net::kNoLink) {
+    throw ConfigError("fault '" + ev.name + "': unknown link '" + ev.target + "'");
+  }
+  if (isHostKind(ev.kind) && !platform_.mapper().contains(ev.target)) {
+    throw ConfigError("fault '" + ev.name + "': unknown host '" + ev.target + "'");
+  }
+  if (ev.kind == FaultKind::Partition) {
+    for (const auto& n : ev.nodes) {
+      if (topo.findNode(n) == net::kNoNode) {
+        throw ConfigError("fault '" + ev.name + "': unknown node '" + n + "'");
+      }
+    }
+  }
+  if (ev.kind == FaultKind::Heal && !ev.target.empty()) {
+    const auto& evs = plan_.events();
+    const bool known = std::any_of(evs.begin(), evs.end(), [&](const FaultEvent& other) {
+      return other.kind == FaultKind::Partition && other.name == ev.target;
+    });
+    if (!known) {
+      throw ConfigError("heal fault '" + ev.name + "': no partition named '" + ev.target + "'");
+    }
+  }
+}
+
+obs::Counter& FaultInjector::kindCounter(FaultKind k) {
+  return *kind_counters_.at(faultKindName(k));
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw mg::UsageError("FaultInjector::arm called twice");
+  armed_ = true;
+  sim::Simulator& sim = platform_.simulator();
+  for (const auto& ev : plan_.events()) {
+    const sim::SimTime t = platform_.virtualTime().toKernel(ev.at);
+    sim.scheduleAt(std::max(t, sim.now()), [this, ev] { fire(ev); });
+  }
+}
+
+void FaultInjector::applied(const FaultEvent& ev) {
+  c_injected_.inc();
+  kindCounter(ev.kind).inc();
+  const std::string& what = ev.target.empty() ? ev.name : ev.target;
+  trace_.record(platform_.simulator().now(), faultKindName(ev.kind), ev.at, what);
+  MG_LOG_INFO("fault") << faultKindName(ev.kind) << " " << what << " (plan '" << ev.name
+                       << "', t=" << ev.at << "vs)";
+}
+
+void FaultInjector::fire(const FaultEvent& ev) {
+  sim::Simulator& sim = platform_.simulator();
+  net::PacketNetwork& net = platform_.network();
+  const net::Topology& topo = net.topology();
+  const double now = platform_.virtualNow();
+
+  // Synthesize the inverse event `duration` virtual seconds later. The
+  // inverse goes through fire() itself, so it is counted and traced like any
+  // other injected fault.
+  auto scheduleInverse = [&](FaultEvent inverse) {
+    inverse.at = ev.at + ev.duration;
+    inverse.duration = 0;
+    sim.scheduleAfter(platform_.virtualTime().toKernel(ev.duration),
+                      [this, inverse] { fire(inverse); });
+  };
+
+  switch (ev.kind) {
+    case FaultKind::LinkDown: {
+      net.setLinkUp(topo.findLink(ev.target), false);
+      if (ev.duration > 0) {
+        FaultEvent inv = ev;
+        inv.kind = FaultKind::LinkUp;
+        scheduleInverse(inv);
+      }
+      break;
+    }
+    case FaultKind::LinkUp:
+      net.setLinkUp(topo.findLink(ev.target), true);
+      break;
+    case FaultKind::LinkDegrade: {
+      const net::LinkId lid = topo.findLink(ev.target);
+      const net::PacketNetwork::LinkParams saved = net.linkParams(lid);
+      net::PacketNetwork::LinkParams p = saved;
+      if (ev.loss >= 0) p.loss_rate = ev.loss;
+      p.latency = static_cast<sim::SimTime>(static_cast<double>(p.latency) * ev.latency_mult);
+      p.bandwidth_bps *= ev.bandwidth_mult;
+      net.applyLinkParams(lid, p);
+      if (ev.duration > 0) {
+        // Restoring saved parameters needs the closure, not a plain inverse
+        // event; it is still counted as a link_degrade application.
+        FaultEvent inv = ev;
+        inv.at = ev.at + ev.duration;
+        inv.duration = 0;
+        sim.scheduleAfter(platform_.virtualTime().toKernel(ev.duration),
+                          [this, inv, lid, saved] {
+                            platform_.network().applyLinkParams(lid, saved);
+                            applied(inv);
+                          });
+      }
+      break;
+    }
+    case FaultKind::HostCrash: {
+      if (!platform_.hostAlive(ev.target)) break;
+      platform_.crashHost(ev.target);
+      if (on_crash_) on_crash_(ev.target);
+      HostStat& st = host_stats_[ev.target];
+      ++st.crashes;
+      st.down_since = now;
+      if (ev.duration > 0) {
+        FaultEvent inv = ev;
+        inv.kind = FaultKind::HostRestart;
+        scheduleInverse(inv);
+      }
+      break;
+    }
+    case FaultKind::HostRestart: {
+      if (platform_.hostAlive(ev.target)) break;
+      platform_.restartHost(ev.target);
+      if (on_restart_) on_restart_(ev.target);
+      HostStat& st = host_stats_[ev.target];
+      if (st.down_since >= 0) {
+        st.downtime += now - st.down_since;
+        st.down_since = -1;
+      }
+      break;
+    }
+    case FaultKind::CpuBrownout: {
+      platform_.setHostCpuFactor(ev.target, ev.factor);
+      if (ev.duration > 0) {
+        FaultEvent inv = ev;
+        inv.kind = FaultKind::CpuBrownout;
+        inv.factor = 1.0;
+        scheduleInverse(inv);
+      }
+      break;
+    }
+    case FaultKind::Partition: {
+      std::set<net::NodeId> inside;
+      for (const auto& n : ev.nodes) inside.insert(topo.findNode(n));
+      std::vector<net::LinkId>& cut = partitions_[ev.name];
+      for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+        const net::Link& link = topo.link(l);
+        const bool a_in = inside.count(link.a) > 0;
+        const bool b_in = inside.count(link.b) > 0;
+        if (a_in == b_in || !link.up) continue;
+        net.setLinkUp(l, false);
+        cut.push_back(l);
+      }
+      if (ev.duration > 0) {
+        FaultEvent inv = ev;
+        inv.kind = FaultKind::Heal;
+        inv.target = ev.name;
+        scheduleInverse(inv);
+      }
+      break;
+    }
+    case FaultKind::Heal: {
+      auto healOne = [&](const std::string& id) {
+        auto it = partitions_.find(id);
+        if (it == partitions_.end()) return;
+        for (net::LinkId l : it->second) net.setLinkUp(l, true);
+        partitions_.erase(it);
+      };
+      if (ev.target.empty()) {
+        while (!partitions_.empty()) healOne(partitions_.begin()->first);
+      } else {
+        healOne(ev.target);
+      }
+      break;
+    }
+  }
+  applied(ev);
+}
+
+std::int64_t FaultInjector::injected() const { return c_injected_.value(); }
+
+std::vector<FaultInjector::HostReport> FaultInjector::report(double elapsed_seconds) const {
+  const double elapsed = elapsed_seconds > 0 ? elapsed_seconds : platform_.virtualNow();
+  std::vector<HostReport> out;
+  for (const auto& [host, st] : host_stats_) {
+    HostReport r;
+    r.host = host;
+    r.crashes = st.crashes;
+    r.downtime_seconds = st.downtime;
+    if (st.down_since >= 0 && elapsed > st.down_since) {
+      r.downtime_seconds += elapsed - st.down_since;  // still down at the horizon
+    }
+    r.availability = elapsed > 0 ? 1.0 - r.downtime_seconds / elapsed : 1.0;
+    r.mttr_seconds = st.crashes > 0 ? r.downtime_seconds / st.crashes : 0;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string FaultInjector::renderReport(double elapsed_seconds) const {
+  util::Table t({"host", "crashes", "downtime (vs)", "availability", "MTTR (vs)"});
+  for (const auto& r : report(elapsed_seconds)) {
+    t.row() << r.host << r.crashes << r.downtime_seconds << r.availability << r.mttr_seconds;
+  }
+  std::string out = util::format("faults injected: %lld\n",
+                                 static_cast<long long>(injected()));
+  if (t.rowCount() > 0) out += t.render();
+  return out;
+}
+
+}  // namespace mg::fault

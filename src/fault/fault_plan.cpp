@@ -1,0 +1,111 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace mg::fault {
+
+FaultKind faultKindFromString(const std::string& s) {
+  const std::string t = util::toLower(s);
+  if (t == "link_down") return FaultKind::LinkDown;
+  if (t == "link_up") return FaultKind::LinkUp;
+  if (t == "link_degrade") return FaultKind::LinkDegrade;
+  if (t == "host_crash") return FaultKind::HostCrash;
+  if (t == "host_restart") return FaultKind::HostRestart;
+  if (t == "cpu_brownout") return FaultKind::CpuBrownout;
+  if (t == "partition") return FaultKind::Partition;
+  if (t == "heal") return FaultKind::Heal;
+  throw ConfigError("unknown fault kind '" + s + "'");
+}
+
+std::string faultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::LinkDown: return "link_down";
+    case FaultKind::LinkUp: return "link_up";
+    case FaultKind::LinkDegrade: return "link_degrade";
+    case FaultKind::HostCrash: return "host_crash";
+    case FaultKind::HostRestart: return "host_restart";
+    case FaultKind::CpuBrownout: return "cpu_brownout";
+    case FaultKind::Partition: return "partition";
+    case FaultKind::Heal: return "heal";
+  }
+  return "?";
+}
+
+FaultEvent FaultPlan::parseSection(const util::ConfigSection& sec) {
+  FaultEvent ev;
+  ev.name = sec.name();
+  ev.at = sec.getTime("at");
+  if (ev.at < 0) throw ConfigError("fault '" + ev.name + "' has negative time");
+  ev.kind = faultKindFromString(sec.getString("kind"));
+
+  const bool needs_target = ev.kind != FaultKind::Partition && ev.kind != FaultKind::Heal;
+  if (needs_target) {
+    ev.target = sec.getString("target");
+  } else {
+    ev.target = sec.getString("target", "");
+  }
+  if (sec.has("nodes")) {
+    for (const auto& n : util::splitTrim(sec.getString("nodes"), ',')) {
+      if (!n.empty()) ev.nodes.push_back(n);
+    }
+  }
+  if (ev.kind == FaultKind::Partition && ev.nodes.empty()) {
+    throw ConfigError("partition fault '" + ev.name + "' needs a nodes list");
+  }
+  if (sec.has("loss")) ev.loss = sec.getDouble("loss");
+  ev.latency_mult = sec.getDouble("latency_mult", 1.0);
+  ev.bandwidth_mult = sec.getDouble("bandwidth_mult", 1.0);
+  ev.factor = sec.getDouble("factor", 1.0);
+  if (sec.has("duration")) {
+    ev.duration = sec.getTime("duration");
+    if (ev.duration <= 0) throw ConfigError("fault '" + ev.name + "' has non-positive duration");
+    const bool restorable = ev.kind == FaultKind::LinkDown || ev.kind == FaultKind::LinkDegrade ||
+                            ev.kind == FaultKind::HostCrash ||
+                            ev.kind == FaultKind::CpuBrownout ||
+                            ev.kind == FaultKind::Partition;
+    if (!restorable) {
+      throw ConfigError("fault '" + ev.name + "' of kind " + faultKindName(ev.kind) +
+                        " cannot take a duration");
+    }
+  }
+  if (ev.kind == FaultKind::CpuBrownout && (ev.factor <= 0 || ev.factor > 1.0)) {
+    throw ConfigError("brownout fault '" + ev.name + "' needs factor in (0, 1]");
+  }
+  if (ev.kind == FaultKind::LinkDegrade && ev.loss < 0 && ev.latency_mult == 1.0 &&
+      ev.bandwidth_mult == 1.0) {
+    throw ConfigError("degrade fault '" + ev.name + "' changes nothing");
+  }
+  return ev;
+}
+
+FaultPlan FaultPlan::fromConfig(const util::Config& cfg) {
+  FaultPlan plan;
+  for (const auto* sec : cfg.sectionsOfType("fault")) {
+    plan.events_.push_back(parseSection(*sec));
+  }
+  // Stable: same-time events keep file order (determinism).
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+FaultPlan FaultPlan::fromFile(const std::string& path) {
+  return fromConfig(util::Config::parseFile(path));
+}
+
+void FaultPlan::add(FaultEvent ev) {
+  events_.push_back(std::move(ev));
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+void FaultPlan::merge(const FaultPlan& other) {
+  for (const auto& ev : other.events_) events_.push_back(ev);
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+}  // namespace mg::fault

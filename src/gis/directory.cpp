@@ -1,5 +1,7 @@
 #include "gis/directory.h"
 
+#include <limits>
+
 #include "util/strings.h"
 
 namespace mg::gis {
@@ -55,9 +57,25 @@ const Record* Directory::find(const Dn& dn) const {
   return nullptr;
 }
 
+bool Directory::expired(const Record& r, double now) {
+  if (!r.has(kAttrExpires)) return false;
+  try {
+    return std::stod(r.get(kAttrExpires)) <= now;
+  } catch (const std::exception&) {
+    return false;  // an unparseable expiry never expires
+  }
+}
+
 std::vector<Record> Directory::search(const Dn& base, Scope scope, const Filter& filter) const {
+  // No timestamp: nothing is ever considered expired.
+  return search(base, scope, filter, -std::numeric_limits<double>::infinity());
+}
+
+std::vector<Record> Directory::search(const Dn& base, Scope scope, const Filter& filter,
+                                      double now) const {
   std::vector<Record> out;
   for (const auto& r : records_) {
+    if (expired(r, now)) continue;
     bool in_scope = false;
     switch (scope) {
       case Scope::Base:

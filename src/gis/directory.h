@@ -21,6 +21,12 @@ enum class Scope {
 Scope scopeFromString(const std::string& s);
 std::string scopeToString(Scope s);
 
+/// Staleness attribute: a record carrying `Record_Expires: <virtual seconds,
+/// decimal>` is excluded from searches whose `now` is at or past that time.
+/// The launcher stamps it on the records of crashed hosts so placement
+/// decisions stop seeing them (MDS-style TTL expiry).
+inline constexpr const char* kAttrExpires = "Record_Expires";
+
 class Directory {
  public:
   /// Insert a record; throws mg::ConfigError if the DN already exists.
@@ -36,8 +42,13 @@ class Directory {
   const Record* find(const Dn& dn) const;
 
   /// Scoped, filtered search. Results are in insertion order (stable and
-  /// deterministic).
+  /// deterministic). When `now` is given, records whose kAttrExpires time is
+  /// at or before it are treated as absent.
   std::vector<Record> search(const Dn& base, Scope scope, const Filter& filter) const;
+  std::vector<Record> search(const Dn& base, Scope scope, const Filter& filter, double now) const;
+
+  /// True if the record has expired relative to `now` (virtual seconds).
+  static bool expired(const Record& r, double now);
 
   std::size_t size() const { return records_.size(); }
 

@@ -67,6 +67,13 @@ void Record::set(const std::string& attr, const std::string& value) {
   attrs_.emplace_back(key, value);
 }
 
+void Record::unset(const std::string& attr) {
+  const std::string key = util::toLower(attr);
+  attrs_.erase(std::remove_if(attrs_.begin(), attrs_.end(),
+                              [&](const auto& p) { return p.first == key; }),
+               attrs_.end());
+}
+
 bool Record::has(const std::string& attr) const {
   const std::string key = util::toLower(attr);
   for (const auto& [a, v] : attrs_) {

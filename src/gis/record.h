@@ -69,6 +69,9 @@ class Record {
   /// Replace all values of an attribute with one value.
   void set(const std::string& attr, const std::string& value);
 
+  /// Remove every value of an attribute; no-op if absent.
+  void unset(const std::string& attr);
+
   bool has(const std::string& attr) const;
 
   /// First value; throws mg::Error if absent.

@@ -21,7 +21,8 @@ struct ServiceCounters {
   obs::Counter& errors;
 };
 
-std::string handleRequest(Directory& dir, const std::string& request, ServiceCounters& counters) {
+std::string handleRequest(Directory& dir, const std::string& request, ServiceCounters& counters,
+                          double now) {
   try {
     const auto nl = request.find('\n');
     const std::string verb = (nl == std::string::npos) ? request : request.substr(0, nl);
@@ -38,7 +39,9 @@ std::string handleRequest(Directory& dir, const std::string& request, ServiceCou
       for (std::size_t i = 3; i < lines.size(); ++i) filter_text += "\n" + lines[i];
       const Filter filter = Filter::parse(filter_text);
       std::string payload;
-      for (const auto& rec : dir.search(base, scope, filter)) {
+      // Searches see the directory as of the virtual present: expired
+      // (crashed-host) records are invisible.
+      for (const auto& rec : dir.search(base, scope, filter, now)) {
         payload += rec.toLdif();
         payload += "\n";
       }
@@ -73,7 +76,8 @@ void serveDirectory(vos::HostContext& ctx, Directory& dir, std::uint16_t port) {
       try {
         for (;;) {
           const std::string request = vos::recvFrame(*sock, hctx.simulator().metrics());
-          vos::sendFrame(*sock, handleRequest(dir, request, *counters), hctx.simulator().metrics());
+          vos::sendFrame(*sock, handleRequest(dir, request, *counters, hctx.wallTime()),
+                         hctx.simulator().metrics());
         }
       } catch (const mg::Error&) {
         // Client hung up; the connection is done.

@@ -36,6 +36,8 @@ CoallocationResult Coallocator::run(const std::string& executable, const std::st
   int total = 0;
   for (const auto& p : parts) total += p.count;
 
+  CoallocationResult result;
+  result.ok = true;
   std::vector<std::string> contacts;
   int rank_base = 0;
   for (const auto& p : parts) {
@@ -48,14 +50,29 @@ CoallocationResult Coallocator::run(const std::string& executable, const std::st
     rsl.setEnv("MG_RANK_BASE", std::to_string(rank_base));
     rsl.setEnv("MG_PORT_BASE", std::to_string(kVmpiPortBase));
     for (const auto& [k, v] : extra_env) rsl.setEnv(k, v);
-    contacts.push_back(client_.submit(p.host, rsl));
+    try {
+      contacts.push_back(client_.submit(p.host, rsl));
+    } catch (const mg::Error& e) {
+      JobStatus st;
+      st.state = JobState::Failed;
+      st.error = "submit to " + p.host + " failed: " + e.what();
+      result.parts.push_back(st);
+      result.ok = false;
+      if (result.error.empty()) result.error = st.error;
+    }
     rank_base += p.count;
   }
 
-  CoallocationResult result;
-  result.ok = true;
   for (const auto& contact : contacts) {
-    JobStatus st = client_.wait(contact);
+    JobStatus st;
+    try {
+      st = client_.wait(contact);
+    } catch (const mg::Error& e) {
+      // The gatekeeper died (or restarted and forgot the job) while we
+      // waited; the part is lost, not the whole run() call.
+      st.state = JobState::Failed;
+      st.error = "wait on " + contact + " failed: " + e.what();
+    }
     result.parts.push_back(st);
     if (st.state == JobState::Failed) {
       result.ok = false;

@@ -38,10 +38,16 @@ class Coallocator {
       : client_(ctx, std::move(subject)) {}
 
   /// Submit the executable to every part's gatekeeper and wait for all of
-  /// them. `extra_env` is merged into the bootstrap environment.
+  /// them. `extra_env` is merged into the bootstrap environment. A part
+  /// whose gatekeeper is unreachable (even after the client's retries)
+  /// becomes a Failed part in the result instead of an exception, so one
+  /// dead host cannot take down the whole submission loop.
   CoallocationResult run(const std::string& executable, const std::string& arguments,
                          const std::vector<AllocationPart>& parts,
                          const std::map<std::string, std::string>& extra_env = {});
+
+  /// The underlying GRAM client (retry-policy tuning).
+  GramClient& client() { return client_; }
 
  private:
   GramClient client_;

@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 
+#include "net/tcp.h"
 #include "sim/condition.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -215,22 +216,44 @@ void serveGatekeeper(vos::HostContext& ctx, const ExecutableRegistry& registry,
 // ----------------------------------------------------------------- client --
 
 GramClient::GramClient(vos::HostContext& ctx, std::string subject)
-    : ctx_(ctx), subject_(std::move(subject)) {}
+    : ctx_(ctx),
+      subject_(std::move(subject)),
+      c_retries_(ctx.simulator().metrics().counter("grid.gram.retries")) {}
 
-std::string GramClient::request(const std::string& host, const std::string& payload) {
-  auto sock = ctx_.connect(host, kGatekeeperPort);
-  vos::sendFrame(*sock, payload, ctx_.simulator().metrics());
-  const std::string reply = vos::recvFrame(*sock, ctx_.simulator().metrics());
-  sock->close();
-  const auto nl = reply.find('\n');
-  const std::string status = (nl == std::string::npos) ? reply : reply.substr(0, nl);
-  const std::string body = (nl == std::string::npos) ? "" : reply.substr(nl + 1);
-  if (status != "OK") throw mg::Error("GRAM: " + body);
-  return body;
+std::string GramClient::request(const std::string& host, const std::string& payload,
+                                bool idempotent) {
+  double backoff = retry_.backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      auto sock = ctx_.connect(host, kGatekeeperPort);
+      vos::sendFrame(*sock, payload, ctx_.simulator().metrics());
+      const std::string reply = vos::recvFrame(*sock, ctx_.simulator().metrics());
+      sock->close();
+      const auto nl = reply.find('\n');
+      const std::string status = (nl == std::string::npos) ? reply : reply.substr(0, nl);
+      const std::string body = (nl == std::string::npos) ? "" : reply.substr(nl + 1);
+      // A gatekeeper that answered is healthy; ERR is a real answer and is
+      // never retried.
+      if (status != "OK") throw mg::Error("GRAM: " + body);
+      return body;
+    } catch (const net::ConnectionRefused& e) {
+      // Connect-phase failure: the request never reached the gatekeeper, so
+      // retrying is always safe (including for SUBMIT).
+      if (attempt >= retry_.attempts) throw;
+      MG_LOG_TRACE("gram") << "retrying " << host << " after: " << e.what();
+    } catch (const net::ConnectionReset& e) {
+      // Mid-exchange failure: the gatekeeper may have acted on the request.
+      if (!idempotent || attempt >= retry_.attempts) throw;
+      MG_LOG_TRACE("gram") << "retrying " << host << " after: " << e.what();
+    }
+    c_retries_.inc();
+    ctx_.sleep(backoff);
+    backoff *= retry_.multiplier;
+  }
 }
 
 std::string GramClient::submit(const std::string& host, const Rsl& rsl) {
-  const std::string id = request(host, "SUBMIT\n" + subject_ + "\n" + rsl.str());
+  const std::string id = request(host, "SUBMIT\n" + subject_ + "\n" + rsl.str(), false);
   return host + "#" + id;
 }
 
@@ -266,17 +289,17 @@ std::pair<std::string, std::string> splitContact(const std::string& contact) {
 
 JobStatus GramClient::status(const std::string& contact) {
   auto [host, id] = splitContact(contact);
-  return parseStatus(request(host, "STATUS\n" + id));
+  return parseStatus(request(host, "STATUS\n" + id, true));
 }
 
 JobStatus GramClient::wait(const std::string& contact) {
   auto [host, id] = splitContact(contact);
-  return parseStatus(request(host, "WAIT\n" + id));
+  return parseStatus(request(host, "WAIT\n" + id, true));
 }
 
 void GramClient::cancel(const std::string& contact) {
   auto [host, id] = splitContact(contact);
-  request(host, "CANCEL\n" + id);
+  request(host, "CANCEL\n" + id, true);
 }
 
 }  // namespace mg::grid

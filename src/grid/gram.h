@@ -50,12 +50,22 @@ struct GatekeeperOptions {
 void serveGatekeeper(vos::HostContext& ctx, const ExecutableRegistry& registry,
                      GatekeeperOptions opts = {});
 
+/// Client-side resilience: how requests to an unreachable gatekeeper are
+/// retried. Backoff sleeps are in virtual seconds and double each attempt.
+struct GramRetryPolicy {
+  int attempts = 4;              // total tries per request
+  double backoff_seconds = 0.5;  // sleep before the first retry
+  double multiplier = 2.0;
+};
+
 /// The globusrun-style client.
 class GramClient {
  public:
   explicit GramClient(vos::HostContext& ctx, std::string subject = "anonymous");
 
   /// Submit to a host's gatekeeper; returns a job contact "host#id".
+  /// Retried only on connect-phase failures (nothing reached the
+  /// gatekeeper, so no double submission).
   std::string submit(const std::string& host, const Rsl& rsl);
 
   /// Poll a job.
@@ -67,12 +77,20 @@ class GramClient {
   /// Request cancellation of a pending/active job.
   void cancel(const std::string& contact);
 
+  void setRetryPolicy(const GramRetryPolicy& p) { retry_ = p; }
+  const GramRetryPolicy& retryPolicy() const { return retry_; }
+
  private:
   JobStatus parseStatus(const std::string& body) const;
-  std::string request(const std::string& host, const std::string& payload);
+  /// One framed exchange with exponential-backoff retries. Idempotent verbs
+  /// (STATUS/WAIT/CANCEL) also retry after a mid-exchange reset; SUBMIT does
+  /// not. "ERR" replies are never retried.
+  std::string request(const std::string& host, const std::string& payload, bool idempotent);
 
   vos::HostContext& ctx_;
   std::string subject_;
+  GramRetryPolicy retry_;
+  obs::Counter& c_retries_;
 };
 
 }  // namespace mg::grid

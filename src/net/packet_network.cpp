@@ -16,6 +16,9 @@ PacketNetwork::PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOp
       c_dropped_queue_(sim.metrics().counter("net.packet.dropped_queue")),
       c_dropped_loss_(sim.metrics().counter("net.packet.dropped_loss")),
       c_dropped_down_(sim.metrics().counter("net.packet.dropped_down")),
+      c_dropped_link_down_(sim.metrics().counter("net.packet.drop_link_down")),
+      c_dropped_node_down_(sim.metrics().counter("net.packet.drop_node_down")),
+      c_route_recomputes_(sim.metrics().counter("net.route.recomputes")),
       c_bytes_delivered_(sim.metrics().counter("net.packet.bytes_delivered")),
       c_wire_bytes_(sim.metrics().counter("net.packet.wire_bytes_sent")),
       trace_(sim.traceBus().channel("net.packet")),
@@ -110,6 +113,8 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
     // Link may have gone down while the packet was in flight on the wire.
     if (!lk.up) {
       c_dropped_down_.inc();
+      c_dropped_link_down_.inc();
+      if (trace_.enabled()) trace_.record(sim_.now(), "drop_link_down", static_cast<double>(pkt.wireBytes()), lk.name);
     } else if (lk.loss_rate > 0 && rng_.uniform() < lk.loss_rate) {
       c_dropped_loss_.inc();
       if (trace_.enabled()) trace_.record(sim_.now(), "drop_loss", static_cast<double>(pkt.wireBytes()), lk.name);
@@ -132,6 +137,14 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
 }
 
 void PacketNetwork::deliverLocal(Packet&& pkt) {
+  if (!topo_.node(pkt.dst).up) {
+    // Crashed hosts receive nothing: the silent blackhole that makes peers'
+    // SYN/RTO timers (rather than an oracle) detect the failure.
+    c_dropped_down_.inc();
+    c_dropped_node_down_.inc();
+    if (trace_.enabled()) trace_.record(sim_.now(), "drop_node_down", static_cast<double>(pkt.wireBytes()), topo_.node(pkt.dst).name);
+    return;
+  }
   PacketHandler& h = handlers_.at(static_cast<size_t>(pkt.dst));
   if (!h) {
     MG_LOG_TRACE("net") << "packet to unattached node " << topo_.node(pkt.dst).name;
@@ -143,25 +156,73 @@ void PacketNetwork::deliverLocal(Packet&& pkt) {
   h(std::move(pkt));
 }
 
+void PacketNetwork::dropQueued(LinkId link, obs::Counter& cause) {
+  for (int dir = 0; dir < 2; ++dir) dropQueuedDir(link, dir, cause);
+}
+
+void PacketNetwork::dropQueuedDir(LinkId link, int dir, obs::Counter& cause) {
+  LinkQueue& q = link_queues_.at(static_cast<size_t>(link) * 2 + static_cast<size_t>(dir));
+  // The head packet may be mid-transmission; its completion event still
+  // references queue.front(), so leave it (the completion path drops it
+  // because the link is down). Everything behind it is dropped here.
+  const size_t keep = q.busy ? 1 : 0;
+  while (q.queue.size() > keep) {
+    q.queued_bytes -= q.queue.back().wireBytes();
+    q.queue.pop_back();
+    c_dropped_down_.inc();
+    cause.inc();
+  }
+}
+
+void PacketNetwork::recomputeRoutes() {
+  routing_.recompute(topo_);
+  c_route_recomputes_.inc();
+}
+
 void PacketNetwork::setLinkUp(LinkId link, bool up) {
   Link& l = topo_.mutableLink(link);
   if (l.up == up) return;
   l.up = up;
+  if (!up) dropQueued(link, c_dropped_link_down_);
+  recomputeRoutes();
+}
+
+void PacketNetwork::setNodeUp(NodeId node, bool up) {
+  Node& n = topo_.mutableNode(node);
+  if (n.up == up) return;
+  n.up = up;
   if (!up) {
-    for (int dir = 0; dir < 2; ++dir) {
-      LinkQueue& q = link_queues_.at(static_cast<size_t>(link) * 2 + static_cast<size_t>(dir));
-      // The head packet may be mid-transmission; its completion event still
-      // references queue.front(), so leave it (the completion path drops it
-      // because the link is down). Everything behind it is dropped here.
-      const size_t keep = q.busy ? 1 : 0;
-      while (q.queue.size() > keep) {
-        q.queued_bytes -= q.queue.back().wireBytes();
-        q.queue.pop_back();
-        c_dropped_down_.inc();
-      }
+    // Packets queued *toward* the dead node are lost (they could only
+    // blackhole at delivery). The outbound direction is deliberately left to
+    // drain: those packets were already handed to the NIC before the crash
+    // instant — they carry the dying kernel's last-gasp RSTs, which is how
+    // established peers learn of the crash promptly. The links themselves
+    // stay up: a crashed host's cable is still plugged in.
+    for (LinkId lid : topo_.linksAt(node)) {
+      const Link& l = topo_.link(lid);
+      const NodeId peer = (l.a == node) ? l.b : l.a;
+      const int dir_in = (peer == l.a) ? 0 : 1;  // peer -> node
+      dropQueuedDir(lid, dir_in, c_dropped_node_down_);
     }
   }
-  routing_.recompute(topo_);
+  recomputeRoutes();
+}
+
+PacketNetwork::LinkParams PacketNetwork::linkParams(LinkId link) const {
+  const Link& l = topo_.link(link);
+  return LinkParams{l.bandwidth_bps, l.latency, l.loss_rate};
+}
+
+void PacketNetwork::applyLinkParams(LinkId link, const LinkParams& params) {
+  if (params.bandwidth_bps <= 0) throw UsageError("link bandwidth must be positive");
+  if (params.latency < 0 || params.loss_rate < 0 || params.loss_rate >= 1.0) {
+    throw UsageError("bad link parameters");
+  }
+  Link& l = topo_.mutableLink(link);
+  l.bandwidth_bps = params.bandwidth_bps;
+  l.latency = params.latency;
+  l.loss_rate = params.loss_rate;
+  recomputeRoutes();
 }
 
 }  // namespace mg::net

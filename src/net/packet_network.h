@@ -63,9 +63,30 @@ class PacketNetwork {
   /// queues; delivery invokes the destination node's handler.
   void send(Packet&& pkt);
 
-  /// Administratively set a link up or down and recompute routes. Packets
-  /// already queued on a downed link are dropped.
+  /// Administratively set a link up or down and recompute routes (exactly
+  /// once per actual state change; a same-state call is a no-op). Packets
+  /// already queued on a downed link are dropped and counted under
+  /// `net.packet.drop_link_down`.
   void setLinkUp(LinkId link, bool up);
+
+  /// Mark a node up or down (host crash / restart). A down node neither
+  /// receives packets (dropped at delivery, `net.packet.drop_node_down`)
+  /// nor forwards (routing recomputes around it); packets queued toward it
+  /// are dropped, while its own already-queued outbound packets drain (the
+  /// dying kernel's last-gasp RSTs must reach established peers).
+  void setNodeUp(NodeId node, bool up);
+  bool nodeUp(NodeId node) const { return topo_.node(node).up; }
+
+  /// A link's mutable performance parameters, for fault injection
+  /// (link_degrade / restore). Changing them recomputes routing, since the
+  /// Dijkstra weights depend on latency and bandwidth.
+  struct LinkParams {
+    double bandwidth_bps = 0;
+    sim::SimTime latency = 0;
+    double loss_rate = 0;
+  };
+  LinkParams linkParams(LinkId link) const;
+  void applyLinkParams(LinkId link, const LinkParams& params);
 
   /// Convert a network-time duration to kernel-clock time (multiplies by
   /// time_scale). Transports use this for their protocol timers so that RTO
@@ -81,6 +102,9 @@ class PacketNetwork {
   };
 
   LinkQueue& queueFor(LinkId link, NodeId from);
+  void dropQueued(LinkId link, obs::Counter& cause);
+  void dropQueuedDir(LinkId link, int dir, obs::Counter& cause);
+  void recomputeRoutes();
   void forward(NodeId at, Packet&& pkt);
   void enqueue(LinkId link, NodeId from, Packet&& pkt);
   void startTransmit(LinkId link, NodeId from);
@@ -97,6 +121,10 @@ class PacketNetwork {
   obs::Counter& c_dropped_queue_;
   obs::Counter& c_dropped_loss_;
   obs::Counter& c_dropped_down_;
+  // Fault-specific sub-causes of dropped_down (which stays the aggregate).
+  obs::Counter& c_dropped_link_down_;
+  obs::Counter& c_dropped_node_down_;
+  obs::Counter& c_route_recomputes_;
   obs::Counter& c_bytes_delivered_;
   obs::Counter& c_wire_bytes_;
   obs::TraceBus::Channel& trace_;

@@ -621,4 +621,29 @@ void TcpStack::removeConnection(const TcpConnection& conn) {
 
 void TcpStack::removeListener(std::uint16_t port) { listeners_.erase(port); }
 
+void TcpStack::abortAll(const std::string& why) {
+  // enterError mutates connections_ via removeConnection; iterate a copy.
+  std::vector<std::shared_ptr<TcpConnection>> conns;
+  conns.reserve(connections_.size());
+  for (const auto& [key, conn] : connections_) conns.push_back(conn);
+  for (const auto& conn : conns) {
+    if (conn->error_ || conn->state_ == TcpConnection::State::Closed) continue;
+    Packet rst;
+    rst.src = node_;
+    rst.dst = conn->remote_node_;
+    rst.protocol = Protocol::Tcp;
+    rst.src_port = conn->local_port_;
+    rst.dst_port = conn->remote_port_;
+    rst.flags = kFlagRst;
+    net_.send(std::move(rst));
+    conn->enterError(why);
+  }
+  connections_.clear();
+  std::vector<TcpListener*> listeners;
+  listeners.reserve(listeners_.size());
+  for (const auto& [port, l] : listeners_) listeners.push_back(l);
+  for (TcpListener* l : listeners) l->close();
+  listeners_.clear();
+}
+
 }  // namespace mg::net

@@ -219,6 +219,12 @@ class TcpStack {
   /// A passive connection completed its handshake; hand it to the listener.
   void connectionEstablished(TcpConnection& conn);
 
+  /// Host crash: send an RST to every live peer, error every connection
+  /// (blocked senders/receivers unwind with ConnectionReset) and close all
+  /// listeners. The RSTs are scheduled before the node is marked down, so
+  /// they escape onto the wire like a dying kernel's last gasp.
+  void abortAll(const std::string& why);
+
   NodeId node() const { return node_; }
   PacketNetwork& network() { return net_; }
   sim::Simulator& simulator() { return net_.simulator(); }

@@ -123,6 +123,11 @@ void RoutingTable::recompute(const Topology& topo) {
       auto [d, u] = pq.top();
       pq.pop();
       if (d > dist[static_cast<size_t>(u)]) continue;
+      // Down nodes do not forward: no path may transit them. They do keep a
+      // first hop *out* (dist/via assigned when a live neighbor relaxes into
+      // them), so a crashing host's already-queued packets — its last-gasp
+      // RSTs — can still leave.
+      if (!topo.node(u).up && u != dst) continue;
       for (LinkId lid : topo.linksAt(u)) {
         const Link& l = topo.link(lid);
         if (!l.up) continue;

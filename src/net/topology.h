@@ -28,6 +28,7 @@ enum class NodeKind { Host, Router };
 struct Node {
   std::string name;
   NodeKind kind = NodeKind::Host;
+  bool up = true;  // a crashed host / failed router neither sends nor receives
 };
 
 /// A full-duplex link: both directions have independent queues in the
@@ -54,6 +55,7 @@ class Topology {
   const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
   const Link& link(LinkId id) const { return links_.at(static_cast<size_t>(id)); }
   Link& mutableLink(LinkId id) { return links_.at(static_cast<size_t>(id)); }
+  Node& mutableNode(NodeId id) { return nodes_.at(static_cast<size_t>(id)); }
 
   int nodeCount() const { return static_cast<int>(nodes_.size()); }
   int linkCount() const { return static_cast<int>(links_.size()); }

@@ -170,6 +170,15 @@ void Simulator::shutdown() {
   shutting_down_ = false;
 }
 
+void Simulator::killProcess(Process& p) {
+  if (p.finished_) return;
+  if (current_ == &p) throw UsageError("a process cannot kill itself");
+  p.kill_ = true;
+  process_kills_.inc();
+  if (proc_trace_.enabled()) proc_trace_.record(now_, "kill", static_cast<double>(p.id()), p.name());
+  runProcessSlice(p);
+}
+
 void Simulator::delay(SimTime d) {
   if (d < 0) throw UsageError("negative delay");
   Process& p = currentProcess();

@@ -121,6 +121,12 @@ class Simulator {
   /// destruction.
   void shutdown();
 
+  /// Kill one process: it unwinds synchronously with ProcessKilled, exactly
+  /// as in shutdown(), and this call returns once the unwind completes. The
+  /// fault layer uses this for host crashes. A process must not kill itself;
+  /// killing a finished process is a no-op.
+  void killProcess(Process& p);
+
   // --- process-context API (callable only from inside a process) ---
 
   /// Block the calling process for `d` simulated time.

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "grid/coallocator.h"
+#include "net/tcp.h"
 #include "util/log.h"
 
 namespace mg::vmpi {
@@ -21,6 +22,11 @@ constexpr int kTagRingRs = -8;
 constexpr int kTagRingAg = -9;
 
 constexpr std::size_t kHeaderBytes = 24;
+
+// Virtual seconds allowed for the whole mesh bootstrap. A healthy mesh
+// completes in milliseconds; a dead peer burns its SYN retries (~31 s) once
+// and then the job fails fast instead of retrying for ~1000 s.
+constexpr double kMeshDeadlineSeconds = 60.0;
 
 void packHeader(std::uint8_t* hdr, int source, int tag, std::uint64_t payload, std::uint64_t pad) {
   auto put32 = [&](std::size_t off, std::uint32_t v) {
@@ -106,7 +112,47 @@ Comm::Comm(vos::HostContext& ctx, int rank, std::vector<std::string> rank_hosts,
       c_bytes_(ctx.simulator().metrics().counter("vmpi.comm.bytes_sent")),
       c_collectives_(ctx.simulator().metrics().counter("vmpi.comm.collectives")) {}
 
-Comm::~Comm() = default;
+Comm::~Comm() {
+  // Receiver daemons and isend/irecv helpers capture `this`: any still alive
+  // would touch freed memory when they next run, so they die with the Comm.
+  killDaemons();
+  if (finalized_) return;
+  // Abnormal teardown: an exception is unwinding this rank. Release the
+  // sockets and listener port best-effort so a resubmitted job can rebind;
+  // close() is non-blocking and a no-op on already-errored connections.
+  for (auto& sock : sockets_) {
+    if (!sock) continue;
+    try {
+      sock->close();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+  if (listener_) {
+    try {
+      listener_->close();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+}
+
+void Comm::trackDaemon(sim::Process& p) {
+  // Keep the list from growing one entry per isend over a long job.
+  if (daemons_.size() > 64) {
+    daemons_.erase(std::remove_if(daemons_.begin(), daemons_.end(),
+                                  [](sim::Process* d) { return d->finished(); }),
+                   daemons_.end());
+  }
+  daemons_.push_back(&p);
+}
+
+void Comm::killDaemons() {
+  // Swap first: a killed daemon's unwind must not see a half-iterated list.
+  std::vector<sim::Process*> daemons;
+  daemons.swap(daemons_);
+  for (sim::Process* p : daemons) {
+    if (!p->finished()) ctx_.simulator().killProcess(*p);
+  }
+}
 
 void Comm::connectMesh() {
   const int n = size();
@@ -114,16 +160,22 @@ void Comm::connectMesh() {
   listener_ = ctx_.listen(static_cast<std::uint16_t>(port_base_ + rank_));
 
   // Deterministic mesh build: connect to lower ranks (they listen first in
-  // rank order thanks to retries), accept from higher ranks.
+  // rank order thanks to retries), accept from higher ranks. The shared
+  // virtual-time deadline turns a crashed peer into a prompt error.
+  const double deadline = ctx_.wallTime() + kMeshDeadlineSeconds;
   for (int peer = 0; peer < rank_; ++peer) {
     std::shared_ptr<vos::StreamSocket> sock;
-    for (int attempt = 0;; ++attempt) {
+    for (;;) {
       try {
         sock = ctx_.connect(rank_hosts_[static_cast<std::size_t>(peer)],
                             static_cast<std::uint16_t>(port_base_ + peer));
         break;
       } catch (const mg::Error&) {
-        if (attempt >= 200) throw;
+        if (ctx_.wallTime() >= deadline) {
+          throw mg::Error("vmpi: peer rank " + std::to_string(peer) + " on " +
+                          rank_hosts_[static_cast<std::size_t>(peer)] +
+                          " unreachable during startup");
+        }
         ctx_.sleep(0.002);  // the peer's listener is not up yet
       }
     }
@@ -138,7 +190,12 @@ void Comm::connectMesh() {
     startReceiver(peer, sock);
   }
   for (int expected = rank_ + 1; expected < n; ++expected) {
-    auto sock = listener_->accept();
+    const double remaining = deadline - ctx_.wallTime();
+    auto sock = remaining > 0 ? listener_->acceptFor(remaining) : nullptr;
+    if (!sock) {
+      throw mg::Error("vmpi: timed out waiting for " + std::to_string(n - expected) +
+                      " higher rank(s) during startup");
+    }
     std::uint8_t hello[4];
     sock->recvExact(hello, 4);
     const int peer = (hello[0] << 24) | (hello[1] << 16) | (hello[2] << 8) | hello[3];
@@ -158,31 +215,39 @@ vos::StreamSocket& Comm::socketTo(int peer) {
 }
 
 void Comm::startReceiver(int peer, std::shared_ptr<vos::StreamSocket> sock) {
-  ctx_.spawnProcess("vmpi-rx." + std::to_string(rank_) + "." + std::to_string(peer),
-                    [this, sock](vos::HostContext&) {
-                      try {
-                        std::vector<std::uint8_t> discard(64 * 1024);
-                        for (;;) {
-                          std::uint8_t hdr[kHeaderBytes];
-                          sock->recvExact(hdr, kHeaderBytes);
-                          Message msg;
-                          std::uint64_t payload = 0, pad = 0;
-                          unpackHeader(hdr, msg.source, msg.tag, payload, pad);
-                          msg.payload.resize(payload);
-                          if (payload > 0) sock->recvExact(msg.payload.data(), payload);
-                          while (pad > 0) {
-                            const std::size_t chunk =
-                                std::min<std::uint64_t>(pad, discard.size());
-                            sock->recvExact(discard.data(), chunk);
-                            pad -= chunk;
-                          }
-                          inbox_.push_back(std::move(msg));
-                          inbox_cond_.notifyAll();
-                        }
-                      } catch (const mg::Error&) {
-                        // Peer closed the connection (finalize or teardown).
-                      }
-                    });
+  trackDaemon(ctx_.spawnProcess(
+      "vmpi-rx." + std::to_string(rank_) + "." + std::to_string(peer),
+      [this, peer, sock](vos::HostContext&) {
+        try {
+          std::vector<std::uint8_t> discard(64 * 1024);
+          for (;;) {
+            std::uint8_t hdr[kHeaderBytes];
+            sock->recvExact(hdr, kHeaderBytes);
+            Message msg;
+            std::uint64_t payload = 0, pad = 0;
+            unpackHeader(hdr, msg.source, msg.tag, payload, pad);
+            msg.payload.resize(payload);
+            if (payload > 0) sock->recvExact(msg.payload.data(), payload);
+            while (pad > 0) {
+              const std::size_t chunk = std::min<std::uint64_t>(pad, discard.size());
+              sock->recvExact(discard.data(), chunk);
+              pad -= chunk;
+            }
+            inbox_.push_back(std::move(msg));
+            inbox_cond_.notifyAll();
+          }
+        } catch (const net::ConnectionReset&) {
+          // Abnormal teardown: RST or mid-stream failure, i.e. the peer host
+          // crashed. Wake blocked receivers so they fail instead of waiting
+          // forever.
+          if (!finalized_ && peer_error_.empty()) {
+            peer_error_ = "vmpi: peer rank " + std::to_string(peer) + " unreachable";
+            inbox_cond_.notifyAll();
+          }
+        } catch (const mg::Error&) {
+          // Peer closed the connection (finalize or teardown).
+        }
+      }));
 }
 
 // ---------------------------------------------------------- point to point --
@@ -210,16 +275,20 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes, std::siz
   std::uint8_t hdr[kHeaderBytes];
   packHeader(hdr, rank_, tag, bytes, pad);
   vos::StreamSocket& sock = socketTo(dest);
-  sock.send(hdr, kHeaderBytes);
-  if (bytes > 0) sock.send(data, bytes);
-  if (pad > 0) {
-    static const std::vector<std::uint8_t> zeros(64 * 1024, 0);
-    std::uint64_t left = pad;
-    while (left > 0) {
-      const std::size_t chunk = std::min<std::uint64_t>(left, zeros.size());
-      sock.send(zeros.data(), chunk);
-      left -= chunk;
+  try {
+    sock.send(hdr, kHeaderBytes);
+    if (bytes > 0) sock.send(data, bytes);
+    if (pad > 0) {
+      static const std::vector<std::uint8_t> zeros(64 * 1024, 0);
+      std::uint64_t left = pad;
+      while (left > 0) {
+        const std::size_t chunk = std::min<std::uint64_t>(left, zeros.size());
+        sock.send(zeros.data(), chunk);
+        left -= chunk;
+      }
     }
+  } catch (const net::ConnectionReset&) {
+    throw mg::Error("vmpi: peer rank " + std::to_string(dest) + " unreachable");
   }
 }
 
@@ -247,7 +316,12 @@ bool Comm::matchFromInbox(int source, int tag, void* buf, std::size_t max_bytes,
 Status Comm::recv(int source, int tag, void* buf, std::size_t max_bytes) {
   if (finalized_) throw mg::UsageError("vmpi: recv after finalize");
   Status status;
-  while (!matchFromInbox(source, tag, buf, max_bytes, status)) inbox_cond_.wait();
+  while (!matchFromInbox(source, tag, buf, max_bytes, status)) {
+    // Any dead peer aborts the rank: the NPB-style programs here are
+    // tightly coupled, so a missing peer means the job cannot finish.
+    if (!peer_error_.empty()) throw mg::Error(peer_error_);
+    inbox_cond_.wait();
+  }
   return status;
 }
 
@@ -258,15 +332,16 @@ Request Comm::isend(int dest, int tag, const void* data, std::size_t bytes,
   req.impl_->send_copy.assign(static_cast<const std::uint8_t*>(data),
                               static_cast<const std::uint8_t*>(data) + bytes);
   auto impl = req.impl_;
-  ctx_.spawnProcess("vmpi-isend", [this, impl, dest, tag, bytes, wire_bytes](vos::HostContext&) {
-    try {
-      send(dest, tag, impl->send_copy.data(), bytes, wire_bytes);
-    } catch (const mg::Error& e) {
-      impl->error = e.what();
-    }
-    impl->done = true;
-    impl->cond.notifyAll();
-  });
+  trackDaemon(ctx_.spawnProcess(
+      "vmpi-isend", [this, impl, dest, tag, bytes, wire_bytes](vos::HostContext&) {
+        try {
+          send(dest, tag, impl->send_copy.data(), bytes, wire_bytes);
+        } catch (const mg::Error& e) {
+          impl->error = e.what();
+        }
+        impl->done = true;
+        impl->cond.notifyAll();
+      }));
   return req;
 }
 
@@ -274,15 +349,16 @@ Request Comm::irecv(int source, int tag, void* buf, std::size_t max_bytes) {
   Request req;
   req.impl_ = std::make_shared<Request::Impl>(ctx_.simulator());
   auto impl = req.impl_;
-  ctx_.spawnProcess("vmpi-irecv", [this, impl, source, tag, buf, max_bytes](vos::HostContext&) {
-    try {
-      impl->status = recv(source, tag, buf, max_bytes);
-    } catch (const mg::Error& e) {
-      impl->error = e.what();
-    }
-    impl->done = true;
-    impl->cond.notifyAll();
-  });
+  trackDaemon(ctx_.spawnProcess(
+      "vmpi-irecv", [this, impl, source, tag, buf, max_bytes](vos::HostContext&) {
+        try {
+          impl->status = recv(source, tag, buf, max_bytes);
+        } catch (const mg::Error& e) {
+          impl->error = e.what();
+        }
+        impl->done = true;
+        impl->cond.notifyAll();
+      }));
   return req;
 }
 

@@ -65,6 +65,9 @@ class Comm {
                                     std::vector<std::string> rank_hosts,
                                     std::uint16_t port_base = 5000);
 
+  /// Without finalize() (an error is unwinding the rank), the destructor
+  /// closes sockets and the listener best-effort so a resubmitted job can
+  /// rebind the ports.
   ~Comm();
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -136,6 +139,8 @@ class Comm {
   void connectMesh();
   vos::StreamSocket& socketTo(int peer);
   void startReceiver(int peer, std::shared_ptr<vos::StreamSocket> sock);
+  void trackDaemon(sim::Process& p);
+  void killDaemons();
   bool matchFromInbox(int source, int tag, void* buf, std::size_t max_bytes, Status& status);
   static void applyOp(double* acc, const double* in, std::size_t n, Op op);
   static void applyOp(std::int64_t* acc, const std::int64_t* in, std::size_t n, Op op);
@@ -148,6 +153,13 @@ class Comm {
   std::vector<std::shared_ptr<vos::StreamSocket>> sockets_;  // by peer rank
   std::deque<Message> inbox_;
   sim::Condition inbox_cond_;
+  // Set by a receiver daemon when a peer's stream dies abnormally (host
+  // crash / RST). Blocking recv() surfaces it instead of waiting forever.
+  std::string peer_error_;
+  // Every daemon process this Comm spawned (receivers, isend/irecv helpers).
+  // They capture `this`, so any still alive must be killed before the Comm
+  // dies; killProcess is a no-op on the finished ones.
+  std::vector<sim::Process*> daemons_;
   bool finalized_ = false;
   std::int64_t bytes_sent_ = 0;
   std::int64_t messages_sent_ = 0;

@@ -93,9 +93,10 @@ class HostContext {
                                                 std::uint16_t port) = 0;
 
   /// Create another process on this same virtual host. It shares the host's
-  /// CPU allocation and memory but gets its own HostContext.
-  virtual void spawnProcess(const std::string& name,
-                            std::function<void(HostContext&)> body) = 0;
+  /// CPU allocation and memory but gets its own HostContext. Returns the
+  /// simulator process so the spawner can killProcess() it during teardown.
+  virtual sim::Process& spawnProcess(const std::string& name,
+                                     std::function<void(HostContext&)> body) = 0;
 
   /// The underlying kernel (for advanced composition; most apps never
   /// touch it).

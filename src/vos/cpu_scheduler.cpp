@@ -49,9 +49,14 @@ CpuScheduler::TaskId CpuScheduler::addTask(std::string name, double fraction) {
 }
 
 void CpuScheduler::removeTask(TaskId id) {
+  // Forgiving teardown: a process killed mid-compute (host crash, shutdown)
+  // unwinds through here with demand still pending, possibly from inside a
+  // destructor — throwing would terminate. Dropping the demand and waiter is
+  // the correct semantics: the process is gone, nobody will be woken.
   Task& t = liveTask(id);
-  if (t.demand > kEps) throw UsageError("removing task with pending demand");
   t.live = false;
+  t.demand = 0;
+  t.waiter = nullptr;
 }
 
 void CpuScheduler::setFraction(TaskId id, double fraction) {
@@ -164,6 +169,7 @@ void CpuScheduler::scheduleNext() {
   // The task's pending demand is satisfied partway through the slice...
   sim_.scheduleAfter(sim::fromSeconds(cpu_slice / cap), [this, chosen, cpu_slice] {
     Task& task = tasks_[chosen];
+    if (!task.live) return;  // removed mid-quantum (crash teardown)
     task.demand -= cpu_slice;
     if (task.demand <= kEps) {
       task.demand = 0;
@@ -174,8 +180,13 @@ void CpuScheduler::scheduleNext() {
   // so the slice occupies its full wall length and usage is metered as the
   // whole quantum. This boundary-granularity effect is the modeling error
   // the paper's Fig 11 quantum sweep measures.
+  //
+  // Even when the task died mid-quantum the CPU stays occupied to the slice
+  // boundary and `running_` must reset, or the scheduler would stall; the
+  // usage charge is simply not booked to the dead task, so no credit leaks
+  // into a later task reusing the slot.
   sim_.scheduleAfter(sim::fromSeconds(full_quantum / cap), [this, chosen, full_quantum] {
-    tasks_[chosen].used_cpu += full_quantum;
+    if (tasks_[chosen].live) tasks_[chosen].used_cpu += full_quantum;
     running_ = false;
     scheduleNext();
   });

@@ -60,7 +60,9 @@ class CpuScheduler {
   /// Register a task with a CPU fraction in (0, 1].
   TaskId addTask(std::string name, double fraction);
 
-  /// Unregister; the task must have no pending compute demand.
+  /// Unregister in O(1). Pending demand (a process killed mid-compute) is
+  /// dropped: the slot goes dead, in-flight quantum events skip it, and no
+  /// CPU credit is charged to or leaked from the dead task.
   void removeTask(TaskId id);
 
   /// Adjust a task's fraction (used when processes join/leave a virtual

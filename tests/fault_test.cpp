@@ -1,0 +1,521 @@
+// Fault-injection subsystem tests: plan parsing and validation, injector
+// mechanics (auto-restore, partitions, availability accounting), network
+// fault bookkeeping (drop counters, route recomputes), CPU-scheduler
+// teardown on crash, and the end-to-end crash -> FAILED -> resubmit
+// resilience path through the launcher.
+#include <gtest/gtest.h>
+
+#include "core/launcher.h"
+#include "core/microgrid_platform.h"
+#include "core/topologies.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "gis/directory.h"
+#include "grid/gram.h"
+#include "net/host_stack.h"
+#include "vmpi/comm.h"
+#include "vos/cpu_scheduler.h"
+
+using namespace mg;
+namespace st = mg::sim;
+
+// ------------------------------------------------------------- FaultPlan --
+
+TEST(FaultPlanTest, ParsesSortsAndFillsFields) {
+  auto plan = fault::FaultPlan::fromConfig(util::Config::parse(R"(
+[fault crash]
+at = 2s
+kind = host_crash
+target = vm3.ucsd.edu
+duration = 5s
+
+[fault degrade]
+at = 1s
+kind = link_degrade
+target = eth1
+loss = 0.01
+latency_mult = 4
+bandwidth_mult = 0.5
+
+[fault split]
+at = 1s
+kind = partition
+nodes = vm0.ucsd.edu, vm1.ucsd.edu
+)"));
+  ASSERT_EQ(plan.size(), 3u);
+  // Sorted by `at`; same-time events keep file order (degrade before split).
+  EXPECT_EQ(plan.events()[0].name, "degrade");
+  EXPECT_EQ(plan.events()[1].name, "split");
+  EXPECT_EQ(plan.events()[2].name, "crash");
+
+  const fault::FaultEvent& degrade = plan.events()[0];
+  EXPECT_EQ(degrade.kind, fault::FaultKind::LinkDegrade);
+  EXPECT_EQ(degrade.target, "eth1");
+  EXPECT_DOUBLE_EQ(degrade.loss, 0.01);
+  EXPECT_DOUBLE_EQ(degrade.latency_mult, 4.0);
+  EXPECT_DOUBLE_EQ(degrade.bandwidth_mult, 0.5);
+  EXPECT_DOUBLE_EQ(degrade.duration, 0.0);
+
+  const fault::FaultEvent& split = plan.events()[1];
+  ASSERT_EQ(split.nodes.size(), 2u);
+  EXPECT_EQ(split.nodes[0], "vm0.ucsd.edu");
+  EXPECT_EQ(split.nodes[1], "vm1.ucsd.edu");
+
+  const fault::FaultEvent& crash = plan.events()[2];
+  EXPECT_EQ(crash.kind, fault::FaultKind::HostCrash);
+  EXPECT_DOUBLE_EQ(crash.duration, 5.0);
+}
+
+TEST(FaultPlanTest, RejectsInvalidSections) {
+  auto parse = [](const char* text) { return fault::FaultPlan::fromConfig(util::Config::parse(text)); };
+  // Unknown kind.
+  EXPECT_THROW(parse("[fault f]\nat = 1s\nkind = meteor\ntarget = eth0\n"), ConfigError);
+  // Link faults need a target.
+  EXPECT_THROW(parse("[fault f]\nat = 1s\nkind = link_down\n"), mg::Error);
+  // A partition needs its node set.
+  EXPECT_THROW(parse("[fault f]\nat = 1s\nkind = partition\n"), ConfigError);
+  // heal is not restorable, so it cannot take a duration.
+  EXPECT_THROW(parse("[fault f]\nat = 1s\nkind = heal\nduration = 2s\n"), ConfigError);
+  // Brownout factor must be in (0, 1].
+  EXPECT_THROW(
+      parse("[fault f]\nat = 1s\nkind = cpu_brownout\ntarget = h\nfactor = 1.5\n"),
+      ConfigError);
+  // A degrade that changes nothing is a config mistake.
+  EXPECT_THROW(parse("[fault f]\nat = 1s\nkind = link_degrade\ntarget = eth0\n"), ConfigError);
+  // Time must be non-negative.
+  EXPECT_THROW(parse("[fault f]\nat = -1s\nkind = link_down\ntarget = eth0\n"), mg::Error);
+}
+
+TEST(FaultPlanTest, MergeKeepsStableTimeOrder) {
+  auto mk = [](double at, const char* name) {
+    fault::FaultEvent ev;
+    ev.at = at;
+    ev.name = name;
+    ev.kind = fault::FaultKind::LinkDown;
+    ev.target = "eth0";
+    return ev;
+  };
+  fault::FaultPlan a;
+  a.add(mk(1.0, "a1"));
+  a.add(mk(3.0, "a2"));
+  fault::FaultPlan b;
+  b.add(mk(1.0, "b1"));
+  b.add(mk(2.0, "b2"));
+  a.merge(b);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.events()[0].name, "a1");  // ties break toward the earlier plan
+  EXPECT_EQ(a.events()[1].name, "b1");
+  EXPECT_EQ(a.events()[2].name, "b2");
+  EXPECT_EQ(a.events()[3].name, "a2");
+}
+
+// --------------------------------------------------------- FaultInjector --
+
+namespace {
+
+fault::FaultEvent simpleEvent(fault::FaultKind kind, const std::string& target,
+                              double at = 0.1, double duration = 0) {
+  fault::FaultEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.name = "test";
+  ev.target = target;
+  ev.duration = duration;
+  return ev;
+}
+
+}  // namespace
+
+TEST(FaultInjectorTest, ValidatesTargetsAgainstGrid) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+
+  fault::FaultPlan bad_link;
+  bad_link.add(simpleEvent(fault::FaultKind::LinkDown, "no-such-link"));
+  EXPECT_THROW(fault::FaultInjector(p, bad_link), ConfigError);
+
+  fault::FaultPlan bad_host;
+  bad_host.add(simpleEvent(fault::FaultKind::HostCrash, "ghost.ucsd.edu"));
+  EXPECT_THROW(fault::FaultInjector(p, bad_host), ConfigError);
+
+  fault::FaultPlan bad_node;
+  fault::FaultEvent part = simpleEvent(fault::FaultKind::Partition, "");
+  part.name = "split";
+  part.nodes = {"vm0.ucsd.edu", "no-such-node"};
+  bad_node.add(part);
+  EXPECT_THROW(fault::FaultInjector(p, bad_node), ConfigError);
+
+  fault::FaultPlan bad_heal;
+  bad_heal.add(simpleEvent(fault::FaultKind::Heal, "never-partitioned"));
+  EXPECT_THROW(fault::FaultInjector(p, bad_heal), ConfigError);
+
+  fault::FaultPlan ok;
+  ok.add(simpleEvent(fault::FaultKind::LinkDown, "eth0"));
+  EXPECT_NO_THROW(fault::FaultInjector(p, ok));
+}
+
+TEST(FaultInjectorTest, RegistersAllCountersUpFront) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+  fault::FaultInjector injector(p, fault::FaultPlan{});
+  // The metrics registry's contents must not depend on which faults fire:
+  // an empty plan still registers every fault.* instrument.
+  const std::string json = p.simulator().metrics().snapshotJson();
+  for (const char* name : {"fault.injected", "fault.link_down", "fault.link_up",
+                           "fault.link_degrade", "fault.host_crash", "fault.host_restart",
+                           "fault.cpu_brownout", "fault.partition", "fault.heal"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(injector.injected(), 0);
+}
+
+TEST(FaultInjectorTest, LinkFlapAutoRestoresAndRecomputesOncePerChange) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+  const auto& m = p.simulator().metrics();
+  const std::int64_t recomputes_before = m.counterValue("net.route.recomputes");
+
+  fault::FaultPlan plan;
+  plan.add(simpleEvent(fault::FaultKind::LinkDown, "eth0", 0.1, 0.2));
+  fault::FaultInjector injector(p, std::move(plan));
+  injector.arm();
+  p.run();
+
+  EXPECT_EQ(m.counterValue("fault.link_down"), 1);
+  EXPECT_EQ(m.counterValue("fault.link_up"), 1);  // the auto-restore inverse
+  EXPECT_EQ(injector.injected(), 2);
+  // Exactly one Dijkstra rebuild per actual state change: down, then up.
+  EXPECT_EQ(m.counterValue("net.route.recomputes") - recomputes_before, 2);
+  const net::Topology& topo = p.network().topology();
+  EXPECT_TRUE(topo.link(topo.findLink("eth0")).up);
+}
+
+TEST(FaultInjectorTest, PartitionThenHealRestoresEveryCutLink) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+  fault::FaultPlan plan;
+  fault::FaultEvent part = simpleEvent(fault::FaultKind::Partition, "", 0.1, 0.3);
+  part.name = "split";
+  part.nodes = {"vm0.ucsd.edu", "vm1.ucsd.edu"};
+  plan.add(part);
+  fault::FaultInjector injector(p, std::move(plan));
+  injector.arm();
+  p.run();
+
+  const auto& m = p.simulator().metrics();
+  EXPECT_EQ(m.counterValue("fault.partition"), 1);
+  EXPECT_EQ(m.counterValue("fault.heal"), 1);  // the auto-heal inverse
+  const net::Topology& topo = p.network().topology();
+  for (const char* link : {"eth0", "eth1", "eth2", "eth3"}) {
+    EXPECT_TRUE(topo.link(topo.findLink(link)).up) << link;
+  }
+}
+
+TEST(FaultInjectorTest, AvailabilityReportMath) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+  fault::FaultPlan plan;
+  plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 1.0, 2.0));
+  fault::FaultInjector injector(p, std::move(plan));
+  injector.arm();
+  p.run();
+
+  const auto reports = injector.report(10.0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].host, "vm3.ucsd.edu");
+  EXPECT_EQ(reports[0].crashes, 1);
+  EXPECT_NEAR(reports[0].downtime_seconds, 2.0, 1e-6);
+  EXPECT_NEAR(reports[0].availability, 0.8, 1e-6);
+  EXPECT_NEAR(reports[0].mttr_seconds, 2.0, 1e-6);
+  EXPECT_NE(injector.renderReport(10.0).find("vm3.ucsd.edu"), std::string::npos);
+}
+
+// -------------------------------------------------- network fault detail --
+
+TEST(NetFaults, RecomputeExactlyOncePerLinkStateChange) {
+  st::Simulator sim;
+  net::Topology topo;
+  auto a = topo.addHost("a");
+  auto b = topo.addHost("b");
+  auto r = topo.addRouter("r");
+  net::LinkId direct = topo.addLink("direct", a, b, 100e6, st::fromSeconds(1e-3));
+  topo.addLink("backup1", a, r, 100e6, st::fromSeconds(5e-3));
+  topo.addLink("backup2", r, b, 100e6, st::fromSeconds(5e-3));
+  net::PacketNetwork net(sim, std::move(topo), {});
+  const auto& m = sim.metrics();
+
+  const std::int64_t r0 = m.counterValue("net.route.recomputes");
+  net.setLinkUp(direct, false);
+  EXPECT_EQ(m.counterValue("net.route.recomputes") - r0, 1);
+  net.setLinkUp(direct, false);  // same state: a no-op
+  EXPECT_EQ(m.counterValue("net.route.recomputes") - r0, 1);
+  net.setLinkUp(direct, true);
+  EXPECT_EQ(m.counterValue("net.route.recomputes") - r0, 2);
+}
+
+TEST(NetFaults, InFlightPacketsDroppedOnLinkDownAreCounted) {
+  st::Simulator sim;
+  net::Topology topo;
+  auto a = topo.addHost("a");
+  auto b = topo.addHost("b");
+  // Slow link: by the time it fails, TCP's window fills the queue, so the
+  // outage catches packets in flight.
+  net::LinkId only = topo.addLink("only", a, b, 10e6, st::fromSeconds(1e-3));
+  net::PacketNetwork net(sim, std::move(topo), {});
+  net::HostStack sa(net, a), sb(net, b);
+
+  const size_t kSize = 256 * 1024;
+  std::vector<std::uint8_t> data(kSize, 0x5a);
+  std::vector<std::uint8_t> received(kSize);
+  sim.spawn("server", [&] {
+    auto listener = sb.tcp().listen(80);
+    auto conn = listener->accept();
+    conn->recvExact(received.data(), kSize);
+  });
+  sim.spawn("client", [&] {
+    auto conn = sa.tcp().connect(b, 80);
+    conn->send(data.data(), kSize);
+    conn->close();
+  });
+  sim.spawn("flapper", [&] {
+    sim.delay(50 * st::kMillisecond);  // mid-transfer: the queue is full
+    net.setLinkUp(only, false);
+    sim.delay(500 * st::kMillisecond);
+    net.setLinkUp(only, true);
+  });
+  sim.run();
+  EXPECT_EQ(received, data);  // TCP recovers the dropped packets
+  const auto& m = sim.metrics();
+  EXPECT_GT(m.counterValue("net.packet.drop_link_down"), 0);
+  // The fault-specific sub-cause never exceeds the aggregate down counter.
+  EXPECT_LE(m.counterValue("net.packet.drop_link_down"),
+            m.counterValue("net.packet.dropped_down"));
+}
+
+// ------------------------------------------------------- scheduler crash --
+
+TEST(SchedulerFaults, TaskKilledMidQuantumDoesNotLeakOrStall) {
+  st::Simulator sim;
+  vos::CpuScheduler sched(sim, 100e6, 10 * st::kMillisecond, {1.0, 1.0, 0.0});
+
+  // Task a computes effectively forever; a saboteur kills its process in the
+  // middle of one of its quanta (a's quanta start at even multiples of 10ms).
+  // The dead slot must not stall b or keep charging credit.
+  sim::Process& pa = sim.spawn("a", [&] {
+    const auto id = sched.addTask("a", 0.5);
+    struct Guard {
+      vos::CpuScheduler& s;
+      vos::CpuScheduler::TaskId id;
+      ~Guard() { s.removeTask(id); }
+    } guard{sched, id};
+    sched.computeSeconds(id, 100.0);
+  });
+  double wall_b = -1;
+  sim.spawn("b", [&] {
+    const auto id = sched.addTask("b", 0.5);
+    const st::SimTime t0 = sim.now();
+    sched.computeSeconds(id, 1.0);
+    wall_b = st::toSeconds(sim.now() - t0);
+    sched.removeTask(id);
+  });
+  sim.spawn("saboteur", [&] {
+    sim.delay(22500 * st::kMicrosecond);  // 2.5ms into a's third quantum
+    sim.killProcess(pa);
+  });
+  sim.run();
+  // b's 1 cpu-second at fraction 0.5 takes ~2s of wall time, crash or not.
+  EXPECT_NEAR(wall_b, 2.0, 0.2);
+  EXPECT_LT(st::toSeconds(sim.now()), 3.0);  // and the simulation drains
+}
+
+TEST(SchedulerFaults, HostCrashLeavesCoResidentHostUnaffected) {
+  // Two virtual hosts time-share one physical machine; the victim's processes
+  // are torn out of the shared scheduler mid-compute when its host crashes.
+  // The survivor's pace is set by its own fraction, so its wall time must
+  // match a crash-free run of the same workload.
+  auto survivorWall = [](bool crash) {
+    core::VirtualGridConfig cfg;
+    cfg.addPhysical("p0", 533e6);
+    cfg.addHost("a.grid", "10.0.0.1", 200e6, 1ll << 30, "p0");
+    cfg.addHost("b.grid", "10.0.0.2", 200e6, 1ll << 30, "p0");
+    cfg.addRouter("hub");
+    cfg.addLink("la", "a.grid", "hub", 100e6, 1e-3);
+    cfg.addLink("lb", "b.grid", "hub", 100e6, 1e-3);
+    core::MicroGridPlatform p(cfg);
+    double wall = -1;
+    p.spawnOn("a.grid", "survivor", [&](vos::HostContext& ctx) {
+      const double t0 = ctx.wallTime();
+      ctx.compute(200e6);  // one virtual second of work
+      wall = ctx.wallTime() - t0;
+    });
+    p.spawnOn("b.grid", "victim", [&](vos::HostContext& ctx) {
+      ctx.compute(200e6 * 20);  // far outlasts the survivor
+    });
+    if (crash) {
+      p.simulator().scheduleAfter(st::fromSeconds(0.1),
+                                  [&p] { p.crashHost("b.grid"); });
+    }
+    p.run();
+    EXPECT_GE(wall, 0.0);
+    return wall;
+  };
+  const double with_crash = survivorWall(true);
+  const double healthy = survivorWall(false);
+  EXPECT_NEAR(with_crash, healthy, healthy * 0.02);
+}
+
+// ------------------------------------------------ middleware resilience --
+
+TEST(Resilience, RecvThrowsWhenPeerHostCrashes) {
+  core::topologies::AlphaClusterParams ap;
+  ap.hosts = 2;
+  core::MicroGridPlatform p(core::topologies::alphaCluster(ap));
+  bool threw = false;
+  bool rank0_done = false;
+  p.spawnOn("vm0.ucsd.edu", "rank0", [&](vos::HostContext& ctx) {
+    auto comm = vmpi::Comm::init(ctx, 0, {"vm0.ucsd.edu", "vm1.ucsd.edu"});
+    ctx.sleep(10.0);  // never wakes: the host crashes first
+    comm->finalize();
+    rank0_done = true;
+  });
+  p.spawnOn("vm1.ucsd.edu", "rank1", [&](vos::HostContext& ctx) {
+    auto comm = vmpi::Comm::init(ctx, 1, {"vm0.ucsd.edu", "vm1.ucsd.edu"});
+    char buf[8];
+    try {
+      comm->recv(0, 7, buf, sizeof buf);  // must not block forever
+    } catch (const mg::Error&) {
+      threw = true;
+    }
+  });
+  p.simulator().scheduleAfter(st::fromSeconds(1.0),
+                              [&p] { p.crashHost("vm0.ucsd.edu"); });
+  p.run();
+  EXPECT_TRUE(threw);
+  EXPECT_FALSE(rank0_done);
+}
+
+TEST(Resilience, GramRetriesUntilGatekeeperComesUp) {
+  core::topologies::AlphaClusterParams ap;
+  ap.hosts = 2;
+  core::MicroGridPlatform p(core::topologies::alphaCluster(ap));
+  grid::ExecutableRegistry registry;
+  registry.add("noop", [](grid::JobContext&) { return 0; });
+  p.spawnOn("vm1.ucsd.edu", "late-gatekeeper", [&](vos::HostContext& ctx) {
+    ctx.sleep(1.5);  // the gatekeeper is down when the client first submits
+    grid::serveGatekeeper(ctx, registry);
+  });
+  grid::JobStatus done;
+  p.spawnOn("vm0.ucsd.edu", "client", [&](vos::HostContext& ctx) {
+    grid::GramClient client(ctx);
+    grid::GramRetryPolicy pol;
+    pol.attempts = 8;
+    pol.backoff_seconds = 0.25;
+    client.setRetryPolicy(pol);
+    grid::Rsl rsl;
+    rsl.set("executable", "noop");
+    rsl.set("count", "1");
+    done = client.wait(client.submit("vm1.ucsd.edu", rsl));
+  });
+  p.run();
+  EXPECT_EQ(done.state, grid::JobState::Done);
+  EXPECT_GT(p.simulator().metrics().counterValue("grid.gram.retries"), 0);
+}
+
+TEST(Resilience, GisSearchExcludesExpiredRecords) {
+  gis::Directory dir;
+  gis::Record alive(gis::Dn::parse("hn=up.grid, o=Grid"));
+  alive.set("objectclass", "GridComputeResource");
+  gis::Record dying(gis::Dn::parse("hn=down.grid, o=Grid"));
+  dying.set("objectclass", "GridComputeResource");
+  dying.set(gis::kAttrExpires, "5.0");
+  dir.add(alive);
+  dir.add(dying);
+
+  const gis::Dn base = gis::Dn::parse("o=Grid");
+  const gis::Filter f = gis::Filter::parse("(objectclass=GridComputeResource)");
+  EXPECT_EQ(dir.search(base, gis::Scope::Subtree, f, 4.0).size(), 2u);
+  EXPECT_EQ(dir.search(base, gis::Scope::Subtree, f, 5.0).size(), 1u);  // at-or-past expiry
+  EXPECT_EQ(dir.search(base, gis::Scope::Subtree, f).size(), 2u);  // no horizon: no expiry
+  EXPECT_TRUE(gis::Directory::expired(dying, 6.0));
+  EXPECT_FALSE(gis::Directory::expired(alive, 6.0));
+}
+
+// --------------------------------------------- end-to-end crash recovery --
+
+namespace {
+
+struct CrashRun {
+  core::LaunchResult result;
+  std::int64_t crashes = 0;
+  std::int64_t restarts = 0;
+  std::int64_t injected = 0;
+  std::string metrics_json;
+  std::string report;
+};
+
+/// Run a four-rank chattering job on the Alpha cluster while vm3 crashes at
+/// t=1vs and restarts at t=4vs. The first attempt must fail (peers see the
+/// crash instead of hanging) and a resubmission must complete the job.
+CrashRun runCrashResubmitScenario() {
+  auto cfg = core::topologies::alphaCluster();
+  core::MicroGridPlatform platform(cfg);
+  grid::ExecutableRegistry registry;
+  registry.add("chatter", [](grid::JobContext& jc) {
+    auto comm = vmpi::Comm::init(jc);
+    for (int i = 0; i < 30; ++i) {
+      comm->context().sleep(0.1);
+      double v = 1;
+      comm->allreduce(&v, 1, vmpi::Op::Sum);
+      if (v != comm->size()) {
+        comm->finalize();
+        return 1;
+      }
+    }
+    comm->finalize();
+    return 0;
+  });
+  core::Launcher launcher(platform, registry);
+  launcher.startServices(&cfg, "Alpha4");
+  core::LaunchOptions lopts;
+  lopts.max_resubmits = 3;
+  launcher.setLaunchOptions(lopts);
+
+  fault::FaultPlan plan;
+  plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 1.0, 3.0));
+  fault::FaultInjector injector(platform, std::move(plan));
+  injector.onHostCrash([&launcher](const std::string& h) { launcher.markHostDown(h); });
+  injector.onHostRestart([&launcher](const std::string& h) { launcher.markHostUp(h); });
+  injector.arm();
+
+  CrashRun out;
+  out.result = launcher.run("chatter", "",
+                            {{"vm0.ucsd.edu", 1},
+                             {"vm1.ucsd.edu", 1},
+                             {"vm2.ucsd.edu", 1},
+                             {"vm3.ucsd.edu", 1}});
+  const auto& m = platform.simulator().metrics();
+  out.crashes = m.counterValue("fault.host_crash");
+  out.restarts = m.counterValue("fault.host_restart");
+  out.injected = m.counterValue("fault.injected");
+  out.metrics_json = m.snapshotJson();
+  out.report = injector.renderReport();
+  return out;
+}
+
+}  // namespace
+
+TEST(Resilience, CrashedHostJobFailsThenResubmitsAndCompletes) {
+  const CrashRun r = runCrashResubmitScenario();
+  EXPECT_TRUE(r.result.ok) << r.result.error;
+  EXPECT_GE(r.result.resubmits, 1);
+  ASSERT_FALSE(r.result.attempt_errors.empty());
+  EXPECT_FALSE(r.result.attempt_errors.front().empty());
+  EXPECT_EQ(r.crashes, 1);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.injected, 2);
+  EXPECT_NE(r.report.find("vm3.ucsd.edu"), std::string::npos);
+}
+
+TEST(Resilience, FaultRunsAreByteDeterministic) {
+  const CrashRun r1 = runCrashResubmitScenario();
+  const CrashRun r2 = runCrashResubmitScenario();
+  EXPECT_EQ(r1.metrics_json, r2.metrics_json);
+  EXPECT_EQ(r1.report, r2.report);
+  EXPECT_DOUBLE_EQ(r1.result.virtual_seconds, r2.result.virtual_seconds);
+  EXPECT_EQ(r1.result.resubmits, r2.result.resubmits);
+}
