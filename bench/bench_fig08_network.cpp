@@ -72,5 +72,12 @@ int main() {
   if (!(mgrid.front().latency_seconds < mgrid.back().latency_seconds)) ok = false;
   std::cout << "Shape check: similar curves, saturation near the 100 Mb ceiling: "
             << (ok ? "PASS" : "FAIL") << "\n";
+
+  // The packet path must stay allocation-free: every per-hop event capture
+  // fits the EventFn small buffer.
+  const auto fallbacks = mgp.simulator().metrics().counterValue("sim.kernel.eventfn_heap_fallbacks");
+  std::cout << "EventFn heap fallbacks on the packet path: " << fallbacks
+            << (fallbacks == 0 ? " (PASS)" : " (FAIL)") << "\n";
+  if (fallbacks != 0) ok = false;
   return ok ? 0 : 1;
 }

@@ -25,6 +25,51 @@ static void BM_EventDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EventDispatch)->Unit(benchmark::kMillisecond);
 
+static void BM_ScheduleCancelChurn(benchmark::State& state) {
+  // Timer churn: schedule far-future timeouts and cancel them before they
+  // fire — the TCP-RTO / suspendFor pattern. Measures cancellation cost and
+  // (in the arena kernel) that cancelled slots are recycled instead of
+  // left as tombstones to pop later.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long long sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+      auto id = sim.scheduleAt(1000000 + i, [&sum, i] { sum += i; });
+      sim.cancel(id);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ScheduleCancelChurn)->Unit(benchmark::kMillisecond);
+
+static void BM_SuspendForWake(benchmark::State& state) {
+  // suspendFor with an early wake: every round arms a timeout and retires
+  // it unexpired. Exercises the handoff path plus timeout cancellation.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Process* sleeper = nullptr;
+    int woken = 0;
+    sim.spawn("sleeper", [&] {
+      sleeper = &sim.currentProcess();
+      for (int i = 0; i < 1000; ++i) {
+        if (sim.suspendFor(1000000)) ++woken;
+      }
+    });
+    sim.spawn("waker", [&] {
+      for (int i = 0; i < 1000; ++i) {
+        sim.delay(1);
+        sim.wake(*sleeper);
+      }
+    });
+    sim.run();
+    benchmark::DoNotOptimize(woken);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SuspendForWake)->Unit(benchmark::kMillisecond);
+
 static void BM_ProcessContextSwitch(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

@@ -183,10 +183,10 @@ void MicroGridPlatform::crashHost(const std::string& hostname) {
   // onto the wire before the blackhole closes behind them.
   rt.stack->tcp().abortAll("host " + hostname + " crashed");
   // Kill every process; each unwinds synchronously, releasing its memory
-  // lease and scheduler slot. Finished entries are no-ops.
-  std::vector<sim::Process*> procs;
+  // lease and scheduler slot. Finished (possibly reaped) ids are no-ops.
+  std::vector<std::uint64_t> procs;
   procs.swap(rt.procs);
-  for (sim::Process* p : procs) sim_.killProcess(*p);
+  for (std::uint64_t id : procs) sim_.killProcessById(id);
   net_->setNodeUp(rt.info->node, false);
   net_->attachHost(rt.info->node, nullptr);  // the stack is about to die
   rt.stack.reset();
@@ -226,7 +226,7 @@ sim::Process& MicroGridPlatform::spawnOn(const std::string& host_or_ip,
         MgContext ctx(*this, rt, process_name);
         body(ctx);
       });
-  host.procs.push_back(&p);
+  host.procs.push_back(p.id());
   return p;
 }
 

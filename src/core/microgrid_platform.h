@@ -99,10 +99,11 @@ class MicroGridPlatform : public Platform {
     double cpu_factor = 1.0;   // brownout multiplier on host_fraction
     bool alive = true;
     std::vector<vos::CpuScheduler::TaskId> tasks;  // live CPU-using processes
-    // Every process ever spawned on this host. Process objects outlive
-    // completion (the kernel retires them at shutdown), and killProcess is a
-    // no-op on finished ones, so stale entries are harmless.
-    std::vector<sim::Process*> procs;
+    // Every process ever spawned on this host, by id. Ids (not Process*)
+    // because the kernel reaps finished Process objects at safe points;
+    // killProcessById is a no-op for finished or reaped ids, so stale
+    // entries are harmless.
+    std::vector<std::uint64_t> procs;
   };
 
   HostRt& hostRt(const std::string& hostname);

@@ -24,6 +24,7 @@ PacketNetwork::PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOp
       trace_(sim.traceBus().channel("net.packet")),
       rng_(opts.seed) {
   if (opts_.time_scale <= 0) throw UsageError("time_scale must be positive");
+  unit_time_scale_ = (opts_.time_scale == 1.0);
   handlers_.resize(static_cast<size_t>(topo_.nodeCount()));
   link_queues_.resize(static_cast<size_t>(topo_.linkCount()) * 2);
 }
@@ -35,13 +36,34 @@ PacketNetworkStats PacketNetwork::stats() const {
   s.packets_dropped_queue = c_dropped_queue_.value();
   s.packets_dropped_loss = c_dropped_loss_.value();
   s.packets_dropped_down = c_dropped_down_.value();
+  s.packets_dropped_link_down = c_dropped_link_down_.value();
+  s.packets_dropped_node_down = c_dropped_node_down_.value();
+  s.route_recomputes = c_route_recomputes_.value();
   s.bytes_delivered = c_bytes_delivered_.value();
   s.wire_bytes_sent = c_wire_bytes_.value();
   return s;
 }
 
 sim::SimTime PacketNetwork::scaled(sim::SimTime t) const {
+  if (unit_time_scale_) return t;
   return static_cast<sim::SimTime>(std::llround(static_cast<double>(t) * opts_.time_scale));
+}
+
+std::uint32_t PacketNetwork::parkInFlight(Packet&& pkt) {
+  if (flight_free_.empty()) {
+    flight_.push_back(std::move(pkt));
+    return static_cast<std::uint32_t>(flight_.size() - 1);
+  }
+  const std::uint32_t slot = flight_free_.back();
+  flight_free_.pop_back();
+  flight_[slot] = std::move(pkt);
+  return slot;
+}
+
+Packet PacketNetwork::takeInFlight(std::uint32_t slot) {
+  Packet pkt = std::move(flight_[slot]);
+  flight_free_.push_back(slot);
+  return pkt;
 }
 
 void PacketNetwork::attachHost(NodeId node, PacketHandler handler) {
@@ -53,9 +75,13 @@ void PacketNetwork::send(Packet&& pkt) {
     throw UsageError("packet endpoint out of range");
   }
   c_sent_.inc();
-  // Sender-side protocol stack cost.
-  sim_.scheduleAfter(scaled(opts_.host_stack_delay),
-                     [this, p = std::move(pkt)]() mutable { forward(p.src, std::move(p)); });
+  // Sender-side protocol stack cost. The packet parks in a flight slot so
+  // the event captures 8 bytes, not a Packet.
+  const std::uint32_t slot = parkInFlight(std::move(pkt));
+  sim_.scheduleAfter(scaled(opts_.host_stack_delay), [this, slot] {
+    Packet p = takeInFlight(slot);
+    forward(p.src, std::move(p));
+  });
 }
 
 void PacketNetwork::forward(NodeId at, Packet&& pkt) {
@@ -124,7 +150,9 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
       const sim::SimTime hop_delay =
           lk.latency + (at_destination ? opts_.host_stack_delay
                                        : opts_.router_forward_delay);
-      sim_.scheduleAfter(scaled(hop_delay), [this, to, p = std::move(pkt)]() mutable {
+      const std::uint32_t slot = parkInFlight(std::move(pkt));
+      sim_.scheduleAfter(scaled(hop_delay), [this, to, slot] {
+        Packet p = takeInFlight(slot);
         if (to == p.dst) {
           deliverLocal(std::move(p));
         } else {

@@ -39,8 +39,13 @@ struct PacketNetworkStats {
   std::int64_t packets_dropped_queue = 0;
   std::int64_t packets_dropped_loss = 0;
   std::int64_t packets_dropped_down = 0;  // link down or no route
-  std::int64_t bytes_delivered = 0;       // payload bytes
-  std::int64_t wire_bytes_sent = 0;       // includes headers/framing/retransmits
+  // Fault-specific sub-causes of packets_dropped_down (which stays the
+  // aggregate), plus the Dijkstra recompute count.
+  std::int64_t packets_dropped_link_down = 0;
+  std::int64_t packets_dropped_node_down = 0;
+  std::int64_t route_recomputes = 0;
+  std::int64_t bytes_delivered = 0;  // payload bytes
+  std::int64_t wire_bytes_sent = 0;  // includes headers/framing/retransmits
 };
 
 class PacketNetwork {
@@ -110,6 +115,8 @@ class PacketNetwork {
   void startTransmit(LinkId link, NodeId from);
   void deliverLocal(Packet&& pkt);
   sim::SimTime scaled(sim::SimTime t) const;
+  std::uint32_t parkInFlight(Packet&& pkt);
+  Packet takeInFlight(std::uint32_t slot);
 
   sim::Simulator& sim_;
   Topology topo_;
@@ -132,6 +139,17 @@ class PacketNetwork {
   std::vector<PacketHandler> handlers_;
   // linkqueues_[link * 2 + direction]
   std::vector<LinkQueue> link_queues_;
+  // True when time_scale == 1.0 exactly: scaled() is then the identity and
+  // skips the int -> double -> llround round-trip on every hop.
+  bool unit_time_scale_ = false;
+  // In-flight packet records: packets traversing a latency/stack-delay leg
+  // park here so the completion event captures only a slot index (which
+  // keeps it inside EventFn's inline buffer — no allocation per hop). Slots
+  // are recycled through a free list; the pool's size is the high-water mark
+  // of concurrently in-flight packets, and a recycled slot's payload buffer
+  // is re-stolen by the next move-assign rather than reallocated.
+  std::vector<Packet> flight_;
+  std::vector<std::uint32_t> flight_free_;
 };
 
 }  // namespace mg::net

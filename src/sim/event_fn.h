@@ -1,0 +1,130 @@
+// Fixed-capacity small-buffer callable for kernel events.
+//
+// scheduleAt/scheduleAfter fire millions of tiny closures per emulated
+// second; wrapping each in std::function costs a heap allocation whenever
+// the capture outgrows libstdc++'s 16-byte inline buffer (two shared_ptrs
+// already overflow it). EventFn widens the inline buffer to 48 bytes —
+// sized for the fattest hot-path capture in the tree, the reference
+// platform's [self, peer, buf] triple of shared_ptrs — so the steady-state
+// packet and timer paths never allocate. Captures that still don't fit fall
+// back to the heap; the kernel counts those under
+// `sim.kernel.eventfn_heap_fallbacks` so regressions are observable.
+//
+// Move-only, like the events it carries: an event body runs at most once and
+// is never copied. Inline storage requires the callable to be nothrow move
+// constructible (all standard captures — shared_ptr, string, vector — are),
+// otherwise it is heap-allocated regardless of size.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mg::sim {
+
+class EventFn {
+ public:
+  /// Inline capture capacity, bytes. Three pointers-worth of captures plus
+  /// room for one by-value Packet-slot index or epoch counter.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventFn() noexcept : ops_(nullptr) {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    if constexpr (fitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { moveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  /// Invoke the callable. Must not be empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the capture did not fit inline (heap fallback was taken).
+  bool onHeap() const noexcept { return ops_ != nullptr && ops_->heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* p);
+    // Move-construct into dst's storage from src's storage, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* p);
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr bool fitsInline() {
+    return sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* inlinePtr(void* p) {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+  template <typename D>
+  static D* heapPtr(void* p) {
+    return *std::launder(reinterpret_cast<D**>(p));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*inlinePtr<D>(p))(); },
+      [](void* dst, void* src) {
+        D* s = inlinePtr<D>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { inlinePtr<D>(p)->~D(); },
+      /*heap=*/false};
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (*heapPtr<D>(p))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<D**>(dst) = heapPtr<D>(src);
+      },
+      [](void* p) { delete heapPtr<D>(p); },
+      /*heap=*/true};
+
+  void moveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_;
+};
+
+}  // namespace mg::sim

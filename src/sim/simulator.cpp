@@ -1,7 +1,7 @@
 #include "sim/simulator.h"
 
-#include <condition_variable>
-#include <mutex>
+#include <algorithm>
+#include <semaphore>
 #include <thread>
 
 #include "util/log.h"
@@ -10,12 +10,16 @@ namespace mg::sim {
 
 // ---------------------------------------------------------------------------
 // Process: one OS thread, strictly alternating with the kernel thread.
+//
+// The handoff is a pair of binary semaphores: releasing the peer's semaphore
+// is a single futex wake of exactly one waiter, with no mutex round-trip and
+// no broadcast. Strict alternation (exactly one side runs at a time) keeps
+// each semaphore's count in {0, 1} by construction.
 // ---------------------------------------------------------------------------
 
 struct Process::Impl {
-  std::mutex mutex;
-  std::condition_variable cv;
-  enum class Turn { Kernel, Proc } turn = Turn::Kernel;
+  std::binary_semaphore run{0};   // kernel -> process: you may run
+  std::binary_semaphore idle{0};  // process -> kernel: I have yielded
   std::thread thread;
 };
 
@@ -30,10 +34,7 @@ Process::~Process() {
 
 void Process::threadMain() {
   // Wait for the first resume before running the body.
-  {
-    std::unique_lock lock(impl_->mutex);
-    impl_->cv.wait(lock, [&] { return impl_->turn == Impl::Turn::Proc; });
-  }
+  impl_->run.acquire();
   if (!kill_) {
     try {
       body_();
@@ -44,32 +45,29 @@ void Process::threadMain() {
     }
   }
   finished_ = true;
-  std::unique_lock lock(impl_->mutex);
-  impl_->turn = Impl::Turn::Kernel;
-  impl_->cv.notify_all();
+  impl_->idle.release();
 }
 
 void Process::resumeFromKernel() {
-  {
-    std::unique_lock lock(impl_->mutex);
-    impl_->turn = Impl::Turn::Proc;
-    impl_->cv.notify_all();
-    impl_->cv.wait(lock, [&] { return impl_->turn == Impl::Turn::Kernel; });
-  }
+  impl_->run.release();
+  impl_->idle.acquire();
   if (finished_ && impl_->thread.joinable()) impl_->thread.join();
 }
 
 void Process::yieldToKernel() {
-  std::unique_lock lock(impl_->mutex);
-  impl_->turn = Impl::Turn::Kernel;
-  impl_->cv.notify_all();
-  impl_->cv.wait(lock, [&] { return impl_->turn == Impl::Turn::Proc; });
+  impl_->idle.release();
+  impl_->run.acquire();
   if (kill_) throw ProcessKilled{};
 }
 
 // ---------------------------------------------------------------------------
 // Simulator
 // ---------------------------------------------------------------------------
+
+namespace {
+// Compact processes_ once this many finished Process objects accumulate.
+constexpr int kProcessReapThreshold = 16;
+}  // namespace
 
 Simulator::Simulator() {
   owns_log_time_source_ = util::setLogSimTimeSource([this] { return now_; });
@@ -80,20 +78,130 @@ Simulator::~Simulator() {
   if (owns_log_time_source_) util::clearLogSimTimeSource();
 }
 
-EventId Simulator::scheduleAt(SimTime t, std::function<void()> fn) {
-  if (t < now_) throw UsageError("scheduleAt in the past");
-  EventId id = next_event_id_++;
-  queue_.push(QueuedEvent{t, next_seq_++, id});
-  pending_.emplace(id, std::move(fn));
-  return id;
+// --------------------------------------------------- event arena + heap ---
+
+void Simulator::placeEntry(std::size_t pos, const HeapEntry& e) {
+  heap_[pos] = e;
+  meta_[e.slot].heap_pos = static_cast<std::int32_t>(pos);
 }
 
-EventId Simulator::scheduleAfter(SimTime delay, std::function<void()> fn) {
+void Simulator::siftUp(std::size_t pos, const HeapEntry& e) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!entryBefore(e, heap_[parent])) break;
+    placeEntry(pos, heap_[parent]);
+    pos = parent;
+  }
+  placeEntry(pos, e);
+}
+
+void Simulator::siftDown(std::size_t pos, const HeapEntry& e) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (entryBefore(heap_[c], heap_[best])) best = c;
+    }
+    if (!entryBefore(heap_[best], e)) break;
+    placeEntry(pos, heap_[best]);
+    pos = best;
+  }
+  placeEntry(pos, e);
+}
+
+void Simulator::heapPush(const HeapEntry& e) {
+  heap_.push_back(e);  // placeholder; siftUp writes the final position
+  siftUp(heap_.size() - 1, e);
+}
+
+void Simulator::heapRemoveAt(std::int32_t pos) {
+  const std::size_t p = static_cast<std::size_t>(pos);
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  if (p == heap_.size()) return;  // removed the tail
+  if (p > 0 && entryBefore(moved, heap_[(p - 1) / 4])) {
+    siftUp(p, moved);
+  } else {
+    siftDown(p, moved);
+  }
+}
+
+std::uint32_t Simulator::allocSlot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  meta_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulator::freeSlot(std::uint32_t slot) {
+  SlotMeta& m = meta_[slot];
+  if (++m.generation == 0) m.generation = 1;  // keep ids nonzero on wrap
+  m.heap_pos = -1;
+  free_slots_.push_back(slot);
+}
+
+EventId Simulator::scheduleAt(SimTime t, EventFn fn) {
+  if (t < now_) throw UsageError("scheduleAt in the past");
+  if (fn.onHeap()) eventfn_heap_fallbacks_.inc();
+  const std::uint32_t slot = allocSlot();
+  slab_[slot] = std::move(fn);
+  heapPush(HeapEntry{t, next_seq_++, slot});
+  return makeId(slot, meta_[slot].generation);
+}
+
+EventId Simulator::scheduleAfter(SimTime delay, EventFn fn) {
   if (delay < 0) throw UsageError("negative delay");
   return scheduleAt(now_ + delay, std::move(fn));
 }
 
-void Simulator::cancel(EventId id) { pending_.erase(id); }
+void Simulator::cancel(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slab_.size()) return;
+  SlotMeta& m = meta_[slot];
+  if (m.generation != generation || m.heap_pos < 0) return;
+  slab_[slot] = EventFn();  // run capture destructors now, not at some later pop
+  heapRemoveAt(m.heap_pos);
+  freeSlot(slot);
+}
+
+void Simulator::dispatchTop() {
+  const std::uint32_t slot = heap_.front().slot;
+  now_ = heap_.front().time;
+  // Move the body out before freeing: the body may schedule (growing the
+  // slab) or cancel, and its slot must be reusable while it runs.
+  EventFn fn = std::move(slab_[slot]);
+  heapRemoveAt(0);
+  freeSlot(slot);
+  events_executed_.inc();
+  fn();
+}
+
+SimTime Simulator::run() {
+  while (!heap_.empty()) {
+    if (finished_unreaped_ >= kProcessReapThreshold) reapFinishedProcesses();
+    dispatchTop();
+  }
+  return now_;
+}
+
+void Simulator::runUntil(SimTime t) {
+  if (t < now_) throw UsageError("runUntil in the past");
+  while (!heap_.empty() && heap_.front().time <= t) {
+    if (finished_unreaped_ >= kProcessReapThreshold) reapFinishedProcesses();
+    dispatchTop();
+  }
+  now_ = t;
+}
+
+// ------------------------------------------------------------- processes ---
 
 Process& Simulator::spawn(std::string name, std::function<void()> body) {
   if (shutting_down_) throw UsageError("spawn during shutdown");
@@ -101,6 +209,8 @@ Process& Simulator::spawn(std::string name, std::function<void()> body) {
   std::unique_ptr<Process> proc(new Process(*this, next_process_id_++, std::move(name), std::move(body)));
   Process& ref = *proc;
   processes_.push_back(std::move(proc));
+  live_processes_.emplace(ref.id(), &ref);
+  ++live_process_count_;
   processes_spawned_.inc();
   if (proc_trace_.enabled()) proc_trace_.record(now_, "spawn", static_cast<double>(ref.id()), ref.name());
   scheduleResume(ref);
@@ -109,7 +219,8 @@ Process& Simulator::spawn(std::string name, std::function<void()> body) {
 
 void Simulator::scheduleResume(Process& p) {
   p.wake_pending_ = true;
-  scheduleAt(now_, [this, proc = &p] {
+  p.resume_event_ = scheduleAt(now_, [this, proc = &p] {
+    proc->resume_event_ = 0;
     proc->wake_pending_ = false;
     runProcessSlice(*proc);
   });
@@ -122,37 +233,33 @@ void Simulator::runProcessSlice(Process& p) {
   p.suspended_ = false;
   p.resumeFromKernel();
   current_ = prev;
+  if (p.finished_) {
+    // Exactly once per process: the slice that returned finished.
+    live_processes_.erase(p.id_);
+    --live_process_count_;
+    ++finished_unreaped_;
+  }
 }
 
-SimTime Simulator::run() {
-  while (!queue_.empty()) {
-    QueuedEvent ev = queue_.top();
-    queue_.pop();
-    auto it = pending_.find(ev.id);
-    if (it == pending_.end()) continue;  // cancelled
-    std::function<void()> fn = std::move(it->second);
-    pending_.erase(it);
-    now_ = ev.time;
-    events_executed_.inc();
-    fn();
-  }
-  return now_;
-}
-
-void Simulator::runUntil(SimTime t) {
-  if (t < now_) throw UsageError("runUntil in the past");
-  while (!queue_.empty() && queue_.top().time <= t) {
-    QueuedEvent ev = queue_.top();
-    queue_.pop();
-    auto it = pending_.find(ev.id);
-    if (it == pending_.end()) continue;
-    std::function<void()> fn = std::move(it->second);
-    pending_.erase(it);
-    now_ = ev.time;
-    events_executed_.inc();
-    fn();
-  }
-  now_ = t;
+void Simulator::reapFinishedProcesses() {
+  // Safe point only: called from the run loop between events, when no
+  // process is mid-slice. Finished processes have had their threads joined
+  // (resumeFromKernel joins on the finishing handoff), so destruction is
+  // immediate. Live Process objects keep their addresses (unique_ptr).
+  //
+  // A process killed with a queued resume (a wake raced the kill) or a
+  // pending suspendFor timeout (the unwind skipped the post-yield cancel)
+  // is NOT reaped yet: those events captured this Process and fire as
+  // no-ops, exactly as they did before reaping existed — freeing under them
+  // would dangle, and cancelling them would perturb deterministic event
+  // counts. The process is collected on a later pass, once they drain.
+  std::erase_if(processes_, [](const std::unique_ptr<Process>& p) {
+    return p->finished_ && p->timeout_event_ == 0 && p->resume_event_ == 0;
+  });
+  // Count newly-finished processes from zero again; stragglers with pending
+  // events are retried on the next threshold crossing (or at shutdown),
+  // keeping this amortized O(1) per event.
+  finished_unreaped_ = 0;
 }
 
 void Simulator::shutdown() {
@@ -167,6 +274,9 @@ void Simulator::shutdown() {
     }
   }
   processes_.clear();
+  live_processes_.clear();
+  live_process_count_ = 0;
+  finished_unreaped_ = 0;
   shutting_down_ = false;
 }
 
@@ -179,10 +289,21 @@ void Simulator::killProcess(Process& p) {
   runProcessSlice(p);
 }
 
+void Simulator::killProcessById(std::uint64_t id) {
+  const auto it = live_processes_.find(id);
+  if (it == live_processes_.end()) return;  // finished (possibly reaped)
+  killProcess(*it->second);
+}
+
+bool Simulator::processFinished(std::uint64_t id) const {
+  return live_processes_.find(id) == live_processes_.end();
+}
+
 void Simulator::delay(SimTime d) {
   if (d < 0) throw UsageError("negative delay");
   Process& p = currentProcess();
-  scheduleAt(now_ + d, [this, proc = &p] {
+  p.resume_event_ = scheduleAt(now_ + d, [this, proc = &p] {
+    proc->resume_event_ = 0;
     proc->wake_pending_ = false;
     runProcessSlice(*proc);
   });
@@ -236,14 +357,6 @@ void Simulator::wake(Process& p) {
     p.timeout_event_ = 0;
   }
   scheduleResume(p);
-}
-
-int Simulator::liveProcessCount() const {
-  int n = 0;
-  for (const auto& p : processes_) {
-    if (!p->finished_) ++n;
-  }
-  return n;
 }
 
 std::vector<std::string> Simulator::suspendedProcessNames() const {

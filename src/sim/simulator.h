@@ -7,6 +7,15 @@
 // protocol, so simulation semantics are single-threaded and deterministic:
 // the same configuration and seed give bit-identical runs.
 //
+// Events live in a slab arena: fixed records recycled through a free list,
+// ordered by a 4-ary min-heap of slot indices. cancel() removes the record
+// from the heap in place (O(log n)) and frees the slot immediately, so the
+// cancel-heavy suspendFor/TCP-RTO workloads leave no tombstones behind and
+// the arena's footprint tracks the number of *pending* events, not the
+// number ever scheduled. Event bodies are sim::EventFn small-buffer
+// callables; the hot paths capture at most 48 bytes and never touch the
+// heap (`sim.kernel.eventfn_heap_fallbacks` counts the exceptions).
+//
 // Process code blocks via Simulator::delay / suspend / suspendFor (usually
 // indirectly, through Channel, Condition, or the vos socket layer). At
 // shutdown every unfinished process is unwound with a ProcessKilled
@@ -15,16 +24,15 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace_bus.h"
+#include "sim/event_fn.h"
 #include "sim/time.h"
 #include "util/error.h"
 
@@ -38,6 +46,12 @@ class Simulator;
 struct ProcessKilled {};
 
 /// A cooperative simulated process. Created via Simulator::spawn.
+///
+/// Lifetime: the Simulator reaps finished Process objects at safe points in
+/// run()/runUntil(), so a stored `Process*` is only valid while the process
+/// is unfinished (a blocked or running process is never reaped). Long-lived
+/// bookkeeping that may outlast a process should store its id() and use
+/// Simulator::processFinished / killProcessById instead.
 class Process {
  public:
   ~Process();
@@ -63,7 +77,7 @@ class Process {
   std::string name_;
   std::function<void()> body_;
 
-  // Handoff state, guarded by mutex_. `turn_` says who may run.
+  // Handoff state: a pair of binary semaphores and the backing thread.
   struct Impl;
   std::unique_ptr<Impl> impl_;
 
@@ -78,11 +92,18 @@ class Process {
   // Monotonic counter distinguishing separate suspend episodes, so a stale
   // timeout event cannot wake a later suspend.
   std::uint64_t wait_epoch_ = 0;
-  // Pending suspendFor timeout event, cancelled eagerly on wake so expired
-  // timers do not linger in the queue and stretch run()'s end time.
+  // Pending suspendFor timeout event, cancelled in place on wake so expired
+  // timers neither linger in the queue nor stretch run()'s end time.
   std::uint64_t timeout_event_ = 0;
+  // Pending resume event (spawn/delay/wake), at most one thanks to
+  // wake_pending_. Cancelled when the process finishes: the event captures
+  // this Process, which reaping is about to free.
+  std::uint64_t resume_event_ = 0;
 };
 
+/// Opaque handle for a scheduled event: arena slot plus a generation tag
+/// that detects slot reuse, so cancelling a stale handle is a safe no-op.
+/// Never 0 (callers use 0 as "no event").
 using EventId = std::uint64_t;
 
 /// The event-driven simulation core.
@@ -98,13 +119,15 @@ class Simulator {
 
   /// Schedule `fn` at absolute time `t` (>= now). Events at equal times run
   /// in scheduling order.
-  EventId scheduleAt(SimTime t, std::function<void()> fn);
+  EventId scheduleAt(SimTime t, EventFn fn);
 
   /// Schedule `fn` after `delay` (>= 0).
-  EventId scheduleAfter(SimTime delay, std::function<void()> fn);
+  EventId scheduleAfter(SimTime delay, EventFn fn);
 
-  /// Cancel a pending event. Cancelling an already-run or unknown event is a
-  /// no-op (callers often race benignly with their own timeouts).
+  /// Cancel a pending event: the record leaves the heap and its arena slot
+  /// is recycled immediately (the capture's destructors run here).
+  /// Cancelling an already-run or unknown event is a no-op (callers often
+  /// race benignly with their own timeouts).
   void cancel(EventId id);
 
   /// Create a process whose body starts at the current time.
@@ -126,6 +149,15 @@ class Simulator {
   /// fault layer uses this for host crashes. A process must not kill itself;
   /// killing a finished process is a no-op.
   void killProcess(Process& p);
+
+  /// killProcess by id: a safe no-op when the process has already finished
+  /// (and possibly been reaped). Preferred by bookkeeping that stores ids
+  /// across process lifetimes (host crash lists, vmpi daemon tracking).
+  void killProcessById(std::uint64_t id);
+
+  /// True when the process has finished (or never existed). Safe for any id,
+  /// including reaped ones — unlike dereferencing a stale Process*.
+  bool processFinished(std::uint64_t id) const;
 
   // --- process-context API (callable only from inside a process) ---
 
@@ -152,8 +184,8 @@ class Simulator {
   /// see Condition for the standard mesa-style recheck idiom.
   void wake(Process& p);
 
-  /// Number of processes that have not finished.
-  int liveProcessCount() const;
+  /// Number of processes that have not finished. O(1).
+  int liveProcessCount() const { return live_process_count_; }
 
   /// Names of processes currently suspended; useful for diagnosing deadlock
   /// when run() returns while work was expected.
@@ -163,6 +195,15 @@ class Simulator {
   std::uint64_t eventsExecuted() const {
     return static_cast<std::uint64_t>(events_executed_.value());
   }
+
+  /// Events currently scheduled (pending, not cancelled). Cancellation
+  /// shrinks this immediately — there are no tombstones.
+  std::size_t pendingEventCount() const { return heap_.size(); }
+
+  /// Slots in the event arena: the high-water mark of *concurrently* pending
+  /// events. Bounded for schedule+cancel churn because cancelled and
+  /// executed slots are recycled through the free list.
+  std::size_t eventArenaSlots() const { return slab_.size(); }
 
   /// The run-wide metrics registry: every layer attached to this simulator
   /// registers its counters here (names: `layer.component.counter`).
@@ -177,20 +218,46 @@ class Simulator {
  private:
   friend class Process;
 
-  struct QueuedEvent {
+  // Per-slot cancellation bookkeeping, kept apart from the fat EventFn slab
+  // so the heap_pos writes done while sifting stay in a dense 8-byte-stride
+  // table (one cache line covers 8 slots) instead of touching 64-byte
+  // records. `heap_pos` is the slot's index in heap_ while pending, -1 once
+  // executed/cancelled/free. `generation` tags the slot so stale EventIds
+  // miss after reuse.
+  struct SlotMeta {
+    std::uint32_t generation = 1;
+    std::int32_t heap_pos = -1;
+  };
+
+  // A 24-byte heap entry carrying the full ordering key: (time, seq) is a
+  // total order because seq is unique.
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
   };
-  struct EventOrder {
-    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;  // FIFO among equal times
-    }
-  };
+  static bool entryBefore(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;  // FIFO among equal times
+  }
+
+  static EventId makeId(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  void placeEntry(std::size_t pos, const HeapEntry& e);
+  void siftUp(std::size_t pos, const HeapEntry& e);
+  void siftDown(std::size_t pos, const HeapEntry& e);
+  void heapPush(const HeapEntry& e);
+  void heapRemoveAt(std::int32_t pos);
+  std::uint32_t allocSlot();
+  void freeSlot(std::uint32_t slot);
+  /// Pop the due root event, free its slot, and run it.
+  void dispatchTop();
 
   void runProcessSlice(Process& p);
   void scheduleResume(Process& p);
+  void reapFinishedProcesses();
 
   // Declared before the counter/channel handles below, which point into it.
   obs::MetricsRegistry metrics_;
@@ -198,24 +265,31 @@ class Simulator {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_event_id_ = 1;
   std::uint64_t next_process_id_ = 1;
   bool shutting_down_ = false;
   // True when this simulator installed the util::log sim-time source.
   bool owns_log_time_source_ = false;
 
   obs::Counter& events_executed_ = metrics_.counter("sim.kernel.events_executed");
+  obs::Counter& eventfn_heap_fallbacks_ = metrics_.counter("sim.kernel.eventfn_heap_fallbacks");
   obs::Counter& processes_spawned_ = metrics_.counter("sim.process.spawned");
   obs::Counter& process_wakes_ = metrics_.counter("sim.process.wakes");
   obs::Counter& process_kills_ = metrics_.counter("sim.process.kills");
   obs::TraceBus::Channel& proc_trace_ = trace_.channel("sim.process");
 
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, EventOrder> queue_;
-  // Pending (non-cancelled) event bodies, keyed by id. Lazy cancellation:
-  // cancelled ids are simply absent when popped.
-  std::unordered_map<EventId, std::function<void()>> pending_;
+  // Event arena + key heap (see file comment). slab_ and meta_ are parallel
+  // arrays indexed by slot.
+  std::vector<EventFn> slab_;
+  std::vector<SlotMeta> meta_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
 
   std::vector<std::unique_ptr<Process>> processes_;
+  std::unordered_map<std::uint64_t, Process*> live_processes_;  // by id
+  int live_process_count_ = 0;
+  // Finished-but-unreaped count; when it crosses the reap threshold the next
+  // safe point compacts processes_.
+  int finished_unreaped_ = 0;
   Process* current_ = nullptr;
 };
 

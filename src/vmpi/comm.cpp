@@ -138,20 +138,19 @@ Comm::~Comm() {
 void Comm::trackDaemon(sim::Process& p) {
   // Keep the list from growing one entry per isend over a long job.
   if (daemons_.size() > 64) {
+    sim::Simulator& sim = ctx_.simulator();
     daemons_.erase(std::remove_if(daemons_.begin(), daemons_.end(),
-                                  [](sim::Process* d) { return d->finished(); }),
+                                  [&sim](std::uint64_t d) { return sim.processFinished(d); }),
                    daemons_.end());
   }
-  daemons_.push_back(&p);
+  daemons_.push_back(p.id());
 }
 
 void Comm::killDaemons() {
   // Swap first: a killed daemon's unwind must not see a half-iterated list.
-  std::vector<sim::Process*> daemons;
+  std::vector<std::uint64_t> daemons;
   daemons.swap(daemons_);
-  for (sim::Process* p : daemons) {
-    if (!p->finished()) ctx_.simulator().killProcess(*p);
-  }
+  for (std::uint64_t id : daemons) ctx_.simulator().killProcessById(id);
 }
 
 void Comm::connectMesh() {

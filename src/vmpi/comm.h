@@ -158,8 +158,9 @@ class Comm {
   std::string peer_error_;
   // Every daemon process this Comm spawned (receivers, isend/irecv helpers).
   // They capture `this`, so any still alive must be killed before the Comm
-  // dies; killProcess is a no-op on the finished ones.
-  std::vector<sim::Process*> daemons_;
+  // dies. Stored by id, not Process*: the kernel reaps finished Process
+  // objects, and killProcessById is a safe no-op for reaped ids.
+  std::vector<std::uint64_t> daemons_;
   bool finalized_ = false;
   std::int64_t bytes_sent_ = 0;
   std::int64_t messages_sent_ = 0;

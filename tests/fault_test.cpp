@@ -13,6 +13,7 @@
 #include "gis/directory.h"
 #include "grid/gram.h"
 #include "net/host_stack.h"
+#include "npb/npb.h"
 #include "vmpi/comm.h"
 #include "vos/cpu_scheduler.h"
 
@@ -518,4 +519,58 @@ TEST(Resilience, FaultRunsAreByteDeterministic) {
   EXPECT_EQ(r1.report, r2.report);
   EXPECT_DOUBLE_EQ(r1.result.virtual_seconds, r2.result.virtual_seconds);
   EXPECT_EQ(r1.result.resubmits, r2.result.resubmits);
+}
+
+// ------------------------------------- NPB under faults: bit determinism --
+
+namespace {
+
+/// Four EP ranks on the Alpha cluster while eth1 degrades to 5% loss for a
+/// window covering the final allreduce: TCP retransmits, RTO timers armed
+/// and cancelled, stochastic drops. Everything observable must still be a
+/// pure function of the seed.
+std::pair<std::string, std::vector<double>> runEpWithFaults() {
+  auto cfg = core::topologies::alphaCluster();
+  core::MicroGridPlatform platform(cfg);
+
+  fault::FaultEvent degrade;
+  degrade.at = 0.0;
+  degrade.kind = fault::FaultKind::LinkDegrade;
+  degrade.name = "lossy";
+  degrade.target = "eth1";
+  degrade.loss = 0.05;
+  degrade.duration = 60.0;
+  fault::FaultPlan plan;
+  plan.add(degrade);
+  fault::FaultInjector injector(platform, std::move(plan));
+  injector.arm();
+
+  std::vector<std::string> hosts;
+  for (const auto& h : platform.mapper().hosts()) hosts.push_back(h.hostname);
+  hosts.resize(4);
+  auto checksums = std::make_shared<std::vector<double>>(4);
+  for (int r = 0; r < 4; ++r) {
+    platform.spawnOn(hosts[static_cast<size_t>(r)], "rank" + std::to_string(r),
+                     [=](vos::HostContext& ctx) {
+                       auto comm = vmpi::Comm::init(ctx, r, hosts);
+                       const auto res = npb::runEp(*comm, ctx, npb::NpbClass::S);
+                       (*checksums)[static_cast<size_t>(r)] = res.checksum;
+                       comm->finalize();
+                     });
+  }
+  platform.run();
+  return {platform.simulator().metrics().snapshotJson(), *checksums};
+}
+
+}  // namespace
+
+TEST(Resilience, NpbEpUnderFaultsIsByteDeterministic) {
+  const auto r1 = runEpWithFaults();
+  const auto r2 = runEpWithFaults();
+  EXPECT_EQ(r1.first, r2.first);  // full metrics snapshot, byte for byte
+  ASSERT_EQ(r1.second.size(), 4u);
+  EXPECT_EQ(r1.second, r2.second);
+  // The degraded link really dropped packets, so the equality above is a
+  // statement about stochastic state, not zeros.
+  EXPECT_NE(r1.first.find("\"net.packet.dropped_loss\":"), std::string::npos);
 }

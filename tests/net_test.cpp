@@ -302,6 +302,48 @@ TEST(PacketNetwork, LinkDownDropsAndUnreachable) {
   EXPECT_EQ(net.stats().packets_dropped_down, 1);
 }
 
+TEST(PacketNetwork, StatsBreakOutDropCausesAndRouteRecomputes) {
+  Simulator sim;
+  Topology topo;
+  NodeId a = topo.addHost("a");
+  NodeId b = topo.addHost("b");
+  // 1 kb/s: a small packet spends ~0.4 s on the wire, leaving a wide window
+  // to yank the link or the node mid-flight.
+  LinkId l = topo.addLink("l", a, b, 1000.0, 1000);
+  PacketNetwork net(sim, std::move(topo), {});
+  net.attachHost(b, [](Packet&&) {});
+  // Only topology *changes* recompute routes; construction is not counted.
+  EXPECT_EQ(net.stats().route_recomputes, 0);
+
+  auto sendOne = [&] {
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.payload = patternBytes(10);
+    net.send(std::move(p));
+  };
+
+  // The link dies while the packet is on the wire: dropped at transmit
+  // completion, attributed to link_down.
+  sendOne();
+  sim.scheduleAt(st::fromSeconds(0.05), [&] { net.setLinkUp(l, false); });  // recompute #1
+  sim.run();
+  EXPECT_EQ(net.stats().packets_dropped_link_down, 1);
+  EXPECT_EQ(net.stats().packets_dropped_node_down, 0);
+
+  // The destination crashes while the packet is mid-flight: it crosses the
+  // (healthy) wire and is blackholed at delivery, attributed to node_down.
+  net.setLinkUp(l, true);  // recompute #2
+  sendOne();
+  sim.scheduleAt(sim.now() + st::fromSeconds(0.05), [&] { net.setNodeUp(b, false); });  // recompute #3
+  sim.run();
+  EXPECT_EQ(net.stats().packets_dropped_link_down, 1);
+  EXPECT_EQ(net.stats().packets_dropped_node_down, 1);
+  EXPECT_EQ(net.stats().route_recomputes, 3);
+  // The cause-specific counters partition the aggregate down-drop count.
+  EXPECT_EQ(net.stats().packets_dropped_down, 2);
+}
+
 TEST(PacketNetwork, TimeScaleStretchesKernelTime) {
   auto endTime = [](double scale) {
     Simulator sim;

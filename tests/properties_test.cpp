@@ -2,6 +2,9 @@
 // that must hold across the whole configuration space, not just the presets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <tuple>
 
 #include "core/microgrid_platform.h"
@@ -9,6 +12,7 @@
 #include "core/topologies.h"
 #include "net/host_stack.h"
 #include "net/packet_network.h"
+#include "util/rng.h"
 
 using namespace mg;
 namespace st = mg::sim;
@@ -238,3 +242,68 @@ TEST_P(SameSeedDeterminism, EventCountsAndSnapshotsMatch) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SameSeedDeterminism,
                          ::testing::Values(1ull, 42ull, 0xC0FFEEull, 987654321ull));
+
+// --------------------------------------------- kernel heap vs naive oracle --
+
+// The slab-arena 4-ary heap with in-place cancellation must dispatch exactly
+// the same events in exactly the same order as the obviously-correct model:
+// a flat vector sorted by (time, sequence). Randomized schedule / cancel /
+// run interleavings probe every heap path (root, interior, and tail
+// removals; sift-up and sift-down repairs; slot recycling).
+TEST(KernelHeapProperty, RandomChurnMatchesSortedVectorOracle) {
+  struct OracleEvent {
+    st::SimTime time;
+    std::uint64_t seq;  // schedule order: tiebreak among equal times
+    int value;
+    st::EventId id;
+  };
+  for (std::uint64_t seed : {7ull, 1234ull, 0xDECAFull}) {
+    st::Simulator sim;
+    util::Rng rng(seed);
+    std::vector<int> fired;         // what the kernel actually ran
+    std::vector<int> oracle_fired;  // what the model says should have run
+    std::vector<OracleEvent> pending;
+    std::uint64_t next_seq = 0;
+    int next_value = 0;
+
+    auto oracleRunUntil = [&](st::SimTime t) {
+      std::vector<OracleEvent> due;
+      for (const auto& e : pending) {
+        if (e.time <= t) due.push_back(e);
+      }
+      std::sort(due.begin(), due.end(), [](const OracleEvent& a, const OracleEvent& b) {
+        return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+      });
+      for (const auto& e : due) oracle_fired.push_back(e.value);
+      std::erase_if(pending, [&](const OracleEvent& e) { return e.time <= t; });
+    };
+
+    for (int step = 0; step < 5000; ++step) {
+      const std::uint64_t op = rng.below(10);
+      if (op < 6) {  // schedule
+        const st::SimTime t = sim.now() + static_cast<st::SimTime>(rng.below(1000));
+        const int v = next_value++;
+        const st::EventId id = sim.scheduleAt(t, [&fired, v] { fired.push_back(v); });
+        pending.push_back({t, next_seq++, v, id});
+      } else if (op < 9) {  // cancel a random pending event
+        if (!pending.empty()) {
+          const std::size_t k = rng.below(pending.size());
+          sim.cancel(pending[k].id);
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+        }
+      } else {  // advance time, firing everything due
+        const st::SimTime t = sim.now() + static_cast<st::SimTime>(rng.below(500));
+        sim.runUntil(t);
+        oracleRunUntil(t);
+        ASSERT_EQ(fired, oracle_fired) << "diverged at step " << step << " seed " << seed;
+        ASSERT_EQ(sim.pendingEventCount(), pending.size());
+      }
+    }
+    sim.run();
+    oracleRunUntil(std::numeric_limits<st::SimTime>::max());
+    EXPECT_EQ(fired, oracle_fired) << "seed " << seed;
+    EXPECT_EQ(sim.pendingEventCount(), 0u);
+    // Arena footprint tracks peak concurrency, not total scheduled.
+    EXPECT_LE(sim.eventArenaSlots(), 5000u);
+  }
+}

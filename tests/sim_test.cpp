@@ -2,6 +2,8 @@
 // conditions, channels, determinism.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -545,4 +547,113 @@ TEST(Simulator, EventStormStaysOrdered) {
   sim.run();
   ASSERT_EQ(ran.size(), 100u);
   for (size_t k = 0; k < ran.size(); ++k) EXPECT_EQ(ran[k], static_cast<int>(2 * k + 1));
+}
+
+// ------------------------------------------------- event arena + EventFn --
+
+TEST(EventArena, MillionScheduleCancelStaysBounded) {
+  // Regression for the lazy-cancellation kernel, where each cancel left a
+  // tombstone in the priority queue: a timer-churn workload (schedule a
+  // timeout, cancel it, repeat) grew the queue without bound. The arena
+  // cancels in place and recycles slots, so one million churned timeouts
+  // must leave the queue empty and the arena no larger than the peak number
+  // of *concurrently* pending events.
+  Simulator sim;
+  constexpr int kTotal = 1'000'000;
+  constexpr int kWindow = 64;  // live timeouts at any instant
+  std::vector<EventId> window;
+  for (int i = 0; i < kTotal; ++i) {
+    window.push_back(sim.scheduleAt(1'000'000 + i, [] {}));
+    if (window.size() == kWindow) {
+      for (EventId id : window) sim.cancel(id);
+      window.clear();
+    }
+  }
+  for (EventId id : window) sim.cancel(id);
+  EXPECT_EQ(sim.pendingEventCount(), 0u);
+  EXPECT_LE(sim.eventArenaSlots(), static_cast<std::size_t>(kWindow));
+  sim.run();
+  EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(EventArena, CancelledSlotReuseDoesNotConfuseStaleIds) {
+  // A cancelled id whose slot was recycled must stay a no-op: the
+  // generation tag changes on free, so the stale handle misses.
+  Simulator sim;
+  bool second_ran = false;
+  EventId first = sim.scheduleAt(10, [] {});
+  sim.cancel(first);
+  EventId second = sim.scheduleAt(20, [&] { second_ran = true; });
+  sim.cancel(first);  // stale: same slot, older generation
+  sim.run();
+  EXPECT_TRUE(second_ran);
+  EXPECT_NE(first, second);
+}
+
+namespace {
+struct InstanceCounter {
+  static int live;
+  InstanceCounter() { ++live; }
+  InstanceCounter(const InstanceCounter&) { ++live; }
+  InstanceCounter(InstanceCounter&&) noexcept { ++live; }
+  ~InstanceCounter() { --live; }
+};
+int InstanceCounter::live = 0;
+}  // namespace
+
+TEST(EventFn, MoveOnlyCaptureStaysInline) {
+  auto p = std::make_unique<int>(41);
+  EventFn fn([p = std::move(p)] { ++*p; });
+  EXPECT_FALSE(fn.onHeap());
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EventFn moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  moved();
+}
+
+TEST(EventFn, LargeCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > inline capacity
+  big[7] = 7;
+  std::uint64_t seen = 0;
+  EventFn fn([big, &seen] { seen = big[7]; });
+  EXPECT_TRUE(fn.onHeap());
+  EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventFn, DestructionBalancedAcrossMoves) {
+  {
+    EventFn fn([c = InstanceCounter{}] { (void)c; });
+    EXPECT_EQ(InstanceCounter::live, 1);
+    EventFn a = std::move(fn);
+    EXPECT_EQ(InstanceCounter::live, 1);  // relocate, not copy
+    EventFn b;
+    b = std::move(a);
+    EXPECT_EQ(InstanceCounter::live, 1);
+  }
+  EXPECT_EQ(InstanceCounter::live, 0);
+}
+
+TEST(EventFn, CancelDestroysCaptureImmediately) {
+  Simulator sim;
+  EventId id = sim.scheduleAt(10, [c = InstanceCounter{}] { (void)c; });
+  EXPECT_EQ(InstanceCounter::live, 1);
+  sim.cancel(id);
+  // The capture dies at cancel time, not when the slot is later recycled.
+  EXPECT_EQ(InstanceCounter::live, 0);
+  sim.run();
+}
+
+TEST(EventFn, HeapFallbackCounterTracksOnlyOversizeCaptures) {
+  Simulator sim;
+  const auto& ctr = sim.metrics().counter("sim.kernel.eventfn_heap_fallbacks");
+  long long sum = 0;
+  for (int i = 0; i < 100; ++i) sim.scheduleAt(i, [&sum, i] { sum += i; });
+  EXPECT_EQ(ctr.value(), 0);  // hot-path captures stay inline
+  std::array<std::uint64_t, 16> big{};
+  sim.scheduleAt(200, [big, &sum] { sum += static_cast<long long>(big[0]); });
+  EXPECT_EQ(ctr.value(), 1);
+  sim.run();
+  EXPECT_EQ(sum, 4950);
 }
