@@ -20,7 +20,15 @@
 //                      faults are present, else 0)
 //   --metrics FMT      dump the simulator metrics snapshot after the run
 //                      (FMT is table or json)
+//   --trace-out FILE   record causal spans and write a Chrome/Perfetto trace
+//                      (load FILE at ui.perfetto.dev or chrome://tracing)
+//   --profile FMT      per-(host, layer) virtual-time profile after the run
+//                      (FMT is table or json; implies span recording)
 //   --verbose          print per-rank results
+//
+// A bare (non-flag) argument is taken as the config file, so
+// `mgrun --trace-out=ep.json examples/grids/alpha4.ini` works.
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -31,6 +39,8 @@
 #include "core/topologies.h"
 #include "fault/fault_injector.h"
 #include "npb/npb.h"
+#include "obs/sim_profiler.h"
+#include "obs/trace_export.h"
 #include "util/strings.h"
 
 using namespace mg;
@@ -47,7 +57,9 @@ struct Options {
   double slowdown = 1.0;
   std::string faults_path;
   int resubmits = -1;   // -1: default (2 with faults, 0 without)
-  std::string metrics;  // "", "table", or "json"
+  std::string metrics;    // "", "table", or "json"
+  std::string trace_out;  // Chrome trace_event JSON output path
+  std::string profile;    // "", "table", or "json"
   bool verbose = false;
   bool list = false;
 };
@@ -83,10 +95,19 @@ Options parseArgs(int argc, char** argv) {
       if (opt.metrics != "table" && opt.metrics != "json") {
         throw mg::UsageError("--metrics must be table or json");
       }
+    } else if (flag == "--trace-out" || flag.rfind("--trace-out=", 0) == 0) {
+      opt.trace_out = (flag == "--trace-out") ? next() : flag.substr(12);
+    } else if (flag == "--profile" || flag.rfind("--profile=", 0) == 0) {
+      opt.profile = (flag == "--profile") ? next() : flag.substr(10);
+      if (opt.profile != "table" && opt.profile != "json") {
+        throw mg::UsageError("--profile must be table or json");
+      }
     } else if (flag == "--verbose") {
       opt.verbose = true;
     } else if (flag == "--list-executables") {
       opt.list = true;
+    } else if (flag.rfind("--", 0) != 0) {
+      opt.config_path = flag;
     } else {
       throw mg::UsageError("unknown flag " + flag + " (see the header of mgrun.cpp)");
     }
@@ -149,6 +170,10 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!opt.trace_out.empty() || !opt.profile.empty()) {
+      platform->simulator().spans().setEnabled(true);
+    }
+
     core::Launcher launcher(*platform, registry);
     launcher.startServices(&cfg, "mgrun");
 
@@ -182,6 +207,22 @@ int main(int argc, char** argv) {
       std::cout << platform->simulator().metrics().snapshotJson() << "\n";
     } else if (opt.metrics == "table") {
       platform->simulator().metrics().snapshotTable().print(std::cout, "metrics");
+    }
+
+    if (!opt.trace_out.empty()) {
+      std::ofstream out(opt.trace_out, std::ios::binary | std::ios::trunc);
+      if (!out) throw mg::UsageError("cannot open --trace-out file " + opt.trace_out);
+      out << obs::chromeTraceJson(platform->simulator().spans());
+      std::cout << "wrote " << platform->simulator().spans().size() << " span(s) to "
+                << opt.trace_out << "\n";
+    }
+    if (!opt.profile.empty()) {
+      const obs::SimProfiler prof(platform->simulator().spans());
+      if (opt.profile == "json") {
+        std::cout << prof.json() << "\n";
+      } else {
+        prof.table().print(std::cout, "profile");
+      }
     }
 
     if (!result.ok) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/span.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -88,6 +89,12 @@ LaunchResult Launcher::run(const std::string& executable, const std::string& arg
       client, "globusrun." + executable,
       [result, executable, arguments, parts, extra_env, opts = opts_, gis_host = gis_host_,
        on_complete = std::move(on_complete)](vos::HostContext& ctx) {
+        // Root of the job's causal chain: everything downstream — GRAM
+        // requests, jobmanagers, ranks, vmpi traffic, TCP segments, packet
+        // hops, scheduler quanta — parents back to this span.
+        obs::ScopedSpan job_span(ctx.simulator().spans(), "core.launcher", "job",
+                                 ctx.hostname());
+        if (job_span.active()) job_span.annotate("executable", executable);
         grid::Coallocator co(ctx);
         co.client().setRetryPolicy(opts.retry);
         result->submitted_at = ctx.wallTime();
@@ -98,6 +105,9 @@ LaunchResult Launcher::run(const std::string& executable, const std::string& arg
           // Fresh port block per attempt: ranks of a failed attempt may
           // still hold their listeners while they drain.
           env["MG_PORT_BASE"] = std::to_string(grid::kVmpiPortBase + attempt * 64);
+          // Carry the causal context to the server side through the RSL
+          // environment (adopted by the jobmanager).
+          if (job_span.active()) env["MG_TRACE_CTX"] = std::to_string(job_span.id());
           try {
             const grid::CoallocationResult cr = co.run(executable, arguments, cur, env);
             result->ok = cr.ok;

@@ -106,7 +106,8 @@ class MicroGridPlatform::MgContext : public vos::HostContext {
     if (task_ >= 0) return;
     // Lazily created: only CPU-using processes join the fraction division
     // (socket daemons and the like consume no modeled CPU).
-    task_ = rt_.sched->addTask(name_, std::max(rt_.host_fraction, 1e-6));
+    // Quantum spans land on the virtual host's track, not the process name.
+    task_ = rt_.sched->addTask(name_, std::max(rt_.host_fraction, 1e-6), rt_.info->hostname);
     rt_.tasks.push_back(task_);
     p_.refraction(rt_);
   }
@@ -179,6 +180,10 @@ void MicroGridPlatform::crashHost(const std::string& hostname) {
   if (!rt.alive) return;
   rt.alive = false;
   MG_LOG_INFO("core") << "crash " << hostname;
+  // Close the host's open spans before killing anything: the dying processes'
+  // ScopedSpan destructors only end still-open spans, so the `aborted` marks
+  // set here survive the unwind.
+  sim_.spans().abortTrack(hostname, "host_crash");
   // RSTs to peers are scheduled while the node is still up, so they escape
   // onto the wire before the blackhole closes behind them.
   rt.stack->tcp().abortAll("host " + hostname + " crashed");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/span.h"
 #include "util/log.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -84,6 +85,13 @@ void FaultInjector::applied(const FaultEvent& ev) {
   kindCounter(ev.kind).inc();
   const std::string& what = ev.target.empty() ? ev.name : ev.target;
   trace_.record(platform_.simulator().now(), faultKindName(ev.kind), ev.at, what);
+  obs::SpanRecorder& spans = platform_.simulator().spans();
+  if (spans.enabled()) {
+    // Faults show up as instant markers on the affected track, so a crash
+    // lines up visually with the spans it aborts.
+    const obs::SpanId mark = spans.instant("fault.injector", faultKindName(ev.kind), ev.target);
+    spans.annotate(mark, "plan", ev.name);
+  }
   MG_LOG_INFO("fault") << faultKindName(ev.kind) << " " << what << " (plan '" << ev.name
                        << "', t=" << ev.at << "vs)";
 }

@@ -1,9 +1,11 @@
 #include "grid/gram.h"
 
+#include <cstdlib>
 #include <map>
 #include <optional>
 
 #include "net/tcp.h"
+#include "obs/span.h"
 #include "sim/condition.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -56,6 +58,17 @@ std::string statusBody(const JobStatus& st) {
 void runJobManager(vos::HostContext& ctx, const ExecutableRegistry& registry,
                    std::shared_ptr<GkState> state, GatekeeperOptions opts, int job_id, Rsl rsl) {
   JobRecord& job = state->jobs.at(job_id);
+
+  // Adopt the submitter's causal context, carried through the RSL environment
+  // by the launcher. This stitches the server-side half of the job onto the
+  // client's span tree across hosts without touching the wire protocol.
+  const auto& env = rsl.environment();
+  if (auto it = env.find("MG_TRACE_CTX"); it != env.end()) {
+    ctx.simulator().spans().setCurrent(std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  obs::ScopedSpan jm_span(ctx.simulator().spans(), "grid.gram", "jobmanager", ctx.hostname());
+  if (jm_span.active()) jm_span.annotate("job", std::to_string(job_id));
+
   auto fail = [&](const std::string& why) {
     job.status.state = JobState::Failed;
     job.status.error = why;
@@ -100,6 +113,12 @@ void runJobManager(vos::HostContext& ctx, const ExecutableRegistry& registry,
         exe_name + "." + std::to_string(job_id) + "." + std::to_string(i),
         [&registry, state, job_id, rsl, exe_name, max_memory, i, remaining](vos::HostContext& pctx) {
           JobRecord& jr = state->jobs.at(job_id);
+          obs::ScopedSpan rank_span(pctx.simulator().spans(), "grid.job", "rank",
+                                    pctx.hostname());
+          if (rank_span.active()) {
+            rank_span.annotate("exe", exe_name);
+            rank_span.annotate("local_index", std::to_string(i));
+          }
           int code = 0;
           std::string error;
           try {
@@ -222,6 +241,12 @@ GramClient::GramClient(vos::HostContext& ctx, std::string subject)
 
 std::string GramClient::request(const std::string& host, const std::string& payload,
                                 bool idempotent) {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "grid.gram", "request", ctx_.hostname());
+  if (span.active()) {
+    const auto nl = payload.find('\n');
+    span.annotate("verb", nl == std::string::npos ? payload : payload.substr(0, nl));
+    span.annotate("host", host);
+  }
   double backoff = retry_.backoff_seconds;
   for (int attempt = 1;; ++attempt) {
     try {

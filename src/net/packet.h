@@ -54,6 +54,14 @@ struct Packet {
 
   std::vector<std::uint8_t> payload;
 
+  // Causal-trace context (obs::SpanId; 0 = untraced). `span` is the
+  // per-packet transit span opened by the sending transport and closed by
+  // the network at final disposition (delivery or drop); it carries the
+  // sender's causality across hosts. `hop_span` is the currently-open
+  // per-hop child span, owned by the link layer.
+  std::uint64_t span = 0;
+  std::uint64_t hop_span = 0;
+
   /// IP-layer size: headers plus payload.
   std::int64_t ipBytes() const {
     const std::int64_t hdr = (protocol == Protocol::Tcp) ? kTcpIpHeaderBytes : kUdpIpHeaderBytes;

@@ -93,6 +93,7 @@ void PacketNetwork::forward(NodeId at, Packet&& pkt) {
   if (lid == kNoLink || !topo_.link(lid).up) {
     c_dropped_down_.inc();
     if (trace_.enabled()) trace_.record(sim_.now(), "drop_down", static_cast<double>(pkt.wireBytes()));
+    sim_.spans().endWith(pkt.span, "dropped", "no_route");
     return;
   }
   enqueue(lid, at, std::move(pkt));
@@ -111,6 +112,7 @@ void PacketNetwork::enqueue(LinkId link, NodeId from, Packet&& pkt) {
     c_dropped_queue_.inc();
     if (trace_.enabled()) trace_.record(sim_.now(), "drop_queue", static_cast<double>(pkt.wireBytes()), l.name);
     MG_LOG_TRACE("net") << "drop (queue full) on " << l.name;
+    sim_.spans().endWith(pkt.span, "dropped", "queue");
     return;
   }
   q.queued_bytes += pkt.wireBytes();
@@ -126,10 +128,15 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
   }
   q.busy = true;
   const Link& l = topo_.link(link);
-  const Packet& head = q.queue.front();
+  Packet& head = q.queue.front();
   const double tx_seconds = static_cast<double>(head.wireBytes()) * 8.0 / l.bandwidth_bps;
   const sim::SimTime tx = sim::fromSeconds(tx_seconds);
   c_wire_bytes_.inc(head.wireBytes());
+  // One hop = serialization + propagation + the far-end processing delay,
+  // recorded as a child of the packet's transit span on the link's track.
+  if (sim_.spans().enabled() && head.span != 0) {
+    head.hop_span = sim_.spans().beginChildOf(head.span, "net.packet", "hop", l.name);
+  }
   sim_.scheduleAfter(scaled(tx), [this, link, from] {
     LinkQueue& lq = queueFor(link, from);
     Packet pkt = std::move(lq.queue.front());
@@ -141,9 +148,13 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
       c_dropped_down_.inc();
       c_dropped_link_down_.inc();
       if (trace_.enabled()) trace_.record(sim_.now(), "drop_link_down", static_cast<double>(pkt.wireBytes()), lk.name);
+      sim_.spans().endWith(pkt.hop_span, "dropped", "link_down");
+      sim_.spans().endWith(pkt.span, "dropped", "link_down");
     } else if (lk.loss_rate > 0 && rng_.uniform() < lk.loss_rate) {
       c_dropped_loss_.inc();
       if (trace_.enabled()) trace_.record(sim_.now(), "drop_loss", static_cast<double>(pkt.wireBytes()), lk.name);
+      sim_.spans().endWith(pkt.hop_span, "dropped", "loss");
+      sim_.spans().endWith(pkt.span, "dropped", "loss");
     } else {
       const NodeId to = topo_.peer(link, from);
       const bool at_destination = (to == pkt.dst);
@@ -153,6 +164,8 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
       const std::uint32_t slot = parkInFlight(std::move(pkt));
       sim_.scheduleAfter(scaled(hop_delay), [this, to, slot] {
         Packet p = takeInFlight(slot);
+        sim_.spans().end(p.hop_span);
+        p.hop_span = 0;
         if (to == p.dst) {
           deliverLocal(std::move(p));
         } else {
@@ -171,8 +184,12 @@ void PacketNetwork::deliverLocal(Packet&& pkt) {
     c_dropped_down_.inc();
     c_dropped_node_down_.inc();
     if (trace_.enabled()) trace_.record(sim_.now(), "drop_node_down", static_cast<double>(pkt.wireBytes()), topo_.node(pkt.dst).name);
+    sim_.spans().endWith(pkt.span, "dropped", "node_down");
     return;
   }
+  // Final disposition of the transit span: the payload reached the
+  // destination stack (whether or not a transport is attached).
+  sim_.spans().end(pkt.span);
   PacketHandler& h = handlers_.at(static_cast<size_t>(pkt.dst));
   if (!h) {
     MG_LOG_TRACE("net") << "packet to unattached node " << topo_.node(pkt.dst).name;
@@ -196,6 +213,7 @@ void PacketNetwork::dropQueuedDir(LinkId link, int dir, obs::Counter& cause) {
   const size_t keep = q.busy ? 1 : 0;
   while (q.queue.size() > keep) {
     q.queued_bytes -= q.queue.back().wireBytes();
+    sim_.spans().endWith(q.queue.back().span, "dropped", "purged");
     q.queue.pop_back();
     c_dropped_down_.inc();
     cause.inc();

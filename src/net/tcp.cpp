@@ -182,6 +182,20 @@ void TcpConnection::sendSegment(std::uint64_t seq, std::size_t len, bool is_retr
     rtt_seq_ = seq + len;
     rtt_sent_at_ = sim_.now();
   }
+  // Each data segment sent with causal context gets a transit span
+  // (send -> delivery/drop) parented to the current context — the vmpi send,
+  // or the ACK-clock event chain rooted there. The network closes it at
+  // final disposition. Context-free segments (server control replies from
+  // daemons outside any job) stay untraced, like SYN/ACK control packets, so
+  // every recorded net.* span has a live parent.
+  obs::SpanRecorder& spans = sim_.spans();
+  if (spans.enabled() && spans.current() != 0) {
+    p.span = spans.begin("net.tcp", "segment",
+                         stack_.network().topology().node(local_node_).name);
+    spans.annotate(p.span, "seq", std::to_string(seq));
+    spans.annotate(p.span, "len", std::to_string(len));
+    if (is_retransmit) spans.annotate(p.span, "retransmit", "1");
+  }
   stack_.network().send(std::move(p));
 }
 

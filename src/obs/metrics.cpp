@@ -4,8 +4,6 @@
 
 namespace mg::obs {
 
-namespace {
-
 /// Shortest round-trippable formatting for doubles, so snapshots are
 /// byte-stable and lossless.
 std::string formatDouble(double v) {
@@ -37,8 +35,6 @@ std::string jsonEscape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   auto it = counter_index_.find(name);

@@ -26,6 +26,13 @@
 
 namespace mg::obs {
 
+/// Shortest double formatting that still round-trips exactly — the shared
+/// currency of every byte-stable JSON/table snapshot in this layer.
+std::string formatDouble(double v);
+
+/// Minimal JSON string escaping (quotes, backslashes, newlines).
+std::string jsonEscape(const std::string& s);
+
 /// A monotonically increasing integer instrument.
 class Counter {
  public:

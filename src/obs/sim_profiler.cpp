@@ -1,0 +1,68 @@
+#include "obs/sim_profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/stats.h"
+
+namespace mg::obs {
+
+namespace {
+constexpr int kQuantileBins = 64;
+}  // namespace
+
+SimProfiler::SimProfiler(const SpanRecorder& rec) {
+  std::map<std::pair<std::string, std::string>, std::vector<std::int64_t>> durations;
+  for (const auto& s : rec.spans()) {
+    if (s.instant || s.end < 0) continue;
+    const std::string track = s.track.empty() ? "kernel" : s.track;
+    durations[{track, s.component + "." + s.name}].push_back(s.end - s.start);
+  }
+  buckets_.reserve(durations.size());
+  for (auto& [key, ds] : durations) {
+    Bucket b;
+    b.track = key.first;
+    b.span = key.second;
+    b.count = static_cast<std::int64_t>(ds.size());
+    const auto [mn, mx] = std::minmax_element(ds.begin(), ds.end());
+    // lo == hi when every sample is equal — the degenerate single-bin case
+    // Histogram supports precisely for this caller.
+    util::Histogram h(static_cast<double>(*mn), static_cast<double>(*mx), kQuantileBins);
+    for (const std::int64_t d : ds) {
+      b.total_ns += d;
+      h.add(static_cast<double>(d));
+    }
+    b.p50_ns = h.quantile(0.50);
+    b.p95_ns = h.quantile(0.95);
+    b.p99_ns = h.quantile(0.99);
+    buckets_.push_back(std::move(b));
+  }
+}
+
+util::Table SimProfiler::table() const {
+  util::Table t({"track", "span", "count", "total_ms", "p50_us", "p95_us", "p99_us"});
+  for (const Bucket& b : buckets_) {
+    t.addRow({b.track, b.span, std::to_string(b.count),
+              formatDouble(static_cast<double>(b.total_ns) / 1e6), formatDouble(b.p50_ns / 1e3),
+              formatDouble(b.p95_ns / 1e3), formatDouble(b.p99_ns / 1e3)});
+  }
+  return t;
+}
+
+std::string SimProfiler::json() const {
+  std::string out = "{\"buckets\":[";
+  bool first = true;
+  for (const Bucket& b : buckets_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"track\":\"" + jsonEscape(b.track) + "\",\"span\":\"" + jsonEscape(b.span) +
+           "\",\"count\":" + std::to_string(b.count) +
+           ",\"total_ns\":" + std::to_string(b.total_ns) + ",\"p50_ns\":" + formatDouble(b.p50_ns) +
+           ",\"p95_ns\":" + formatDouble(b.p95_ns) + ",\"p99_ns\":" + formatDouble(b.p99_ns) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mg::obs

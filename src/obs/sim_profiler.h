@@ -1,0 +1,51 @@
+// Sim-time profiler: attributes virtual time to (track, layer.operation)
+// buckets from the recorded span forest (mgrun --profile=table|json).
+//
+// Where the metrics registry answers "how many", this answers "where did the
+// virtual time go" — per host, per layer: scheduler quanta, TCP segment
+// transit, vmpi sends and waits, whole-rank runtimes. Each bucket reports
+// count, total virtual time, and p50/p95/p99 quantiles computed through
+// util::Histogram::quantile(), and both renderings are byte-stable for
+// same-seed runs (sorted bucket order, round-trippable number formatting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+#include "util/table.h"
+
+namespace mg::obs {
+
+class SimProfiler {
+ public:
+  struct Bucket {
+    std::string track;  // hostname, or "kernel"
+    std::string span;   // component.name, e.g. "vos.sched.quantum"
+    std::int64_t count = 0;
+    std::int64_t total_ns = 0;
+    double p50_ns = 0;
+    double p95_ns = 0;
+    double p99_ns = 0;
+  };
+
+  /// Aggregates the recorder's completed spans (instants and still-open
+  /// spans carry no duration and are skipped). Bucket order is sorted by
+  /// (track, span).
+  explicit SimProfiler(const SpanRecorder& rec);
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Column-aligned report (times in ms/us for readability).
+  util::Table table() const;
+
+  /// {"buckets":[{"track":..,"span":..,"count":..,"total_ns":..,
+  /// "p50_ns":..,"p95_ns":..,"p99_ns":..}]} — byte-stable.
+  std::string json() const;
+
+ private:
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace mg::obs

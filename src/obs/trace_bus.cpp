@@ -54,7 +54,12 @@ std::string TraceBus::serialize() const {
     out += e.component;
     out += ' ';
     out += e.kind;
-    std::snprintf(buf, sizeof(buf), " %.17g", e.value);
+    // Fixed %.9g: enough precision for every value the bus records (times in
+    // ns, rates, fractions) without the %.17g trailing-digit noise that
+    // differs between libm/libc versions. snprintf always renders '.' here
+    // because the process never calls setlocale(), so the stream is
+    // locale-stable too; serialize(parse(serialize(x))) is byte-identical.
+    std::snprintf(buf, sizeof(buf), " %.9g", e.value);
     out += buf;
     if (!e.detail.empty()) {
       out += ' ';

@@ -1,0 +1,25 @@
+// Chrome/Perfetto trace_event JSON export of a recorded span forest
+// (mgrun --trace-out=FILE; load in ui.perfetto.dev or chrome://tracing).
+//
+// Rendering rules:
+//  - every track (hostname, "" = "kernel") becomes one named thread lane
+//    under a single "microgrid" process, tids assigned in sorted-name order;
+//  - spans render as "X" complete events with microsecond ts/dur;
+//  - instant spans (fault injections) render as "i" instant events;
+//  - span id / parent id / attrs ride in "args", preserving causality that
+//    the viewer's stack-nesting heuristic cannot express.
+//
+// Timestamps are rendered by integer division of the ns clock (no double
+// formatting anywhere), so same-seed runs export byte-identical files.
+#pragma once
+
+#include <string>
+
+#include "obs/span.h"
+
+namespace mg::obs {
+
+/// The whole recorder as one JSON document ("traceEvents" array form).
+std::string chromeTraceJson(const SpanRecorder& rec);
+
+}  // namespace mg::obs

@@ -71,6 +71,7 @@ constexpr int kProcessReapThreshold = 16;
 
 Simulator::Simulator() {
   owns_log_time_source_ = util::setLogSimTimeSource([this] { return now_; });
+  spans_.setTimeSource([this] { return now_; });
 }
 
 Simulator::~Simulator() {
@@ -137,6 +138,7 @@ std::uint32_t Simulator::allocSlot() {
   }
   slab_.emplace_back();
   meta_.emplace_back();
+  slot_span_.push_back(0);
   return static_cast<std::uint32_t>(slab_.size() - 1);
 }
 
@@ -152,6 +154,9 @@ EventId Simulator::scheduleAt(SimTime t, EventFn fn) {
   if (fn.onHeap()) eventfn_heap_fallbacks_.inc();
   const std::uint32_t slot = allocSlot();
   slab_[slot] = std::move(fn);
+  // Unconditional store: when tracing is off current() is pinned at 0, and
+  // one 8-byte write is cheaper than a mispredictable branch here.
+  slot_span_[slot] = spans_.current();
   heapPush(HeapEntry{t, next_seq_++, slot});
   return makeId(slot, meta_[slot].generation);
 }
@@ -178,10 +183,19 @@ void Simulator::dispatchTop() {
   // Move the body out before freeing: the body may schedule (growing the
   // slab) or cancel, and its slot must be reusable while it runs.
   EventFn fn = std::move(slab_[slot]);
+  const obs::SpanId ctx = slot_span_[slot];
   heapRemoveAt(0);
   freeSlot(slot);
   events_executed_.inc();
-  fn();
+  if (spans_.enabled()) {
+    // Events run in the span context of whoever scheduled them.
+    const obs::SpanId prev = spans_.current();
+    spans_.setCurrent(ctx);
+    fn();
+    spans_.setCurrent(prev);
+  } else {
+    fn();
+  }
 }
 
 SimTime Simulator::run() {
@@ -208,6 +222,7 @@ Process& Simulator::spawn(std::string name, std::function<void()> body) {
   // Not make_unique: the constructor is private and Simulator is a friend.
   std::unique_ptr<Process> proc(new Process(*this, next_process_id_++, std::move(name), std::move(body)));
   Process& ref = *proc;
+  ref.span_ctx_ = spans_.current();  // children start in the spawner's span
   processes_.push_back(std::move(proc));
   live_processes_.emplace(ref.id(), &ref);
   ++live_process_count_;
@@ -231,7 +246,17 @@ void Simulator::runProcessSlice(Process& p) {
   Process* prev = current_;
   current_ = &p;
   p.suspended_ = false;
-  p.resumeFromKernel();
+  if (spans_.enabled()) {
+    // Swap in the process's saved span context for the slice: the process
+    // resumes inside the span it blocked in, not in the waker's span.
+    const obs::SpanId prev_span = spans_.current();
+    spans_.setCurrent(p.span_ctx_);
+    p.resumeFromKernel();
+    p.span_ctx_ = spans_.current();
+    spans_.setCurrent(prev_span);
+  } else {
+    p.resumeFromKernel();
+  }
   current_ = prev;
   if (p.finished_) {
     // Exactly once per process: the slice that returned finished.

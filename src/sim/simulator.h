@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace_bus.h"
 #include "sim/event_fn.h"
 #include "sim/time.h"
@@ -99,6 +100,10 @@ class Process {
   // wake_pending_. Cancelled when the process finishes: the event captures
   // this Process, which reaping is about to free.
   std::uint64_t resume_event_ = 0;
+  // Ambient span context (obs::SpanId), saved when the process yields and
+  // restored around the next slice, so a process resumes inside the span it
+  // blocked in — even when the resume came from a foreign context's wake().
+  std::uint64_t span_ctx_ = 0;
 };
 
 /// Opaque handle for a scheduled event: arena slot plus a generation tag
@@ -215,6 +220,13 @@ class Simulator {
   obs::TraceBus& traceBus() { return trace_; }
   const obs::TraceBus& traceBus() const { return trace_; }
 
+  /// The run-wide causal span recorder (disabled by default; enable with
+  /// spans().setEnabled(true) before the run). The kernel propagates the
+  /// current-span context through event dispatch, spawn inheritance, and
+  /// per-process save/restore around slices.
+  obs::SpanRecorder& spans() { return spans_; }
+  const obs::SpanRecorder& spans() const { return spans_; }
+
  private:
   friend class Process;
 
@@ -262,6 +274,7 @@ class Simulator {
   // Declared before the counter/channel handles below, which point into it.
   obs::MetricsRegistry metrics_;
   obs::TraceBus trace_;
+  obs::SpanRecorder spans_{&metrics_};
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -277,10 +290,12 @@ class Simulator {
   obs::Counter& process_kills_ = metrics_.counter("sim.process.kills");
   obs::TraceBus::Channel& proc_trace_ = trace_.channel("sim.process");
 
-  // Event arena + key heap (see file comment). slab_ and meta_ are parallel
-  // arrays indexed by slot.
+  // Event arena + key heap (see file comment). slab_, meta_, and slot_span_
+  // are parallel arrays indexed by slot; slot_span_ carries the scheduler's
+  // span context to the event's dispatch (0 whenever tracing is off).
   std::vector<EventFn> slab_;
   std::vector<SlotMeta> meta_;
+  std::vector<obs::SpanId> slot_span_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;
 

@@ -25,21 +25,50 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
-  if (!(hi > lo) || bins <= 0) throw UsageError("invalid histogram bounds/bins");
+  if (!(hi >= lo) || bins <= 0) throw UsageError("invalid histogram bounds/bins");
   counts_.assign(static_cast<size_t>(bins), 0);
 }
 
 void Histogram::add(double x) {
-  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto bin = static_cast<std::int64_t>(std::floor((x - lo_) / w));
-  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  std::int64_t bin = 0;
+  if (hi_ > lo_) {
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    bin = static_cast<std::int64_t>(std::floor((x - lo_) / w));
+    bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  }
   ++counts_[static_cast<size_t>(bin)];
   ++total_;
+  sum_ += x;
 }
 
 double Histogram::binCenter(int bin) const {
+  if (hi_ == lo_) return lo_;
   const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + (bin + 0.5) * w;
+}
+
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0) || !(q <= 1.0)) throw UsageError("quantile wants q in [0, 1]");
+  if (total_ == 0 || hi_ == lo_) return lo_;
+  const double target = q * static_cast<double>(total_);
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double c = static_cast<double>(counts_[b]);
+    if (c == 0) continue;
+    if (cum + c >= target) {
+      const double frac = (target - cum) / c;
+      const double v = lo_ + (static_cast<double>(b) + frac) * w;
+      return std::clamp(v, lo_, hi_);
+    }
+    cum += c;
+  }
+  // q == 1 (or floating-point shortfall): the upper edge of the last
+  // populated bin.
+  for (std::size_t b = counts_.size(); b-- > 0;) {
+    if (counts_[b] != 0) return std::min(lo_ + static_cast<double>(b + 1) * w, hi_);
+  }
+  return hi_;
 }
 
 double Histogram::frequency(int bin) const {

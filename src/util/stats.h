@@ -35,7 +35,9 @@ class RunningStats {
 };
 
 /// Fixed-width-bin histogram over [lo, hi); out-of-range samples are clamped
-/// into the first/last bin so nothing is silently dropped.
+/// into the first/last bin so nothing is silently dropped. A degenerate
+/// lo == hi range is allowed (all mass in bin 0) so callers profiling
+/// constant-valued populations need no special case.
 class Histogram {
  public:
   Histogram(double lo, double hi, int bins);
@@ -46,16 +48,26 @@ class Histogram {
   double hi() const { return hi_; }
   int bins() const { return static_cast<int>(counts_.size()); }
   std::int64_t count(int bin) const { return counts_.at(static_cast<size_t>(bin)); }
+  /// Total number of samples (alias kept alongside per-bin count(int)).
+  std::int64_t count() const { return total_; }
   std::int64_t total() const { return total_; }
+  /// Sum of all added sample values (exact, not binned).
+  double sum() const { return sum_; }
   /// Center of the given bin.
   double binCenter(int bin) const;
   /// Fraction of all samples in the given bin (0 if empty histogram).
   double frequency(int bin) const;
+  /// Approximate q-quantile (q in [0, 1]) by linear interpolation within the
+  /// bin holding the q*total()-th sample. Returns lo() for an empty or
+  /// degenerate (lo == hi) histogram; quantile(0)/quantile(1) are the edges
+  /// of the first/last populated bin.
+  double quantile(double q) const;
 
  private:
   double lo_, hi_;
   std::vector<std::int64_t> counts_;
   std::int64_t total_ = 0;
+  double sum_ = 0;
 };
 
 /// A sampled time series: (time, value) pairs with non-decreasing times.

@@ -5,6 +5,7 @@
 
 #include "grid/coallocator.h"
 #include "net/tcp.h"
+#include "obs/span.h"
 #include "util/log.h"
 
 namespace mg::vmpi {
@@ -255,6 +256,14 @@ double Comm::wtime() const { return ctx_.wallTime(); }
 
 void Comm::send(int dest, int tag, const void* data, std::size_t bytes, std::size_t wire_bytes) {
   if (finalized_) throw mg::UsageError("vmpi: send after finalize");
+  // Spans the whole buffered send, including any block on TCP window space,
+  // so send-side backpressure shows up in the profiler per host.
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.comm", "send", ctx_.hostname());
+  if (span.active()) {
+    span.annotate("dest", std::to_string(dest));
+    span.annotate("tag", std::to_string(tag));
+    span.annotate("bytes", std::to_string(std::max(bytes, wire_bytes)));
+  }
   ++messages_sent_;
   bytes_sent_ += static_cast<std::int64_t>(std::max(bytes, wire_bytes));
   c_messages_.inc();
@@ -314,6 +323,13 @@ bool Comm::matchFromInbox(int source, int tag, void* buf, std::size_t max_bytes,
 
 Status Comm::recv(int source, int tag, void* buf, std::size_t max_bytes) {
   if (finalized_) throw mg::UsageError("vmpi: recv after finalize");
+  // Spans the blocking match wait — the MPI wait time the paper's NPB gaps
+  // are explained by.
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.comm", "recv", ctx_.hostname());
+  if (span.active()) {
+    span.annotate("source", std::to_string(source));
+    span.annotate("tag", std::to_string(tag));
+  }
   Status status;
   while (!matchFromInbox(source, tag, buf, max_bytes, status)) {
     // Any dead peer aborts the rank: the NPB-style programs here are
@@ -387,6 +403,7 @@ Status Comm::sendRecv(int dest, int send_tag, const void* send_data, std::size_t
 // ------------------------------------------------------------- collectives --
 
 void Comm::barrier() {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.coll", "barrier", ctx_.hostname());
   c_collectives_.inc();
   const int n = size();
   std::uint8_t token = 1, got = 0;
@@ -398,6 +415,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(void* data, std::size_t bytes, int root) {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.coll", "bcast", ctx_.hostname());
   c_collectives_.inc();
   const int n = size();
   if (n == 1) return;
@@ -477,6 +495,7 @@ void binomialReduce(Comm& comm, int rank, int n, T* data, std::size_t count, int
 }  // namespace
 
 void Comm::reduce(double* data, std::size_t n, Op op, int root) {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.coll", "reduce", ctx_.hostname());
   c_collectives_.inc();
   binomialReduce(
       *this, rank_, size(), data, n, root,
@@ -490,6 +509,7 @@ void Comm::allreduce(double* data, std::size_t n, Op op) {
 }
 
 void Comm::allreduce(std::int64_t* data, std::size_t n, Op op) {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.coll", "allreduce", ctx_.hostname());
   c_collectives_.inc();
   binomialReduce(
       *this, rank_, size(), data, n, 0,
@@ -499,6 +519,7 @@ void Comm::allreduce(std::int64_t* data, std::size_t n, Op op) {
 }
 
 void Comm::allreduceRing(double* data, std::size_t n, Op op) {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.coll", "allreduce_ring", ctx_.hostname());
   c_collectives_.inc();
   const int p = size();
   if (p == 1) return;
@@ -534,6 +555,7 @@ void Comm::allreduceRing(double* data, std::size_t n, Op op) {
 }
 
 void Comm::gather(const void* send, std::size_t bytes, void* recv_buf, int root) {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.coll", "gather", ctx_.hostname());
   c_collectives_.inc();
   if (rank_ == root) {
     auto* out = static_cast<std::uint8_t*>(recv_buf);
@@ -548,6 +570,7 @@ void Comm::gather(const void* send, std::size_t bytes, void* recv_buf, int root)
 }
 
 void Comm::scatter(const void* send, std::size_t bytes, void* recv_buf, int root) {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.coll", "scatter", ctx_.hostname());
   c_collectives_.inc();
   if (rank_ == root) {
     const auto* in = static_cast<const std::uint8_t*>(send);
@@ -563,6 +586,7 @@ void Comm::scatter(const void* send, std::size_t bytes, void* recv_buf, int root
 
 std::vector<std::vector<std::uint8_t>> Comm::alltoallv(
     const std::vector<std::vector<std::uint8_t>>& send_blocks) {
+  obs::ScopedSpan span(ctx_.simulator().spans(), "vmpi.coll", "alltoallv", ctx_.hostname());
   c_collectives_.inc();
   const int p = size();
   if (static_cast<int>(send_blocks.size()) != p) {

@@ -36,10 +36,11 @@ CpuScheduler::Task& CpuScheduler::liveTask(TaskId id) {
   return tasks_[static_cast<size_t>(id)];
 }
 
-CpuScheduler::TaskId CpuScheduler::addTask(std::string name, double fraction) {
+CpuScheduler::TaskId CpuScheduler::addTask(std::string name, double fraction, std::string track) {
   if (fraction <= 0 || fraction > 1.0) throw UsageError("task fraction must be in (0, 1]");
   Task t;
   t.name = std::move(name);
+  t.track = std::move(track);
   t.fraction = fraction;
   t.start_time = sim_.now();
   t.live = true;
@@ -92,6 +93,7 @@ void CpuScheduler::computeSeconds(TaskId id, double cpu_seconds) {
   }
   t.demand = cpu_seconds;
   t.waiter = &sim_.currentProcess();
+  t.span = sim_.spans().current();
   scheduleNext();
   while (t.demand > kEps) sim_.suspend();
   t.waiter = nullptr;
@@ -166,6 +168,16 @@ void CpuScheduler::scheduleNext() {
   if (trace_.enabled()) trace_.record(sim_.now(), "quantum", full_quantum / nominal, t.name);
   const double cap = competition_.capacity_cap;
 
+  // Each granted quantum becomes a span parented to the compute request that
+  // demanded it, on the requester's host track — the Fig 4 slice made
+  // visible in the causal trace.
+  obs::SpanId qspan = 0;
+  if (sim_.spans().enabled()) {
+    qspan = sim_.spans().beginChildOf(t.span, "vos.sched", "quantum",
+                                      t.track.empty() ? t.name : t.track);
+    sim_.spans().annotate(qspan, "task", t.name);
+  }
+
   // The task's pending demand is satisfied partway through the slice...
   sim_.scheduleAfter(sim::fromSeconds(cpu_slice / cap), [this, chosen, cpu_slice] {
     Task& task = tasks_[chosen];
@@ -185,7 +197,8 @@ void CpuScheduler::scheduleNext() {
   // boundary and `running_` must reset, or the scheduler would stall; the
   // usage charge is simply not booked to the dead task, so no credit leaks
   // into a later task reusing the slot.
-  sim_.scheduleAfter(sim::fromSeconds(full_quantum / cap), [this, chosen, full_quantum] {
+  sim_.scheduleAfter(sim::fromSeconds(full_quantum / cap), [this, chosen, full_quantum, qspan] {
+    sim_.spans().end(qspan);  // no-op for 0 and for crash-aborted spans
     if (tasks_[chosen].live) tasks_[chosen].used_cpu += full_quantum;
     running_ = false;
     scheduleNext();

@@ -57,8 +57,10 @@ class CpuScheduler {
   CpuScheduler(const CpuScheduler&) = delete;
   CpuScheduler& operator=(const CpuScheduler&) = delete;
 
-  /// Register a task with a CPU fraction in (0, 1].
-  TaskId addTask(std::string name, double fraction);
+  /// Register a task with a CPU fraction in (0, 1]. `track` is the span
+  /// track (virtual hostname) quanta are attributed to when tracing is on;
+  /// empty falls back to the task name.
+  TaskId addTask(std::string name, double fraction, std::string track = {});
 
   /// Unregister in O(1). Pending demand (a process killed mid-compute) is
   /// dropped: the slot goes dead, in-flight quantum events skip it, and no
@@ -88,11 +90,15 @@ class CpuScheduler {
  private:
   struct Task {
     std::string name;
+    std::string track;            // span track (hostname) for quantum spans
     double fraction = 0;
     double used_cpu = 0;          // seconds of CPU consumed
     sim::SimTime start_time = 0;  // when the task registered
     double demand = 0;            // pending cpu-seconds
     sim::Process* waiter = nullptr;
+    // Requester's span context, captured at computeSeconds: granted quanta
+    // parent to the compute call that demanded them.
+    obs::SpanId span = 0;
     bool live = false;
   };
 

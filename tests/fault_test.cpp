@@ -447,6 +447,10 @@ struct CrashRun {
   std::int64_t injected = 0;
   std::string metrics_json;
   std::string report;
+  std::string span_tree;
+  int aborted_spans = 0;        // spans closed by crashHost's abortTrack
+  int aborted_still_open = 0;   // aborted spans that somehow stayed open
+  int fault_instants = 0;       // instant markers from the injector
 };
 
 /// Run a four-rank chattering job on the Alpha cluster while vm3 crashes at
@@ -455,6 +459,7 @@ struct CrashRun {
 CrashRun runCrashResubmitScenario() {
   auto cfg = core::topologies::alphaCluster();
   core::MicroGridPlatform platform(cfg);
+  platform.simulator().spans().setEnabled(true);
   grid::ExecutableRegistry registry;
   registry.add("chatter", [](grid::JobContext& jc) {
     auto comm = vmpi::Comm::init(jc);
@@ -495,6 +500,16 @@ CrashRun runCrashResubmitScenario() {
   out.injected = m.counterValue("fault.injected");
   out.metrics_json = m.snapshotJson();
   out.report = injector.renderReport();
+  const auto& spans = platform.simulator().spans();
+  out.span_tree = spans.serializeTree();
+  for (const auto& s : spans.spans()) {
+    for (const auto& [k, v] : s.attrs) {
+      if (k != "aborted") continue;
+      ++out.aborted_spans;
+      if (s.open()) ++out.aborted_still_open;
+    }
+    if (s.component == "fault.injector" && s.instant) ++out.fault_instants;
+  }
   return out;
 }
 
@@ -512,10 +527,23 @@ TEST(Resilience, CrashedHostJobFailsThenResubmitsAndCompletes) {
   EXPECT_NE(r.report.find("vm3.ucsd.edu"), std::string::npos);
 }
 
+TEST(Resilience, HostCrashAbortsOpenSpansAndMarksThem) {
+  // A crash must not leak open spans: everything in flight on the dead host
+  // (vmpi recv waits, quanta, the rank span itself) is closed at crash time
+  // with an `aborted` attribute, and the crash/restart pair shows up as
+  // instant markers in the trace.
+  const CrashRun r = runCrashResubmitScenario();
+  EXPECT_GT(r.aborted_spans, 0);
+  EXPECT_EQ(r.aborted_still_open, 0);
+  EXPECT_EQ(r.fault_instants, 2);  // crash + restart
+  EXPECT_NE(r.span_tree.find("aborted=host_crash"), std::string::npos);
+}
+
 TEST(Resilience, FaultRunsAreByteDeterministic) {
   const CrashRun r1 = runCrashResubmitScenario();
   const CrashRun r2 = runCrashResubmitScenario();
   EXPECT_EQ(r1.metrics_json, r2.metrics_json);
+  EXPECT_EQ(r1.span_tree, r2.span_tree);
   EXPECT_EQ(r1.report, r2.report);
   EXPECT_DOUBLE_EQ(r1.result.virtual_seconds, r2.result.virtual_seconds);
   EXPECT_EQ(r1.result.resubmits, r2.result.resubmits);

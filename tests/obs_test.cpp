@@ -1,18 +1,25 @@
 // Tests for the observability subsystem: the metrics registry, the trace
-// bus, and the end-to-end wiring of both through the MicroGrid platform
-// (ISSUE: every layer's accounting flows into one snapshot, and same-seed
-// runs produce byte-identical observability output).
+// bus, causal span tracing, and the end-to-end wiring of all three through
+// the MicroGrid platform (ISSUE: every layer's accounting flows into one
+// snapshot, and same-seed runs produce byte-identical observability output).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "core/launcher.h"
 #include "core/microgrid_platform.h"
 #include "core/virtual_grid.h"
 #include "gis/service.h"
+#include "npb/npb.h"
 #include "obs/metrics.h"
+#include "obs/sim_profiler.h"
+#include "obs/span.h"
 #include "obs/trace_bus.h"
+#include "obs/trace_export.h"
+#include "util/strings.h"
 #include "vmpi/comm.h"
 
 namespace mo = mg::obs;
@@ -145,6 +152,96 @@ TEST(TraceBus, RecordSerializeAndAsTrace) {
   EXPECT_TRUE(bus.events().empty());
 }
 
+TEST(TraceBus, SerializeRoundTripsValues) {
+  // The %.9g rendering must survive a parse/re-record cycle byte-for-byte:
+  // tooling that filters a trace and writes it back must not churn digits.
+  mo::TraceBus bus;
+  auto& ch = bus.channel("x.y");
+  bus.setEnabled("", true);
+  std::int64_t t = 1;
+  for (double v : {0.1, 1.0 / 3.0, 12345.678901, 1e-9, 2.5e17, 0.30000000000000004}) {
+    ch.record(t++, "v", v);
+  }
+  const std::string first = bus.serialize();
+
+  mo::TraceBus bus2;
+  auto& ch2 = bus2.channel("x.y");
+  bus2.setEnabled("", true);
+  std::istringstream in(first);
+  std::string line;
+  std::int64_t t2 = 1;
+  while (std::getline(in, line)) {
+    const auto fields = mg::util::splitWhitespace(line);
+    ASSERT_GE(fields.size(), 4u) << line;
+    ch2.record(t2++, "v", std::stod(fields[3]));
+  }
+  EXPECT_EQ(bus2.serialize(), first);
+}
+
+// ------------------------------------------------------------------ spans --
+
+TEST(Spans, DisabledRecorderIsInert) {
+  mo::SpanRecorder rec;
+  EXPECT_EQ(rec.begin("a", "b"), 0u);
+  EXPECT_EQ(rec.instant("a", "b"), 0u);
+  mo::ScopedSpan s(rec, "a", "b");
+  EXPECT_FALSE(s.active());
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.current(), 0u);
+}
+
+TEST(Spans, SequentialIdsAndScopedNesting) {
+  mo::SpanRecorder rec;
+  std::int64_t now = 100;
+  rec.setTimeSource([&now] { return now; });
+  rec.setEnabled(true);
+  {
+    mo::ScopedSpan outer(rec, "test", "outer", "hostA");
+    EXPECT_EQ(outer.id(), 1u);
+    EXPECT_EQ(rec.current(), 1u);
+    now = 200;
+    {
+      mo::ScopedSpan inner(rec, "test", "inner", "hostA");
+      EXPECT_EQ(inner.id(), 2u);
+      EXPECT_EQ(rec.find(2)->parent, 1u);
+      now = 300;
+    }
+    EXPECT_EQ(rec.current(), 1u);  // restored after inner closes
+    EXPECT_EQ(rec.find(2)->end, 300);
+  }
+  EXPECT_EQ(rec.current(), 0u);
+  EXPECT_EQ(rec.find(1)->parent, 0u);
+  EXPECT_EQ(rec.find(1)->start, 100);
+  EXPECT_EQ(rec.serializeTree(),
+            "#1 parent=0 test.outer track=hostA start=100 end=300\n"
+            "#2 parent=1 test.inner track=hostA start=200 end=300\n");
+}
+
+TEST(Spans, EndIsIdempotentAndAbortTrackMarksOpenSpans) {
+  mo::SpanRecorder rec;
+  std::int64_t now = 10;
+  rec.setTimeSource([&now] { return now; });
+  rec.setEnabled(true);
+  const mo::SpanId done = rec.begin("test", "done", "h0");
+  rec.end(done);
+  const mo::SpanId doomed = rec.begin("test", "doomed", "h0");
+  const mo::SpanId other = rec.begin("test", "other", "h1");
+  now = 20;
+  rec.abortTrack("h0", "host_crash");
+  // The already-closed span keeps its original end and gains no attr; the
+  // open one on h0 is closed with the aborted mark; h1 is untouched.
+  EXPECT_TRUE(rec.find(done)->attrs.empty());
+  EXPECT_EQ(rec.find(doomed)->end, 20);
+  ASSERT_EQ(rec.find(doomed)->attrs.size(), 1u);
+  EXPECT_EQ(rec.find(doomed)->attrs[0].first, "aborted");
+  EXPECT_EQ(rec.find(doomed)->attrs[0].second, "host_crash");
+  EXPECT_TRUE(rec.find(other)->open());
+  // The RAII unwind's end() after the abort is a no-op.
+  now = 30;
+  rec.end(doomed);
+  EXPECT_EQ(rec.find(doomed)->end, 20);
+}
+
 // ------------------------------------------------------------- end to end --
 
 namespace {
@@ -209,6 +306,45 @@ RunResult runObservedWorkload(bool enable_tracing) {
   return out;
 }
 
+// NPB EP across both hosts with span recording on: the acceptance workload
+// for the causal-trace determinism and parentage checks.
+struct TracedRun {
+  std::unique_ptr<core::MicroGridPlatform> platform;
+  std::string tree;     // SpanRecorder::serializeTree()
+  std::string chrome;   // obs::chromeTraceJson()
+  std::string profile;  // obs::SimProfiler::json()
+};
+
+TracedRun runTracedEp() {
+  TracedRun out;
+  core::VirtualGridConfig cfg = smallGrid();
+  out.platform = std::make_unique<core::MicroGridPlatform>(cfg);
+  sim::Simulator& sim = out.platform->simulator();
+  sim.spans().setEnabled(true);
+
+  grid::ExecutableRegistry registry;
+  npb::ResultSink sink;
+  npb::registerNpb(registry, sink);
+  core::Launcher launcher(*out.platform, registry);
+  launcher.startServices(&cfg, "ObsGrid");
+  auto result =
+      launcher.run("npb.ep", "S", {{"vm0.example.org", 1}, {"vm1.example.org", 1}});
+  EXPECT_TRUE(result.ok) << result.error;
+
+  out.tree = sim.spans().serializeTree();
+  out.chrome = obs::chromeTraceJson(sim.spans());
+  out.profile = obs::SimProfiler(sim.spans()).json();
+  return out;
+}
+
+// Does following parent links from `id` reach `root`?
+bool reaches(const mo::SpanRecorder& rec, mo::SpanId id, mo::SpanId root) {
+  for (const mo::SpanRecorder::Span* s = rec.find(id); s != nullptr; s = rec.find(s->parent)) {
+    if (s->id == root) return true;
+  }
+  return false;
+}
+
 // Minimal parser for the snapshot's counters section: returns the integer
 // value of `name`, or -1 when the counter is absent.
 long long jsonCounter(const std::string& json, const std::string& name) {
@@ -260,4 +396,84 @@ TEST(ObsEndToEnd, SameSeedRunsAreByteIdentical) {
   EXPECT_EQ(a.events_executed, b.events_executed);
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+TEST(SpansEndToEnd, SameSeedEpRunsProduceByteIdenticalSpanTrees) {
+  // ISSUE acceptance: same-seed NPB EP runs yield byte-identical span trees,
+  // Chrome traces, and profiles.
+  TracedRun a = runTracedEp();
+  TracedRun b = runTracedEp();
+  EXPECT_FALSE(a.tree.empty());
+  EXPECT_EQ(a.tree, b.tree);
+  EXPECT_EQ(a.chrome, b.chrome);
+  EXPECT_EQ(a.profile, b.profile);
+}
+
+TEST(SpansEndToEnd, NetSpansHaveLiveParents) {
+  // Every network-layer span must hang off a live causal chain: a TCP
+  // segment or packet hop with parent 0 would mean causality got dropped at
+  // a layer boundary.
+  TracedRun r = runTracedEp();
+  const mo::SpanRecorder& rec = r.platform->simulator().spans();
+  int checked = 0;
+  for (const auto& s : rec.spans()) {
+    if (s.component.rfind("net.", 0) != 0) continue;
+    EXPECT_NE(s.parent, 0u) << "orphan " << s.component << "." << s.name << " #" << s.id;
+    EXPECT_NE(rec.find(s.parent), nullptr) << "dangling parent on #" << s.id;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(SpansEndToEnd, JobSpanTransitivelyParentsEveryLayer) {
+  // The headline acceptance criterion: one "core.launcher job" root span
+  // transitively parents GRAM requests, the jobmanager, vmpi traffic, TCP
+  // segments, per-hop packet forwarding, and scheduler quanta.
+  TracedRun r = runTracedEp();
+  const mo::SpanRecorder& rec = r.platform->simulator().spans();
+
+  mo::SpanId root = 0;
+  for (const auto& s : rec.spans()) {
+    if (s.component == "core.launcher" && s.name == "job") {
+      EXPECT_EQ(root, 0u) << "more than one job root span";
+      root = s.id;
+    }
+  }
+  ASSERT_NE(root, 0u);
+
+  std::map<std::string, int> descendants;  // component -> spans under root
+  for (const auto& s : rec.spans()) {
+    if (s.id != root && reaches(rec, s.id, root)) ++descendants[s.component];
+  }
+  for (const char* comp : {"grid.gram", "grid.job", "vmpi.comm", "vmpi.coll", "net.tcp",
+                           "net.packet", "vos.sched"}) {
+    EXPECT_GT(descendants[comp], 0) << "no " << comp << " span descends from the job root";
+  }
+}
+
+TEST(SpansEndToEnd, ProfilerAggregatesPerHostPerLayer) {
+  TracedRun r = runTracedEp();
+  const obs::SimProfiler prof(r.platform->simulator().spans());
+  ASSERT_FALSE(prof.buckets().empty());
+  bool saw_quantum = false, saw_tcp = false;
+  for (const auto& b : prof.buckets()) {
+    EXPECT_GT(b.count, 0);
+    EXPECT_GE(b.p99_ns, b.p50_ns);
+    if (b.span == "vos.sched.quantum") saw_quantum = true;
+    if (b.span == "net.tcp.segment") saw_tcp = true;
+  }
+  EXPECT_TRUE(saw_quantum);
+  EXPECT_TRUE(saw_tcp);
+  // Both renderings exist and the table carries one row per bucket.
+  EXPECT_EQ(prof.table().rowCount(), prof.buckets().size());
+}
+
+TEST(SpansEndToEnd, ChromeTraceIsWellFormedJson) {
+  // Cheap structural checks (CI runs the real validator, python3 -m
+  // json.tool, on an mgrun-produced trace).
+  TracedRun r = runTracedEp();
+  EXPECT_EQ(r.chrome.rfind("{\"traceEvents\":[", 0), 0u) << r.chrome.substr(0, 80);
+  EXPECT_EQ(r.chrome.substr(r.chrome.size() - 4), "\n]}\n");
+  EXPECT_NE(r.chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(r.chrome.find("\"name\":\"thread_name\""), std::string::npos);
 }

@@ -249,8 +249,48 @@ TEST(Stats, HistogramBinsAndClamping) {
 }
 
 TEST(Stats, HistogramInvalidArgsThrow) {
-  EXPECT_THROW(mu::Histogram(1.0, 1.0, 10), mg::UsageError);
+  EXPECT_THROW(mu::Histogram(1.0, 0.0, 10), mg::UsageError);
   EXPECT_THROW(mu::Histogram(0.0, 1.0, 0), mg::UsageError);
+}
+
+TEST(Stats, HistogramDegenerateRangeIsLegal) {
+  // lo == hi happens naturally when every observation is identical (e.g. a
+  // profiler bucket whose spans all have the same duration).
+  mu::Histogram h(5.0, 5.0, 8);
+  h.add(5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 2);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_DOUBLE_EQ(h.binCenter(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 5.0);
+}
+
+TEST(Stats, HistogramCountAndSum) {
+  mu::Histogram h(0.0, 10.0, 10);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.add(v);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+}
+
+TEST(Stats, HistogramQuantile) {
+  // 1000 uniform samples over [0, 100): quantiles should land within one
+  // bin width (1.0) of the exact answer.
+  mu::Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add((i % 100) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  // Extremes pin to the edges of the populated range.
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+  EXPECT_THROW(h.quantile(-0.1), mg::UsageError);
+  EXPECT_THROW(h.quantile(1.1), mg::UsageError);
+}
+
+TEST(Stats, HistogramQuantileEmpty) {
+  mu::Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // lo() for an empty histogram
 }
 
 TEST(Stats, SampleTraceZeroOrderHold) {
