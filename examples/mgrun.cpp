@@ -14,6 +14,10 @@
 //   --parts H:N,...    allocation parts (default: one rank per host)
 //   --quantum MS       scheduler quantum in milliseconds (default 10)
 //   --slowdown N       run the emulation N times slower (default 1)
+//   --parallel N       drive the kernel with N worker threads (mgrid only;
+//                      the topology is sharded along its latency cut — any N
+//                      produces byte-identical metrics/trace/profile output,
+//                      N only changes wall-clock speed)
 //   --faults FILE      fault schedule ([fault ...] sections; mgrid only).
 //                      [fault ...] sections in --config are picked up too.
 //   --resubmits N      resubmit a failed job up to N times (default: 2 when
@@ -55,6 +59,7 @@ struct Options {
   std::string parts;
   double quantum_ms = 10.0;
   double slowdown = 1.0;
+  int parallel = 0;  // 0 = classic sequential kernel
   std::string faults_path;
   int resubmits = -1;   // -1: default (2 with faults, 0 without)
   std::string metrics;    // "", "table", or "json"
@@ -86,6 +91,9 @@ Options parseArgs(int argc, char** argv) {
       opt.quantum_ms = std::stod(next());
     } else if (flag == "--slowdown") {
       opt.slowdown = std::stod(next());
+    } else if (flag == "--parallel" || flag.rfind("--parallel=", 0) == 0) {
+      opt.parallel = std::stoi((flag == "--parallel") ? next() : flag.substr(11));
+      if (opt.parallel < 1) throw mg::UsageError("--parallel wants a worker count >= 1");
     } else if (flag == "--faults" || flag.rfind("--faults=", 0) == 0) {
       opt.faults_path = (flag == "--faults") ? next() : flag.substr(9);
     } else if (flag == "--resubmits") {
@@ -147,12 +155,19 @@ int main(int argc, char** argv) {
       core::MicroGridOptions mopts;
       mopts.quantum = sim::fromSeconds(opt.quantum_ms * 1e-3);
       mopts.slowdown = opt.slowdown;
+      mopts.parallel_workers = opt.parallel;
       auto p = std::make_unique<core::MicroGridPlatform>(cfg, mopts);
       std::cout << "MicroGrid platform, simulation rate " << p->rate() << ", quantum "
                 << opt.quantum_ms << " ms\n";
+      if (opt.parallel > 0) {
+        const int lanes = p->simulator().laneCount();
+        std::cout << "parallel: " << opt.parallel << " worker(s), " << (lanes - 1)
+                  << " wire partition(s)\n";
+      }
       mgrid = p.get();
       platform = std::move(p);
     } else if (opt.platform == "pgrid") {
+      if (opt.parallel > 0) throw mg::UsageError("--parallel needs --platform mgrid");
       platform = std::make_unique<core::ReferencePlatform>(cfg);
       std::cout << "reference (physical grid) platform\n";
     } else {

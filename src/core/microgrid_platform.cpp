@@ -137,6 +137,30 @@ MicroGridPlatform::MicroGridPlatform(const VirtualGridConfig& cfg, MicroGridOpti
   nopts.seed = opts_.seed;
   net_ = std::make_unique<net::PacketNetwork>(sim_, cfg.topology(), nopts);
 
+  if (opts_.parallel_workers >= 1) {
+    // Shard the wire along the topology's latency cut. The plan — and so the
+    // lane layout — depends only on the topology and max_partitions, never
+    // on the worker count: that is what makes parallel_workers a pure speed
+    // knob. When the topology has no usable cut (or the cut funds no
+    // positive lookahead) the engine still runs, single-laned, so every
+    // worker count exercises the same code path.
+    const net::PartitionPlan plan = net::planPartitions(cfg.topology(), opts_.max_partitions);
+    const sim::SimTime lookahead =
+        plan.partitions > 1
+            ? net_->scaleDuration(std::min(nopts.host_stack_delay, plan.cut_latency))
+            : 0;
+    if (plan.partitions > 1 && lookahead > 0) {
+      sim_.configureParallel(plan.partitions + 1, opts_.parallel_workers, lookahead);
+      net_->setPartitionPlan(plan);
+      MG_LOG_INFO("core") << "parallel: " << plan.partitions << " wire partitions + process lane, "
+                          << opts_.parallel_workers << " workers, lookahead "
+                          << sim::toSeconds(lookahead) * 1e6 << " us";
+    } else {
+      sim_.configureParallel(1, opts_.parallel_workers, 1);
+      MG_LOG_INFO("core") << "parallel: no usable topology cut, running single-laned";
+    }
+  }
+
   std::uint64_t seed = opts_.seed;
   for (const auto& p : physicals_) {
     schedulers_.emplace(p.name, std::make_unique<vos::CpuScheduler>(
@@ -217,6 +241,10 @@ void MicroGridPlatform::setHostCpuFactor(const std::string& hostname, double fac
 
 vos::CpuScheduler& MicroGridPlatform::schedulerFor(const std::string& physical_name) {
   return *schedulers_.at(physical_name);
+}
+
+int MicroGridPlatform::partitionOf(const std::string& host_or_ip) const {
+  return net_->partitionPlan().partitionOf(mapper_.resolve(host_or_ip).node);
 }
 
 sim::Process& MicroGridPlatform::spawnOn(const std::string& host_or_ip,

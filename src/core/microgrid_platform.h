@@ -41,6 +41,14 @@ struct MicroGridOptions {
   /// Transport tuning for the virtual network.
   net::TcpOptions tcp;
   std::uint64_t seed = 42;
+  /// Parallel execution: worker threads driving the event lanes. 0 = the
+  /// classic sequential kernel. Any N >= 1 engages the lane engine; the
+  /// partition count is a pure function of the topology (never of N), so
+  /// every N produces byte-identical metrics, spans, and traces — N only
+  /// changes wall-clock speed (DESIGN.md §7).
+  int parallel_workers = 0;
+  /// Upper bound on wire partitions when parallel execution is enabled.
+  int max_partitions = 8;
 };
 
 class MicroGridPlatform : public Platform {
@@ -57,6 +65,7 @@ class MicroGridPlatform : public Platform {
 
   /// The chosen simulation rate (virtual seconds per emulation second).
   double rate() const { return rate_; }
+  int partitionOf(const std::string& host_or_ip) const override;
   const vos::VirtualTime& virtualTime() const { return *vt_; }
   net::PacketNetwork& network() { return *net_; }
   vos::CpuScheduler& schedulerFor(const std::string& physical_name);

@@ -1,5 +1,6 @@
 #include "net/packet_network.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/log.h"
@@ -21,12 +22,36 @@ PacketNetwork::PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOp
       c_route_recomputes_(sim.metrics().counter("net.route.recomputes")),
       c_bytes_delivered_(sim.metrics().counter("net.packet.bytes_delivered")),
       c_wire_bytes_(sim.metrics().counter("net.packet.wire_bytes_sent")),
-      trace_(sim.traceBus().channel("net.packet")),
-      rng_(opts.seed) {
+      trace_(sim.traceBus().channel("net.packet")) {
   if (opts_.time_scale <= 0) throw UsageError("time_scale must be positive");
   unit_time_scale_ = (opts_.time_scale == 1.0);
+  rngs_.emplace_back(opts.seed);
+  flight_.emplace_back();
   handlers_.resize(static_cast<size_t>(topo_.nodeCount()));
   link_queues_.resize(static_cast<size_t>(topo_.linkCount()) * 2);
+}
+
+void PacketNetwork::setPartitionPlan(const PartitionPlan& plan) {
+  if (plan.partitions <= 1) return;
+  if (sim_.laneCount() < plan.partitions + 1) {
+    throw UsageError("setPartitionPlan: simulator has too few lanes for the plan");
+  }
+  if (static_cast<std::size_t>(topo_.nodeCount()) != plan.partition_of.size()) {
+    throw UsageError("setPartitionPlan: plan does not match this topology");
+  }
+  plan_ = plan;
+  laned_ = true;
+  // Decorrelated deterministic loss streams, one per wire lane. Derived from
+  // the configured seed and the lane index only — never from worker count.
+  while (rngs_.size() < static_cast<std::size_t>(plan.partitions) + 1) {
+    rngs_.emplace_back(opts_.seed ^ (0x9e3779b97f4a7c15ull * rngs_.size()));
+  }
+  flight_.resize(static_cast<std::size_t>(plan.partitions) + 1);
+}
+
+sim::SimTime PacketNetwork::wireLookahead() const {
+  if (!laned_) return 0;
+  return scaled(std::min(opts_.host_stack_delay, plan_.cut_latency));
 }
 
 PacketNetworkStats PacketNetwork::stats() const {
@@ -50,19 +75,21 @@ sim::SimTime PacketNetwork::scaled(sim::SimTime t) const {
 }
 
 std::uint32_t PacketNetwork::parkInFlight(Packet&& pkt) {
-  if (flight_free_.empty()) {
-    flight_.push_back(std::move(pkt));
-    return static_cast<std::uint32_t>(flight_.size() - 1);
+  FlightPool& pool = flight_[static_cast<std::size_t>(sim_.currentLane())];
+  if (pool.free.empty()) {
+    pool.slots.push_back(std::move(pkt));
+    return static_cast<std::uint32_t>(pool.slots.size() - 1);
   }
-  const std::uint32_t slot = flight_free_.back();
-  flight_free_.pop_back();
-  flight_[slot] = std::move(pkt);
+  const std::uint32_t slot = pool.free.back();
+  pool.free.pop_back();
+  pool.slots[slot] = std::move(pkt);
   return slot;
 }
 
 Packet PacketNetwork::takeInFlight(std::uint32_t slot) {
-  Packet pkt = std::move(flight_[slot]);
-  flight_free_.push_back(slot);
+  FlightPool& pool = flight_[static_cast<std::size_t>(sim_.currentLane())];
+  Packet pkt = std::move(pool.slots[slot]);
+  pool.free.push_back(slot);
   return pkt;
 }
 
@@ -75,6 +102,17 @@ void PacketNetwork::send(Packet&& pkt) {
     throw UsageError("packet endpoint out of range");
   }
   c_sent_.inc();
+  if (laned_ && pkt.src != pkt.dst) {
+    // Cross onto the source's wire partition. The sender-side stack delay is
+    // >= wireLookahead() by construction, so the crossing respects the
+    // engine's horizon; the Packet rides inside the event closure because
+    // flight slots are lane-local.
+    Packet p = std::move(pkt);
+    const int lane = laneOf(p.src);
+    sim_.scheduleOnLane(lane, sim_.now() + scaled(opts_.host_stack_delay),
+                        [this, p = std::move(p)]() mutable { forward(p.src, std::move(p)); });
+    return;
+  }
   // Sender-side protocol stack cost. The packet parks in a flight slot so
   // the event captures 8 bytes, not a Packet.
   const std::uint32_t slot = parkInFlight(std::move(pkt));
@@ -150,7 +188,8 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
       if (trace_.enabled()) trace_.record(sim_.now(), "drop_link_down", static_cast<double>(pkt.wireBytes()), lk.name);
       sim_.spans().endWith(pkt.hop_span, "dropped", "link_down");
       sim_.spans().endWith(pkt.span, "dropped", "link_down");
-    } else if (lk.loss_rate > 0 && rng_.uniform() < lk.loss_rate) {
+    } else if (lk.loss_rate > 0 &&
+               rngs_[static_cast<std::size_t>(sim_.currentLane())].uniform() < lk.loss_rate) {
       c_dropped_loss_.inc();
       if (trace_.enabled()) trace_.record(sim_.now(), "drop_loss", static_cast<double>(pkt.wireBytes()), lk.name);
       sim_.spans().endWith(pkt.hop_span, "dropped", "loss");
@@ -161,17 +200,41 @@ void PacketNetwork::startTransmit(LinkId link, NodeId from) {
       const sim::SimTime hop_delay =
           lk.latency + (at_destination ? opts_.host_stack_delay
                                        : opts_.router_forward_delay);
-      const std::uint32_t slot = parkInFlight(std::move(pkt));
-      sim_.scheduleAfter(scaled(hop_delay), [this, to, slot] {
-        Packet p = takeInFlight(slot);
-        sim_.spans().end(p.hop_span);
-        p.hop_span = 0;
-        if (to == p.dst) {
-          deliverLocal(std::move(p));
-        } else {
-          forward(to, std::move(p));
-        }
-      });
+      if (laned_ && at_destination) {
+        // Final hop: the whole arrival (hop-span close + delivery) executes
+        // on the process lane. latency + host_stack_delay >= wireLookahead()
+        // covers the crossing whether or not this link is a cut link.
+        Packet p = std::move(pkt);
+        sim_.scheduleOnLane(0, sim_.now() + scaled(hop_delay),
+                            [this, p = std::move(p)]() mutable {
+                              sim_.spans().end(p.hop_span);
+                              p.hop_span = 0;
+                              deliverLocal(std::move(p));
+                            });
+      } else if (laned_ && laneOf(to) != sim_.currentLane()) {
+        // Mid-route partition crossing: only cut links connect different
+        // partitions, and every cut link's latency >= the plan's
+        // cut_latency >= wireLookahead().
+        Packet p = std::move(pkt);
+        sim_.scheduleOnLane(laneOf(to), sim_.now() + scaled(hop_delay),
+                            [this, to, p = std::move(p)]() mutable {
+                              sim_.spans().end(p.hop_span);
+                              p.hop_span = 0;
+                              forward(to, std::move(p));
+                            });
+      } else {
+        const std::uint32_t slot = parkInFlight(std::move(pkt));
+        sim_.scheduleAfter(scaled(hop_delay), [this, to, slot] {
+          Packet p = takeInFlight(slot);
+          sim_.spans().end(p.hop_span);
+          p.hop_span = 0;
+          if (to == p.dst) {
+            deliverLocal(std::move(p));
+          } else {
+            forward(to, std::move(p));
+          }
+        });
+      }
     }
     startTransmit(link, from);
   });
@@ -225,15 +288,26 @@ void PacketNetwork::recomputeRoutes() {
   c_route_recomputes_.inc();
 }
 
+// Topology mutations (fault injection) touch state that every wire lane
+// reads — routing tables, link up/down flags, queue contents — so under
+// parallel execution they defer to the next barrier, where no worker runs.
+// Without a parallel engine runAtBarrier() applies the op immediately, so
+// classic sequential behaviour is unchanged.
 void PacketNetwork::setLinkUp(LinkId link, bool up) {
-  Link& l = topo_.mutableLink(link);
-  if (l.up == up) return;
-  l.up = up;
-  if (!up) dropQueued(link, c_dropped_link_down_);
-  recomputeRoutes();
+  sim_.runAtBarrier([this, link, up] {
+    Link& l = topo_.mutableLink(link);
+    if (l.up == up) return;
+    l.up = up;
+    if (!up) dropQueued(link, c_dropped_link_down_);
+    recomputeRoutes();
+  });
 }
 
 void PacketNetwork::setNodeUp(NodeId node, bool up) {
+  sim_.runAtBarrier([this, node, up] { setNodeUpAtBarrier(node, up); });
+}
+
+void PacketNetwork::setNodeUpAtBarrier(NodeId node, bool up) {
   Node& n = topo_.mutableNode(node);
   if (n.up == up) return;
   n.up = up;
@@ -260,15 +334,25 @@ PacketNetwork::LinkParams PacketNetwork::linkParams(LinkId link) const {
 }
 
 void PacketNetwork::applyLinkParams(LinkId link, const LinkParams& params) {
+  // Validate synchronously (the caller's error), mutate at the barrier.
   if (params.bandwidth_bps <= 0) throw UsageError("link bandwidth must be positive");
   if (params.latency < 0 || params.loss_rate < 0 || params.loss_rate >= 1.0) {
     throw UsageError("bad link parameters");
   }
-  Link& l = topo_.mutableLink(link);
-  l.bandwidth_bps = params.bandwidth_bps;
-  l.latency = params.latency;
-  l.loss_rate = params.loss_rate;
-  recomputeRoutes();
+  if (laned_ && plan_.partitionOf(topo_.link(link).a) != plan_.partitionOf(topo_.link(link).b) &&
+      params.latency < plan_.cut_latency) {
+    // Degrading a cut link below the planned cut latency would invalidate
+    // the engine's lookahead. The partition plan is a pure function of the
+    // static topology, so this is a configuration error, not a race.
+    throw UsageError("cannot degrade a cut link's latency below the partition lookahead");
+  }
+  sim_.runAtBarrier([this, link, params] {
+    Link& l = topo_.mutableLink(link);
+    l.bandwidth_bps = params.bandwidth_bps;
+    l.latency = params.latency;
+    l.loss_rate = params.loss_rate;
+    recomputeRoutes();
+  });
 }
 
 }  // namespace mg::net

@@ -5,6 +5,18 @@
 // A `time_scale` multiplies every network duration when scheduling onto the
 // kernel clock. The MicroGrid platform runs the network at 1/rate so that
 // virtual-time behaviour is preserved at any emulation rate (paper Fig 15).
+//
+// Parallel execution (DESIGN.md §7): setPartitionPlan() shards the wire
+// pipeline across the simulator's event lanes — node n's queues and hop
+// events live on lane partitionOf(n)+1, while transports, handlers, and
+// deliverLocal stay on the process lane (lane 0). Every lane crossing rides
+// a physical delay that is at least wireLookahead() long: the sender-side
+// host stack delay into the wire (send), a cut link's latency between wire
+// partitions, and latency + receiver stack delay back to lane 0 (final hop),
+// so the conservative engine never needs to violate its horizon. Loss draws
+// use one RNG stream per lane; each stream's consumption order is fixed by
+// its own lane's deterministic event order, making drops independent of the
+// worker count.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +25,7 @@
 #include <memory>
 
 #include "net/packet.h"
+#include "net/partition.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -98,6 +111,28 @@ class PacketNetwork {
   /// and friends stay correct in rescaled emulations.
   sim::SimTime scaleDuration(sim::SimTime t) const { return scaled(t); }
 
+  // --- parallel execution ---
+
+  /// Shard the wire pipeline by the given partition plan. Requires the
+  /// simulator to have been configured with plan.partitions + 1 lanes (lane
+  /// 0 stays the process lane) and must be called before any packet flows.
+  /// A single-partition plan is a no-op (classic single-lane operation).
+  void setPartitionPlan(const PartitionPlan& plan);
+
+  /// The lane carrying a node's wire events: partition + 1 when sharded,
+  /// 0 otherwise.
+  int laneOf(NodeId node) const {
+    return laned_ ? plan_.partitionOf(node) + 1 : 0;
+  }
+
+  /// The conservative lookahead the wire pipeline guarantees between lanes:
+  /// scaled(min(host_stack_delay, min cut-link latency)). 0 when unsharded
+  /// (or when the plan/options give no positive bound — the platform then
+  /// falls back to sequential execution).
+  sim::SimTime wireLookahead() const;
+
+  const PartitionPlan& partitionPlan() const { return plan_; }
+
  private:
   // Per-direction link queue state. Direction 0 = a->b, 1 = b->a.
   struct LinkQueue {
@@ -107,6 +142,7 @@ class PacketNetwork {
   };
 
   LinkQueue& queueFor(LinkId link, NodeId from);
+  void setNodeUpAtBarrier(NodeId node, bool up);
   void dropQueued(LinkId link, obs::Counter& cause);
   void dropQueuedDir(LinkId link, int dir, obs::Counter& cause);
   void recomputeRoutes();
@@ -135,7 +171,10 @@ class PacketNetwork {
   obs::Counter& c_bytes_delivered_;
   obs::Counter& c_wire_bytes_;
   obs::TraceBus::Channel& trace_;
-  util::Rng rng_;
+  // One loss-process RNG stream per lane (index = lane). rngs_[0] is seeded
+  // with opts.seed exactly as the classic single-stream network was; wire
+  // lanes get deterministically derived streams in setPartitionPlan().
+  std::vector<util::Rng> rngs_;
   std::vector<PacketHandler> handlers_;
   // linkqueues_[link * 2 + direction]
   std::vector<LinkQueue> link_queues_;
@@ -148,8 +187,18 @@ class PacketNetwork {
   // are recycled through a free list; the pool's size is the high-water mark
   // of concurrently in-flight packets, and a recycled slot's payload buffer
   // is re-stolen by the next move-assign rather than reallocated.
-  std::vector<Packet> flight_;
-  std::vector<std::uint32_t> flight_free_;
+  //
+  // One pool per lane: a park and its matching take always happen on the
+  // same lane (cross-lane legs carry the Packet inside the event closure
+  // instead), so pools are single-threaded by the lane-drain discipline.
+  struct FlightPool {
+    std::vector<Packet> slots;
+    std::vector<std::uint32_t> free;
+  };
+  std::vector<FlightPool> flight_;
+  // Partition plan; laned_ caches plan_.partitions > 1.
+  PartitionPlan plan_;
+  bool laned_ = false;
 };
 
 }  // namespace mg::net

@@ -1,0 +1,133 @@
+#include "net/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mg::net {
+
+namespace {
+
+// Tiny union-find over node ids (path halving + size union).
+struct Dsu {
+  std::vector<int> parent, size;
+  explicit Dsu(int n) : parent(static_cast<std::size_t>(n)), size(static_cast<std::size_t>(n), 1) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size[static_cast<std::size_t>(a)] < size[static_cast<std::size_t>(b)]) std::swap(a, b);
+    parent[static_cast<std::size_t>(b)] = a;
+    size[static_cast<std::size_t>(a)] += size[static_cast<std::size_t>(b)];
+  }
+};
+
+// Components after contracting every link with latency < tau.
+int componentsAt(const Topology& topo, sim::SimTime tau, Dsu& dsu) {
+  for (LinkId l = 0; l < topo.linkCount(); ++l) {
+    if (topo.link(l).latency < tau) dsu.unite(topo.link(l).a, topo.link(l).b);
+  }
+  int components = 0;
+  for (NodeId n = 0; n < topo.nodeCount(); ++n) {
+    if (dsu.find(n) == n) ++components;
+  }
+  return components;
+}
+
+}  // namespace
+
+PartitionPlan planPartitions(const Topology& topo, int max_partitions) {
+  PartitionPlan plan;
+  if (max_partitions < 2 || topo.nodeCount() < 2 || topo.linkCount() == 0) return plan;
+
+  // Candidate thresholds: the distinct link latencies, largest first. The
+  // largest tau keeping >= 2 components maximizes the cut latency (and so
+  // the lookahead) while still yielding a usable cut.
+  std::vector<sim::SimTime> taus;
+  taus.reserve(static_cast<std::size_t>(topo.linkCount()));
+  for (LinkId l = 0; l < topo.linkCount(); ++l) taus.push_back(topo.link(l).latency);
+  std::sort(taus.begin(), taus.end(), std::greater<>());
+  taus.erase(std::unique(taus.begin(), taus.end()), taus.end());
+
+  sim::SimTime tau = -1;
+  Dsu dsu(0);
+  for (sim::SimTime candidate : taus) {
+    if (candidate <= 0) break;  // a zero-latency cut gives zero lookahead
+    Dsu probe(topo.nodeCount());
+    if (componentsAt(topo, candidate, probe) >= 2) {
+      tau = candidate;
+      dsu = std::move(probe);
+      break;
+    }
+  }
+  if (tau < 0) return plan;
+
+  // Deterministic component labels: roots ordered by smallest member id.
+  std::vector<int> root_order;  // root node ids in first-seen (= min id) order
+  std::vector<int> comp_of(static_cast<std::size_t>(topo.nodeCount()), -1);
+  std::vector<int> comp_size;
+  for (NodeId n = 0; n < topo.nodeCount(); ++n) {
+    const int root = dsu.find(n);
+    if (comp_of[static_cast<std::size_t>(root)] < 0) {
+      comp_of[static_cast<std::size_t>(root)] = static_cast<int>(root_order.size());
+      root_order.push_back(root);
+      comp_size.push_back(0);
+    }
+    comp_of[static_cast<std::size_t>(n)] = comp_of[static_cast<std::size_t>(root)];
+    ++comp_size[static_cast<std::size_t>(comp_of[static_cast<std::size_t>(n)])];
+  }
+  const int ncomp = static_cast<int>(root_order.size());
+
+  // Bucket components into at most max_partitions partitions: biggest
+  // component first (ties by min node id, i.e. label order) into the
+  // currently-smallest bucket (ties to the lowest bucket index). Pure
+  // function of the topology — never of worker count or fault state.
+  const int buckets = std::min(max_partitions, ncomp);
+  std::vector<int> order(static_cast<std::size_t>(ncomp));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return comp_size[static_cast<std::size_t>(a)] > comp_size[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> bucket_of(static_cast<std::size_t>(ncomp), 0);
+  std::vector<int> bucket_load(static_cast<std::size_t>(buckets), 0);
+  for (int comp : order) {
+    int best = 0;
+    for (int b = 1; b < buckets; ++b) {
+      if (bucket_load[static_cast<std::size_t>(b)] < bucket_load[static_cast<std::size_t>(best)]) {
+        best = b;
+      }
+    }
+    bucket_of[static_cast<std::size_t>(comp)] = best;
+    bucket_load[static_cast<std::size_t>(best)] += comp_size[static_cast<std::size_t>(comp)];
+  }
+
+  plan.partition_of.resize(static_cast<std::size_t>(topo.nodeCount()));
+  for (NodeId n = 0; n < topo.nodeCount(); ++n) {
+    plan.partition_of[static_cast<std::size_t>(n)] =
+        bucket_of[static_cast<std::size_t>(comp_of[static_cast<std::size_t>(n)])];
+  }
+  plan.partitions = buckets;
+  if (plan.partitions < 2) return PartitionPlan{};
+
+  plan.cut_latency = -1;
+  for (LinkId l = 0; l < topo.linkCount(); ++l) {
+    const Link& lk = topo.link(l);
+    if (plan.partitionOf(lk.a) != plan.partitionOf(lk.b)) {
+      plan.cut_links.push_back(l);
+      if (plan.cut_latency < 0 || lk.latency < plan.cut_latency) plan.cut_latency = lk.latency;
+    }
+  }
+  if (plan.cut_links.empty()) return PartitionPlan{};  // bucketing fused the cut away
+  return plan;
+}
+
+}  // namespace mg::net

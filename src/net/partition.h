@@ -1,0 +1,47 @@
+// Topology partitioning for parallel wire simulation (DESIGN.md §7).
+//
+// planPartitions() cuts the topology along its highest-latency links: it
+// finds the largest latency threshold tau such that contracting every link
+// with latency < tau leaves at least two connected components, then buckets
+// the components into at most `max_partitions` partitions. Every link whose
+// endpoints land in different partitions (a *cut link*) has latency >= tau
+// by construction — that latency is the conservative lookahead that lets
+// partitions simulate independently inside each synchronization window.
+//
+// The plan is a pure function of the topology (component bucketing breaks
+// ties on smallest node id), so every run of a configuration — at any worker
+// count — partitions identically; this is one of the two pillars of the
+// parallel determinism guarantee (the other is the barrier merge order).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace mg::net {
+
+struct PartitionPlan {
+  /// partition_of[node] in [0, partitions). Empty when partitions == 1.
+  std::vector<int> partition_of;
+  int partitions = 1;
+  /// The latency threshold: every cut link has latency >= cut_latency.
+  sim::SimTime cut_latency = 0;
+  /// Links whose endpoints are in different partitions.
+  std::vector<LinkId> cut_links;
+
+  int partitionOf(NodeId node) const {
+    if (partitions <= 1 || node < 0 || static_cast<std::size_t>(node) >= partition_of.size()) {
+      return 0;
+    }
+    return partition_of[static_cast<std::size_t>(node)];
+  }
+};
+
+/// Compute the latency-cut partition plan. Returns a single-partition plan
+/// (partitions == 1) when the topology has no useful cut: fewer than two
+/// components at every threshold, or max_partitions < 2. Down links still
+/// connect for planning purposes — the plan must not depend on transient
+/// fault state, only on structure.
+PartitionPlan planPartitions(const Topology& topo, int max_partitions);
+
+}  // namespace mg::net

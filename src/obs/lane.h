@@ -1,0 +1,24 @@
+// Per-thread lane context for the observability layer.
+//
+// During a parallel phase each worker thread drains one event lane at a
+// time (sim/parallel.h) and tags itself with that lane's index. The span
+// recorder and trace bus consult it on every entry point: lane 0 records
+// directly into the canonical streams, nonzero lanes journal into per-lane
+// buffers that the barrier commits in a deterministic order. Outside
+// parallel execution every thread reads lane 0, which makes the sequential
+// paths bit-identical to the pre-parallel kernel.
+#pragma once
+
+namespace mg::obs {
+
+namespace detail {
+inline thread_local int t_current_lane = 0;
+}
+
+/// The event lane the calling thread is draining (0 when not a worker).
+inline int currentLane() { return detail::t_current_lane; }
+
+/// Set by the parallel engine around lane drains; 0 restores the default.
+inline void setCurrentLane(int lane) { detail::t_current_lane = lane; }
+
+}  // namespace mg::obs

@@ -39,7 +39,7 @@ std::string jsonEscape(const std::string& s) {
 Counter& MetricsRegistry::counter(const std::string& name) {
   auto it = counter_index_.find(name);
   if (it != counter_index_.end()) return *it->second;
-  counters_.emplace_back(Counter{});
+  counters_.emplace_back();
   counter_index_.emplace(name, &counters_.back());
   return counters_.back();
 }
@@ -47,7 +47,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   auto it = gauge_index_.find(name);
   if (it != gauge_index_.end()) return *it->second;
-  gauges_.emplace_back(Gauge{});
+  gauges_.emplace_back();
   gauge_index_.emplace(name, &gauges_.back());
   return gauges_.back();
 }

@@ -16,6 +16,7 @@
 // deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -33,29 +34,44 @@ std::string formatDouble(double v);
 /// Minimal JSON string escaping (quotes, backslashes, newlines).
 std::string jsonEscape(const std::string& s);
 
-/// A monotonically increasing integer instrument.
+/// A monotonically increasing integer instrument. Increments are relaxed
+/// atomics so event lanes on worker threads can bump shared counters
+/// directly: addition commutes, so the final totals — the only thing
+/// snapshots expose — are independent of thread interleaving and the
+/// parallel worker count.
 class Counter {
  public:
-  void inc(std::int64_t n = 1) { v_ += n; }
-  std::int64_t value() const { return v_; }
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  friend class MetricsRegistry;
-  Counter() = default;
-  std::int64_t v_ = 0;
+  std::atomic<std::int64_t> v_{0};
 };
 
 /// A double-valued instrument: settable (level) or accumulating (total).
+/// add() commutes like Counter::inc (up to FP rounding order — callers that
+/// need byte-stable totals across worker counts must add from one lane, as
+/// every current caller does); set() is last-writer and should stay lane-0.
 class Gauge {
  public:
-  void set(double v) { v_ = v; }
-  void add(double v) { v_ += v; }
-  double value() const { return v_; }
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  friend class MetricsRegistry;
-  Gauge() = default;
-  double v_ = 0;
+  std::atomic<double> v_{0};
 };
 
 class MetricsRegistry {

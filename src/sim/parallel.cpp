@@ -1,0 +1,188 @@
+#include "sim/parallel.h"
+
+#include <limits>
+
+#include "obs/lane.h"
+
+namespace mg::sim {
+
+namespace {
+constexpr SimTime kInfTime = std::numeric_limits<SimTime>::max();
+}
+
+ParallelEngine::ParallelEngine(Simulator& sim, int workers, SimTime lookahead)
+    : sim_(sim),
+      workers_(workers),
+      lookahead_(lookahead),
+      c_epochs_(sim.metrics().counter("sim.parallel.epochs")),
+      c_mailbox_msgs_(sim.metrics().counter("sim.parallel.mailbox_msgs")),
+      c_barrier_ops_(sim.metrics().counter("sim.parallel.barrier_ops")),
+      c_horizon_stalls_(sim.metrics().counter("sim.parallel.horizon_stalls")),
+      c_horizon_violations_(sim.metrics().counter("sim.parallel.horizon_violations")) {
+  // The coordinator (whoever calls run()) is worker #0; spawn the rest.
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelEngine::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    drainClaimedLanes();
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (--active_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelEngine::drainClaimedLanes() {
+  // Dynamic claiming: lanes within a phase are independent, so *which*
+  // thread drains a lane is unobservable — this is what makes the worker
+  // count a pure speed knob.
+  for (;;) {
+    const std::size_t i = claim_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= due_.size()) return;
+    detail::EventLane* lane = due_[i];
+    detail::t_lane_ctx = {&sim_, lane};
+    obs::setCurrentLane(static_cast<int>(lane->index));
+    drainLane(*lane);
+    detail::t_lane_ctx = {};
+    obs::setCurrentLane(0);
+  }
+}
+
+void ParallelEngine::drainLane(detail::EventLane& lane) {
+  // horizon_ is fixed for the phase; events scheduled into this lane by its
+  // own execution join the drain when they land inside the window, exactly
+  // as in the sequential kernel.
+  while (!lane.heap.empty() && lane.heap.front().time < horizon_) {
+    sim_.dispatchTopOn(lane);
+  }
+}
+
+void ParallelEngine::mergeAtBarrier() {
+  auto& lanes = sim_.lanes_;
+  // Observability journals first: a barrier op's direct records then land
+  // after everything the phase journaled, at the op's (later) time.
+  sim_.spans_.commitParallelPhase();
+  sim_.trace_.commitParallelPhase();
+  // Outboxes in (source lane, push order): both fixed by per-lane execution
+  // order, so the merged (time, seq) keys are worker-count-independent.
+  for (auto& l : lanes) {
+    for (detail::EventLane::CrossMsg& msg : l->outbox) {
+      detail::EventLane& dst = *lanes[msg.dst_lane];
+      SimTime t = msg.time;
+      if (t < dst.now) {
+        // The sender undercut the lookahead: the destination already passed
+        // t. Clamp (never lose the event) and count the breach.
+        c_horizon_violations_.inc();
+        t = dst.now;
+      }
+      sim_.scheduleOn(dst, t, std::move(msg.fn), msg.span_ctx);
+      c_mailbox_msgs_.inc();
+    }
+    l->outbox.clear();
+  }
+  // Global mutations (routing recomputes, link/node flips, queue purges)
+  // deferred by runAtBarrier(), in the same deterministic order.
+  for (auto& l : lanes) {
+    for (std::function<void()>& op : l->barrier_ops) {
+      op();
+      c_barrier_ops_.inc();
+    }
+    l->barrier_ops.clear();
+  }
+}
+
+SimTime ParallelEngine::run(SimTime limit, bool bounded) {
+  auto& lanes = sim_.lanes_;
+  const bool multi_lane = lanes.size() > 1;
+  for (;;) {
+    sim_.reapIfNeeded();
+    SimTime t_min = kInfTime;
+    for (auto& l : lanes) {
+      if (!l->heap.empty() && l->heap.front().time < t_min) t_min = l->heap.front().time;
+    }
+    if (t_min == kInfTime) break;
+    if (bounded && t_min > limit) break;
+
+    SimTime horizon = kInfTime;
+    if (multi_lane && t_min <= kInfTime - lookahead_) horizon = t_min + lookahead_;
+    if (bounded && horizon > limit) horizon = limit + 1;  // events <= limit run
+
+    due_.clear();
+    int stalled = 0;
+    for (auto& l : lanes) {
+      if (l->heap.empty()) continue;
+      if (l->heap.front().time < horizon) {
+        due_.push_back(l.get());
+      } else {
+        ++stalled;
+      }
+    }
+    horizon_ = horizon;
+    c_epochs_.inc();
+    if (stalled > 0) c_horizon_stalls_.inc(stalled);
+
+    // Phase semantics (outbox parking, barrier-op deferral) apply whenever
+    // there is more than one lane — even if a single thread drains them —
+    // so the event-merge order is identical for every worker count.
+    if (multi_lane) phase_active_.store(true, std::memory_order_release);
+
+    if (threads_.empty() || due_.size() <= 1) {
+      // Drain sequentially in lane order (no wakeups to pay for).
+      for (detail::EventLane* lane : due_) {
+        detail::t_lane_ctx = {&sim_, lane};
+        obs::setCurrentLane(static_cast<int>(lane->index));
+        drainLane(*lane);
+        detail::t_lane_ctx = {};
+        obs::setCurrentLane(0);
+      }
+    } else {
+      claim_.store(0, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        active_ = static_cast<int>(threads_.size());
+        ++epoch_;
+      }
+      cv_work_.notify_all();
+      drainClaimedLanes();  // the coordinator claims lanes too
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_done_.wait(lk, [&] { return active_ == 0; });
+      }
+    }
+
+    if (multi_lane) {
+      phase_active_.store(false, std::memory_order_release);
+      mergeAtBarrier();
+    }
+  }
+
+  SimTime end = 0;
+  if (bounded) {
+    end = limit;
+  } else {
+    for (auto& l : lanes) end = std::max(end, l->now);
+  }
+  for (auto& l : lanes) l->now = end;
+  return end;
+}
+
+}  // namespace mg::sim

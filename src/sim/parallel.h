@@ -1,0 +1,100 @@
+// Conservative parallel execution of the event kernel (DESIGN.md §7).
+//
+// The ParallelEngine drives the Simulator's event lanes in synchronous
+// epochs (a CMB-style conservative window scheme):
+//
+//   1. The coordinator computes T = min over lanes of the next event time
+//      and the safe horizon H = T + lookahead. Every cross-lane interaction
+//      carries at least `lookahead` of simulated delay (host stack delay for
+//      process<->wire crossings, the cut-link latency for wire<->wire), so
+//      every event with time < H is already in its lane's heap: lanes are
+//      independent within the window.
+//   2. Worker threads claim due lanes from a shared index (dynamic — which
+//      thread drains which lane is unobservable) and each drains its lane's
+//      heap up to H. Cross-lane sends park in the producing lane's outbox;
+//      observability from worker lanes goes to per-lane journals.
+//   3. Barrier: the coordinator merges outboxes into destination heaps in
+//      (source lane, push order), runs queued barrier ops (routing
+//      recomputes, link flips) in the same order, and commits span/trace
+//      journals sorted by (time, lane, journal order). Every merge rule is a
+//      function of per-lane execution order — which is deterministic — so
+//      the worker count never changes observable output.
+//
+// The engine is created by Simulator::configureParallel and owned by the
+// Simulator; Simulator::run()/runUntil() delegate here when it exists.
+// Counters: sim.parallel.epochs, sim.parallel.mailbox_msgs,
+// sim.parallel.barrier_ops, sim.parallel.horizon_stalls (a nonempty lane
+// whose next event lay beyond the horizon), sim.parallel.horizon_violations
+// (a cross-lane message that undercut the lookahead; clamped, never lost).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mg::sim {
+
+class ParallelEngine {
+ public:
+  /// `workers` >= 1 counts the coordinator: N means the coordinator plus
+  /// N-1 spawned threads. `lookahead` must be positive when the simulator
+  /// has more than one lane.
+  ParallelEngine(Simulator& sim, int workers, SimTime lookahead);
+  ~ParallelEngine();
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Run epochs until every lane is empty (bounded == false) or until all
+  /// events with time <= limit have executed (bounded == true). Returns the
+  /// final simulation time and syncs every lane's clock to it.
+  SimTime run(SimTime limit, bool bounded);
+
+  /// True between a phase's publication and its barrier: worker threads may
+  /// be executing lane events concurrently.
+  bool inPhase() const { return phase_active_.load(std::memory_order_acquire); }
+
+  int workerCount() const { return workers_; }
+  SimTime lookahead() const { return lookahead_; }
+
+ private:
+  void workerLoop();
+  /// Claim and drain due lanes until the shared index is exhausted.
+  void drainClaimedLanes();
+  /// Execute one lane's events with time < horizon_.
+  void drainLane(detail::EventLane& lane);
+  /// Merge outboxes + barrier ops + observability journals. Coordinator
+  /// only, with all workers idle.
+  void mergeAtBarrier();
+
+  Simulator& sim_;
+  int workers_;
+  SimTime lookahead_;
+
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_work_;   // coordinator -> workers: epoch ready
+  std::condition_variable cv_done_;   // workers -> coordinator: all drained
+  std::uint64_t epoch_ = 0;           // bumped per published phase
+  int active_ = 0;                    // workers still draining this phase
+  bool stop_ = false;                 // set by destructor
+
+  // Phase state, written by the coordinator before publication and read by
+  // workers after (the mutex orders it).
+  SimTime horizon_ = 0;
+  std::vector<detail::EventLane*> due_;
+  std::atomic<std::size_t> claim_{0};
+  std::atomic<bool> phase_active_{false};
+
+  obs::Counter& c_epochs_;
+  obs::Counter& c_mailbox_msgs_;
+  obs::Counter& c_barrier_ops_;
+  obs::Counter& c_horizon_stalls_;
+  obs::Counter& c_horizon_violations_;
+};
+
+}  // namespace mg::sim

@@ -4,6 +4,7 @@
 #include <semaphore>
 #include <thread>
 
+#include "sim/parallel.h"
 #include "util/log.h"
 
 namespace mg::sim {
@@ -14,7 +15,10 @@ namespace mg::sim {
 // The handoff is a pair of binary semaphores: releasing the peer's semaphore
 // is a single futex wake of exactly one waiter, with no mutex round-trip and
 // no broadcast. Strict alternation (exactly one side runs at a time) keeps
-// each semaphore's count in {0, 1} by construction.
+// each semaphore's count in {0, 1} by construction. Under the parallel
+// engine the "kernel side" is whichever worker thread is draining lane 0
+// that epoch; the semaphore pair carries the happens-before edge, so the
+// process thread always sees lane 0's latest state.
 // ---------------------------------------------------------------------------
 
 struct Process::Impl {
@@ -61,6 +65,82 @@ void Process::yieldToKernel() {
 }
 
 // ---------------------------------------------------------------------------
+// EventLane: slab arena + 4-ary min-heap (see the header comment).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+void EventLane::placeEntry(std::size_t pos, const HeapEntry& e) {
+  heap[pos] = e;
+  meta[e.slot].heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void EventLane::siftUp(std::size_t pos, const HeapEntry& e) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!entryBefore(e, heap[parent])) break;
+    placeEntry(pos, heap[parent]);
+    pos = parent;
+  }
+  placeEntry(pos, e);
+}
+
+void EventLane::siftDown(std::size_t pos, const HeapEntry& e) {
+  const std::size_t n = heap.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (entryBefore(heap[c], heap[best])) best = c;
+    }
+    if (!entryBefore(heap[best], e)) break;
+    placeEntry(pos, heap[best]);
+    pos = best;
+  }
+  placeEntry(pos, e);
+}
+
+void EventLane::heapPush(const HeapEntry& e) {
+  heap.push_back(e);  // placeholder; siftUp writes the final position
+  siftUp(heap.size() - 1, e);
+}
+
+void EventLane::heapRemoveAt(std::int32_t pos) {
+  const std::size_t p = static_cast<std::size_t>(pos);
+  const HeapEntry moved = heap.back();
+  heap.pop_back();
+  if (p == heap.size()) return;  // removed the tail
+  if (p > 0 && entryBefore(moved, heap[(p - 1) / 4])) {
+    siftUp(p, moved);
+  } else {
+    siftDown(p, moved);
+  }
+}
+
+std::uint32_t EventLane::allocSlot() {
+  if (!free_slots.empty()) {
+    const std::uint32_t slot = free_slots.back();
+    free_slots.pop_back();
+    return slot;
+  }
+  slab.emplace_back();
+  meta.emplace_back();
+  slot_span.push_back(0);
+  return static_cast<std::uint32_t>(slab.size() - 1);
+}
+
+void EventLane::freeSlot(std::uint32_t slot) {
+  SlotMeta& m = meta[slot];
+  if (++m.generation == 0) m.generation = 1;  // keep ids nonzero on wrap
+  m.heap_pos = -1;
+  free_slots.push_back(slot);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
 // Simulator
 // ---------------------------------------------------------------------------
 
@@ -70,122 +150,86 @@ constexpr int kProcessReapThreshold = 16;
 }  // namespace
 
 Simulator::Simulator() {
-  owns_log_time_source_ = util::setLogSimTimeSource([this] { return now_; });
-  spans_.setTimeSource([this] { return now_; });
+  lanes_.push_back(std::make_unique<detail::EventLane>());
+  owns_log_time_source_ = util::setLogSimTimeSource([this] { return now(); });
+  spans_.setTimeSource([this] { return now(); });
 }
 
 Simulator::~Simulator() {
   shutdown();
+  engine_.reset();  // joins worker threads before lanes_ is torn down
   if (owns_log_time_source_) util::clearLogSimTimeSource();
 }
 
-// --------------------------------------------------- event arena + heap ---
+// ----------------------------------------------------------- scheduling ---
 
-void Simulator::placeEntry(std::size_t pos, const HeapEntry& e) {
-  heap_[pos] = e;
-  meta_[e.slot].heap_pos = static_cast<std::int32_t>(pos);
-}
-
-void Simulator::siftUp(std::size_t pos, const HeapEntry& e) {
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) / 4;
-    if (!entryBefore(e, heap_[parent])) break;
-    placeEntry(pos, heap_[parent]);
-    pos = parent;
-  }
-  placeEntry(pos, e);
-}
-
-void Simulator::siftDown(std::size_t pos, const HeapEntry& e) {
-  const std::size_t n = heap_.size();
-  for (;;) {
-    const std::size_t first = 4 * pos + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t last = std::min(first + 4, n);
-    for (std::size_t c = first + 1; c < last; ++c) {
-      if (entryBefore(heap_[c], heap_[best])) best = c;
-    }
-    if (!entryBefore(heap_[best], e)) break;
-    placeEntry(pos, heap_[best]);
-    pos = best;
-  }
-  placeEntry(pos, e);
-}
-
-void Simulator::heapPush(const HeapEntry& e) {
-  heap_.push_back(e);  // placeholder; siftUp writes the final position
-  siftUp(heap_.size() - 1, e);
-}
-
-void Simulator::heapRemoveAt(std::int32_t pos) {
-  const std::size_t p = static_cast<std::size_t>(pos);
-  const HeapEntry moved = heap_.back();
-  heap_.pop_back();
-  if (p == heap_.size()) return;  // removed the tail
-  if (p > 0 && entryBefore(moved, heap_[(p - 1) / 4])) {
-    siftUp(p, moved);
-  } else {
-    siftDown(p, moved);
-  }
-}
-
-std::uint32_t Simulator::allocSlot() {
-  if (!free_slots_.empty()) {
-    const std::uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    return slot;
-  }
-  slab_.emplace_back();
-  meta_.emplace_back();
-  slot_span_.push_back(0);
-  return static_cast<std::uint32_t>(slab_.size() - 1);
-}
-
-void Simulator::freeSlot(std::uint32_t slot) {
-  SlotMeta& m = meta_[slot];
-  if (++m.generation == 0) m.generation = 1;  // keep ids nonzero on wrap
-  m.heap_pos = -1;
-  free_slots_.push_back(slot);
+EventId Simulator::scheduleOn(detail::EventLane& lane, SimTime t, EventFn fn,
+                              std::uint64_t span_ctx) {
+  if (t < lane.now) throw UsageError("scheduleAt in the past");
+  if (fn.onHeap()) eventfn_heap_fallbacks_.inc();
+  const std::uint32_t slot = lane.allocSlot();
+  if (slot >= kMaxSlots) throw UsageError("event arena exhausted (2^26 slots per lane)");
+  lane.slab[slot] = std::move(fn);
+  // Unconditional store: when tracing is off the context is pinned at 0, and
+  // one 8-byte write is cheaper than a mispredictable branch here.
+  lane.slot_span[slot] = span_ctx;
+  lane.heapPush(detail::EventLane::HeapEntry{t, lane.next_seq++, slot});
+  return makeId(lane.index, slot, lane.meta[slot].generation);
 }
 
 EventId Simulator::scheduleAt(SimTime t, EventFn fn) {
-  if (t < now_) throw UsageError("scheduleAt in the past");
-  if (fn.onHeap()) eventfn_heap_fallbacks_.inc();
-  const std::uint32_t slot = allocSlot();
-  slab_[slot] = std::move(fn);
-  // Unconditional store: when tracing is off current() is pinned at 0, and
-  // one 8-byte write is cheaper than a mispredictable branch here.
-  slot_span_[slot] = spans_.current();
-  heapPush(HeapEntry{t, next_seq_++, slot});
-  return makeId(slot, meta_[slot].generation);
+  return scheduleOn(laneOfCaller(), t, std::move(fn), spans_.current());
 }
 
 EventId Simulator::scheduleAfter(SimTime delay, EventFn fn) {
   if (delay < 0) throw UsageError("negative delay");
-  return scheduleAt(now_ + delay, std::move(fn));
+  detail::EventLane& lane = laneOfCaller();
+  return scheduleOn(lane, lane.now + delay, std::move(fn), spans_.current());
+}
+
+EventId Simulator::scheduleOnLane(int lane, SimTime t, EventFn fn) {
+  if (lane < 0 || lane >= laneCount()) throw UsageError("scheduleOnLane: no such lane");
+  detail::EventLane& target = *lanes_[static_cast<std::size_t>(lane)];
+  detail::EventLane& cur = laneOfCaller();
+  if (&target == &cur) return scheduleOn(target, t, std::move(fn), spans_.current());
+  if (engine_ != nullptr && engine_->inPhase()) {
+    // Cross-lane during a phase: park in the caller lane's outbox. The
+    // barrier merges outboxes in (source lane, push order) — deterministic
+    // because each lane's own execution order is.
+    cur.outbox.push_back(detail::EventLane::CrossMsg{static_cast<std::uint32_t>(lane), t,
+                                                     spans_.current(), std::move(fn)});
+    return 0;
+  }
+  return scheduleOn(target, t, std::move(fn), spans_.current());
 }
 
 void Simulator::cancel(EventId id) {
-  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id) & (kMaxSlots - 1);
+  const std::uint32_t lane_idx = (static_cast<std::uint32_t>(id) >> kSlotBits) &
+                                 ((1u << kLaneBits) - 1);
   const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
-  if (slot >= slab_.size()) return;
-  SlotMeta& m = meta_[slot];
+  if (lane_idx >= lanes_.size()) return;
+  detail::EventLane& lane = *lanes_[lane_idx];
+  if (engine_ != nullptr && engine_->inPhase() && &lane != &laneOfCaller()) {
+    throw UsageError("cross-lane cancel during a parallel phase");
+  }
+  if (slot >= lane.slab.size()) return;
+  detail::EventLane::SlotMeta& m = lane.meta[slot];
   if (m.generation != generation || m.heap_pos < 0) return;
-  slab_[slot] = EventFn();  // run capture destructors now, not at some later pop
-  heapRemoveAt(m.heap_pos);
-  freeSlot(slot);
+  lane.slab[slot] = EventFn();  // run capture destructors now, not at some later pop
+  lane.heapRemoveAt(m.heap_pos);
+  lane.freeSlot(slot);
 }
 
-void Simulator::dispatchTop() {
-  const std::uint32_t slot = heap_.front().slot;
-  now_ = heap_.front().time;
+void Simulator::dispatchTopOn(detail::EventLane& lane) {
+  const std::uint32_t slot = lane.heap.front().slot;
+  lane.now = lane.heap.front().time;
   // Move the body out before freeing: the body may schedule (growing the
   // slab) or cancel, and its slot must be reusable while it runs.
-  EventFn fn = std::move(slab_[slot]);
-  const obs::SpanId ctx = slot_span_[slot];
-  heapRemoveAt(0);
-  freeSlot(slot);
+  EventFn fn = std::move(lane.slab[slot]);
+  const std::uint64_t ctx = lane.slot_span[slot];
+  lane.heapRemoveAt(0);
+  lane.freeSlot(slot);
   events_executed_.inc();
   if (spans_.enabled()) {
     // Events run in the span context of whoever scheduled them.
@@ -198,27 +242,93 @@ void Simulator::dispatchTop() {
   }
 }
 
-SimTime Simulator::run() {
-  while (!heap_.empty()) {
-    if (finished_unreaped_ >= kProcessReapThreshold) reapFinishedProcesses();
-    dispatchTop();
+// ---------------------------------------------------------------- running ---
+
+SimTime Simulator::runClassic(SimTime limit, bool bounded) {
+  detail::EventLane& lane = *lanes_.front();
+  while (!lane.heap.empty() && (!bounded || lane.heap.front().time <= limit)) {
+    reapIfNeeded();
+    dispatchTopOn(lane);
   }
-  return now_;
+  if (bounded) lane.now = limit;
+  return lane.now;
+}
+
+SimTime Simulator::run() {
+  if (engine_ != nullptr) return engine_->run(0, /*bounded=*/false);
+  return runClassic(0, /*bounded=*/false);
 }
 
 void Simulator::runUntil(SimTime t) {
-  if (t < now_) throw UsageError("runUntil in the past");
-  while (!heap_.empty() && heap_.front().time <= t) {
-    if (finished_unreaped_ >= kProcessReapThreshold) reapFinishedProcesses();
-    dispatchTop();
+  if (t < lanes_.front()->now) throw UsageError("runUntil in the past");
+  if (engine_ != nullptr) {
+    engine_->run(t, /*bounded=*/true);
+    return;
   }
-  now_ = t;
+  runClassic(t, /*bounded=*/true);
+}
+
+std::size_t Simulator::pendingEventCount() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane->heap.size();
+  return n;
+}
+
+std::size_t Simulator::eventArenaSlots() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane->slab.size();
+  return n;
+}
+
+// ----------------------------------------------------------- parallelism ---
+
+void Simulator::configureParallel(int lanes, int workers, SimTime lookahead) {
+  if (engine_ != nullptr) throw UsageError("configureParallel called twice");
+  if (lanes < 1 || lanes > (1 << kLaneBits)) throw UsageError("lane count out of range");
+  if (workers < 1) throw UsageError("worker count must be >= 1");
+  if (lanes > 1 && lookahead <= 0) {
+    throw UsageError("parallel lanes need a positive lookahead");
+  }
+  for (int i = 1; i < lanes; ++i) {
+    auto lane = std::make_unique<detail::EventLane>();
+    lane->index = static_cast<std::uint32_t>(i);
+    lane->now = lanes_.front()->now;
+    lanes_.push_back(std::move(lane));
+  }
+  spans_.configureLanes(lanes);
+  trace_.configureLanes(lanes);
+  // Deliberately no worker-count instrument: the metrics snapshot must be
+  // byte-identical at every worker count. The lane count is a function of
+  // the configuration (topology), so it may be recorded.
+  metrics_.gauge("sim.parallel.lanes").set(static_cast<double>(lanes));
+  engine_ = std::make_unique<ParallelEngine>(*this, workers, lookahead);
+}
+
+bool Simulator::inParallelPhase() const {
+  return engine_ != nullptr && engine_->inPhase();
+}
+
+void Simulator::runAtBarrier(std::function<void()> op) {
+  if (inParallelPhase()) {
+    laneOfCaller().barrier_ops.push_back(std::move(op));
+    return;
+  }
+  op();
+}
+
+void Simulator::requireProcessLane(const char* what) const {
+  const detail::LaneCtx& c = detail::t_lane_ctx;
+  if (c.sim == this && c.lane != nullptr && c.lane->index != 0) {
+    throw UsageError(std::string(what) + " is lane-0-only (called from wire lane " +
+                     std::to_string(c.lane->index) + ")");
+  }
 }
 
 // ------------------------------------------------------------- processes ---
 
 Process& Simulator::spawn(std::string name, std::function<void()> body) {
   if (shutting_down_) throw UsageError("spawn during shutdown");
+  requireProcessLane("spawn");
   // Not make_unique: the constructor is private and Simulator is a friend.
   std::unique_ptr<Process> proc(new Process(*this, next_process_id_++, std::move(name), std::move(body)));
   Process& ref = *proc;
@@ -227,18 +337,20 @@ Process& Simulator::spawn(std::string name, std::function<void()> body) {
   live_processes_.emplace(ref.id(), &ref);
   ++live_process_count_;
   processes_spawned_.inc();
-  if (proc_trace_.enabled()) proc_trace_.record(now_, "spawn", static_cast<double>(ref.id()), ref.name());
+  if (proc_trace_.enabled()) proc_trace_.record(now(), "spawn", static_cast<double>(ref.id()), ref.name());
   scheduleResume(ref);
   return ref;
 }
 
 void Simulator::scheduleResume(Process& p) {
   p.wake_pending_ = true;
-  p.resume_event_ = scheduleAt(now_, [this, proc = &p] {
-    proc->resume_event_ = 0;
-    proc->wake_pending_ = false;
-    runProcessSlice(*proc);
-  });
+  p.resume_event_ = scheduleOn(*lanes_.front(), lanes_.front()->now,
+                               [this, proc = &p] {
+                                 proc->resume_event_ = 0;
+                                 proc->wake_pending_ = false;
+                                 runProcessSlice(*proc);
+                               },
+                               spans_.current());
 }
 
 void Simulator::runProcessSlice(Process& p) {
@@ -266,11 +378,16 @@ void Simulator::runProcessSlice(Process& p) {
   }
 }
 
+void Simulator::reapIfNeeded() {
+  if (finished_unreaped_ >= kProcessReapThreshold) reapFinishedProcesses();
+}
+
 void Simulator::reapFinishedProcesses() {
-  // Safe point only: called from the run loop between events, when no
-  // process is mid-slice. Finished processes have had their threads joined
-  // (resumeFromKernel joins on the finishing handoff), so destruction is
-  // immediate. Live Process objects keep their addresses (unique_ptr).
+  // Safe point only: called from the run loop between events (or between
+  // epochs under the parallel engine), when no process is mid-slice.
+  // Finished processes have had their threads joined (resumeFromKernel joins
+  // on the finishing handoff), so destruction is immediate. Live Process
+  // objects keep their addresses (unique_ptr).
   //
   // A process killed with a queued resume (a wake raced the kill) or a
   // pending suspendFor timeout (the unwind skipped the post-yield cancel)
@@ -294,7 +411,7 @@ void Simulator::shutdown() {
     if (!p->finished_) {
       p->kill_ = true;
       process_kills_.inc();
-      if (proc_trace_.enabled()) proc_trace_.record(now_, "kill", static_cast<double>(p->id()), p->name());
+      if (proc_trace_.enabled()) proc_trace_.record(now(), "kill", static_cast<double>(p->id()), p->name());
       runProcessSlice(*p);
     }
   }
@@ -308,13 +425,15 @@ void Simulator::shutdown() {
 void Simulator::killProcess(Process& p) {
   if (p.finished_) return;
   if (current_ == &p) throw UsageError("a process cannot kill itself");
+  requireProcessLane("killProcess");
   p.kill_ = true;
   process_kills_.inc();
-  if (proc_trace_.enabled()) proc_trace_.record(now_, "kill", static_cast<double>(p.id()), p.name());
+  if (proc_trace_.enabled()) proc_trace_.record(now(), "kill", static_cast<double>(p.id()), p.name());
   runProcessSlice(p);
 }
 
 void Simulator::killProcessById(std::uint64_t id) {
+  requireProcessLane("killProcessById");  // even the map lookup is lane-0 state
   const auto it = live_processes_.find(id);
   if (it == live_processes_.end()) return;  // finished (possibly reaped)
   killProcess(*it->second);
@@ -326,18 +445,23 @@ bool Simulator::processFinished(std::uint64_t id) const {
 
 void Simulator::delay(SimTime d) {
   if (d < 0) throw UsageError("negative delay");
+  requireProcessLane("delay");
   Process& p = currentProcess();
-  p.resume_event_ = scheduleAt(now_ + d, [this, proc = &p] {
-    proc->resume_event_ = 0;
-    proc->wake_pending_ = false;
-    runProcessSlice(*proc);
-  });
+  detail::EventLane& lane0 = *lanes_.front();
+  p.resume_event_ = scheduleOn(lane0, lane0.now + d,
+                               [this, proc = &p] {
+                                 proc->resume_event_ = 0;
+                                 proc->wake_pending_ = false;
+                                 runProcessSlice(*proc);
+                               },
+                               spans_.current());
   p.wake_pending_ = true;
   p.suspended_ = true;
   p.yieldToKernel();
 }
 
 void Simulator::suspend() {
+  requireProcessLane("suspend");
   Process& p = currentProcess();
   ++p.wait_epoch_;
   p.suspended_ = true;
@@ -347,18 +471,23 @@ void Simulator::suspend() {
 
 bool Simulator::suspendFor(SimTime timeout) {
   if (timeout < 0) throw UsageError("negative timeout");
+  requireProcessLane("suspendFor");
   Process& p = currentProcess();
   const std::uint64_t epoch = ++p.wait_epoch_;
   p.suspended_ = true;
   p.timed_out_ = false;
-  p.timeout_event_ = scheduleAt(now_ + timeout, [this, proc = &p, epoch] {
-    // Stale if the process was woken (epoch bumped) or already running.
-    if (proc->wait_epoch_ != epoch || !proc->suspended_) return;
-    proc->timeout_event_ = 0;
-    proc->timed_out_ = true;
-    proc->wake_pending_ = false;
-    runProcessSlice(*proc);
-  });
+  detail::EventLane& lane0 = *lanes_.front();
+  p.timeout_event_ = scheduleOn(lane0, lane0.now + timeout,
+                                [this, proc = &p, epoch] {
+                                  // Stale if the process was woken (epoch bumped) or already
+                                  // running.
+                                  if (proc->wait_epoch_ != epoch || !proc->suspended_) return;
+                                  proc->timeout_event_ = 0;
+                                  proc->timed_out_ = true;
+                                  proc->wake_pending_ = false;
+                                  runProcessSlice(*proc);
+                                },
+                                spans_.current());
   p.yieldToKernel();
   if (p.timeout_event_ != 0) {
     cancel(p.timeout_event_);
@@ -374,8 +503,9 @@ Process& Simulator::currentProcess() {
 
 void Simulator::wake(Process& p) {
   if (p.finished_ || !p.suspended_ || p.wake_pending_) return;
+  requireProcessLane("wake");
   process_wakes_.inc();
-  if (proc_trace_.enabled()) proc_trace_.record(now_, "wake", static_cast<double>(p.id()), p.name());
+  if (proc_trace_.enabled()) proc_trace_.record(now(), "wake", static_cast<double>(p.id()), p.name());
   ++p.wait_epoch_;  // invalidate any pending suspendFor timeout
   if (p.timeout_event_ != 0) {
     cancel(p.timeout_event_);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "util/strings.h"
 
@@ -25,9 +26,13 @@ LogLevel levelFromEnv() {
 
 std::atomic<LogLevel> g_level{levelFromEnv()};
 
-// Simulation semantics are single-threaded (one process or the kernel runs
-// at a time), so a plain function object is safe here.
+// Installed/cleared only while the simulation is quiescent; emitting threads
+// (process threads, parallel-engine workers) call it concurrently but never
+// mutate it, and g_log_mutex below keeps the emitted lines whole.
 std::function<std::int64_t()> g_sim_time_source;
+
+// Parallel-engine workers may log concurrently; serialize whole lines.
+std::mutex g_log_mutex;
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -48,6 +53,7 @@ LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void logLine(LogLevel level, const char* component, const std::string& message) {
+  const std::lock_guard<std::mutex> lk(g_log_mutex);
   if (g_sim_time_source) {
     const double t = static_cast<double>(g_sim_time_source()) * 1e-9;
     std::fprintf(stderr, "[%-5s] %-10s [t=%.6fs] %s\n", levelName(level), component, t,

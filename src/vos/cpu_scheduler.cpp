@@ -37,6 +37,9 @@ CpuScheduler::Task& CpuScheduler::liveTask(TaskId id) {
 }
 
 CpuScheduler::TaskId CpuScheduler::addTask(std::string name, double fraction, std::string track) {
+  // Partition safety: all scheduling state lives on the process lane. A wire
+  // lane reaching in during a parallel phase would race every field below.
+  sim_.requireProcessLane("CpuScheduler::addTask");
   if (fraction <= 0 || fraction > 1.0) throw UsageError("task fraction must be in (0, 1]");
   Task t;
   t.name = std::move(name);
@@ -77,6 +80,7 @@ void CpuScheduler::compute(TaskId id, double ops) {
 }
 
 void CpuScheduler::computeSeconds(TaskId id, double cpu_seconds) {
+  sim_.requireProcessLane("CpuScheduler::compute");
   if (cpu_seconds < 0) throw UsageError("negative compute demand");
   Task& t = liveTask(id);
   if (t.waiter != nullptr) throw UsageError("task already has a pending compute request");

@@ -11,7 +11,10 @@
 
 #include "core/launcher.h"
 #include "core/microgrid_platform.h"
+#include "core/topologies.h"
 #include "core/virtual_grid.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "gis/service.h"
 #include "npb/npb.h"
 #include "obs/metrics.h"
@@ -476,4 +479,109 @@ TEST(SpansEndToEnd, ChromeTraceIsWellFormedJson) {
   EXPECT_EQ(r.chrome.substr(r.chrome.size() - 4), "\n]}\n");
   EXPECT_NE(r.chrome.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(r.chrome.find("\"name\":\"thread_name\""), std::string::npos);
+}
+
+// --------------------------- cross-worker determinism (ISSUE 5 golden run) --
+
+namespace {
+
+/// The golden workload: NPB EP through the full launcher path on the Alpha
+/// cluster with a fault plan (vm3 crashes mid-run and restarts, eth1 runs at
+/// 5% loss throughout) under the parallel lane engine. Every observable
+/// stream is captured; the tests below require them byte-identical at every
+/// worker count.
+struct GoldenRun {
+  std::string metrics;   // MetricsRegistry::snapshotJson()
+  std::string spans;     // SpanRecorder::serializeTree()
+  std::string trace;     // TraceBus::serialize()
+  std::string profile;   // SimProfiler::json()
+  std::string report;    // fault availability report
+  double virtual_seconds = 0;
+  int resubmits = 0;
+};
+
+GoldenRun runGoldenEpWithFaults(int workers) {
+  auto cfg = core::topologies::alphaCluster();
+  core::MicroGridOptions mopts;
+  mopts.parallel_workers = workers;
+  core::MicroGridPlatform platform(cfg, mopts);
+  sim::Simulator& sim = platform.simulator();
+  sim.spans().setEnabled(true);
+  sim.traceBus().setEnabled("", true);
+
+  grid::ExecutableRegistry registry;
+  npb::ResultSink sink;
+  npb::registerNpb(registry, sink);
+  core::Launcher launcher(platform, registry);
+  launcher.startServices(&cfg, "Alpha4");
+  core::LaunchOptions lopts;
+  lopts.max_resubmits = 3;
+  launcher.setLaunchOptions(lopts);
+
+  fault::FaultPlan plan;
+  fault::FaultEvent crash;
+  crash.at = 1.0;
+  crash.kind = fault::FaultKind::HostCrash;
+  crash.name = "crash";
+  crash.target = "vm3.ucsd.edu";
+  crash.duration = 3.0;
+  plan.add(crash);
+  fault::FaultEvent degrade;
+  degrade.at = 0.0;
+  degrade.kind = fault::FaultKind::LinkDegrade;
+  degrade.name = "lossy";
+  degrade.target = "eth1";
+  degrade.loss = 0.05;
+  degrade.duration = 60.0;
+  plan.add(degrade);
+  fault::FaultInjector injector(platform, std::move(plan));
+  injector.onHostCrash([&launcher](const std::string& h) { launcher.markHostDown(h); });
+  injector.onHostRestart([&launcher](const std::string& h) { launcher.markHostUp(h); });
+  injector.arm();
+
+  auto result = launcher.run("npb.ep", "S",
+                             {{"vm0.ucsd.edu", 1},
+                              {"vm1.ucsd.edu", 1},
+                              {"vm2.ucsd.edu", 1},
+                              {"vm3.ucsd.edu", 1}});
+  EXPECT_TRUE(result.ok) << result.error;
+
+  GoldenRun out;
+  out.metrics = sim.metrics().snapshotJson();
+  out.spans = sim.spans().serializeTree();
+  out.trace = sim.traceBus().serialize();
+  out.profile = obs::SimProfiler(sim.spans()).json();
+  out.report = injector.renderReport();
+  out.virtual_seconds = result.virtual_seconds;
+  out.resubmits = result.resubmits;
+  return out;
+}
+
+}  // namespace
+
+TEST(ParallelGolden, WorkerCountIsInvisibleInEveryObservableStream) {
+  // The tentpole acceptance criterion: `--parallel=N` is a pure speed knob.
+  // Metrics snapshot, span tree, trace bus, profiler output, the fault
+  // availability report, and job-level results must be byte-identical at
+  // 1, 2, 4, and 8 workers — under crash + resubmission + stochastic loss.
+  const GoldenRun one = runGoldenEpWithFaults(1);
+  // The parallel engine really engaged (uniform-latency star: 4 hosts + the
+  // switch shard into 5 wire partitions + the process lane) and traffic
+  // actually crossed partitions.
+  EXPECT_NE(one.metrics.find("\"sim.parallel.lanes\":6"), std::string::npos) << one.metrics;
+  EXPECT_GT(jsonCounter(one.metrics, "sim.parallel.mailbox_msgs"), 0);
+  EXPECT_EQ(jsonCounter(one.metrics, "sim.parallel.horizon_violations"), 0);
+  EXPECT_GT(jsonCounter(one.metrics, "fault.host_crash"), 0);
+  EXPECT_GE(one.resubmits, 1);  // the crash really failed the first attempt
+
+  for (int workers : {2, 4, 8}) {
+    const GoldenRun w = runGoldenEpWithFaults(workers);
+    EXPECT_EQ(one.metrics, w.metrics) << "metrics diverged at " << workers << " workers";
+    EXPECT_EQ(one.spans, w.spans) << "span tree diverged at " << workers << " workers";
+    EXPECT_EQ(one.trace, w.trace) << "trace bus diverged at " << workers << " workers";
+    EXPECT_EQ(one.profile, w.profile) << "profile diverged at " << workers << " workers";
+    EXPECT_EQ(one.report, w.report) << "fault report diverged at " << workers << " workers";
+    EXPECT_DOUBLE_EQ(one.virtual_seconds, w.virtual_seconds);
+    EXPECT_EQ(one.resubmits, w.resubmits);
+  }
 }

@@ -1,0 +1,444 @@
+// Tests for parallel host-sharded event execution (DESIGN.md §7): the
+// topology partitioner, the conservative lane engine (horizons, outbox
+// merge, barrier ops, partition-safety guards), and the headline guarantee —
+// worker count is a pure speed knob that cannot change observable output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet_network.h"
+#include "net/partition.h"
+#include "net/topology.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+using namespace mg;
+namespace st = mg::sim;
+
+namespace {
+
+constexpr st::SimTime kUs = st::kMicrosecond;
+constexpr st::SimTime kMs = st::kMillisecond;
+
+/// Two 3-host campus clusters joined by one high-latency WAN link — the
+/// canonical latency-cut shape (the paper's UCSD/UIUC vBNS pair).
+net::Topology dumbbell(double wan_loss = 0.0) {
+  net::Topology topo;
+  auto r0 = topo.addRouter("r0");
+  auto r1 = topo.addRouter("r1");
+  for (int i = 0; i < 3; ++i) {
+    auto h = topo.addHost("a" + std::to_string(i));
+    topo.addLink("la" + std::to_string(i), h, r0, 100e6, 50 * kUs, 256 * 1024);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto h = topo.addHost("b" + std::to_string(i));
+    topo.addLink("lb" + std::to_string(i), h, r1, 100e6, 50 * kUs, 256 * 1024);
+  }
+  topo.addLink("wan", r0, r1, 45e6, 30 * kMs, 1 << 20, wan_loss);
+  return topo;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ partition planning --
+
+TEST(PartitionPlan, CutsDumbbellOnWanLink) {
+  const net::Topology topo = dumbbell();
+  const net::PartitionPlan plan = net::planPartitions(topo, 8);
+  ASSERT_EQ(plan.partitions, 2);
+  EXPECT_EQ(plan.cut_latency, 30 * kMs);
+  ASSERT_EQ(plan.cut_links.size(), 1u);
+  EXPECT_EQ(topo.link(plan.cut_links[0]).name, "wan");
+  // Each cluster lands whole in one partition, on opposite sides of the cut.
+  const int pa = plan.partitionOf(topo.findNode("r0"));
+  const int pb = plan.partitionOf(topo.findNode("r1"));
+  EXPECT_NE(pa, pb);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.partitionOf(topo.findNode("a" + std::to_string(i))), pa);
+    EXPECT_EQ(plan.partitionOf(topo.findNode("b" + std::to_string(i))), pb);
+  }
+}
+
+TEST(PartitionPlan, IsPureFunctionOfStructureNotLinkState) {
+  net::Topology topo = dumbbell();
+  const net::PartitionPlan before = net::planPartitions(topo, 8);
+  // A downed link (even the cut link itself) must not change the plan: the
+  // plan is computed once from structure, fault state is transient.
+  topo.mutableLink(topo.findLink("wan")).up = false;
+  topo.mutableLink(topo.findLink("la1")).up = false;
+  const net::PartitionPlan after = net::planPartitions(topo, 8);
+  EXPECT_EQ(before.partition_of, after.partition_of);
+  EXPECT_EQ(before.partitions, after.partitions);
+  EXPECT_EQ(before.cut_latency, after.cut_latency);
+  EXPECT_EQ(before.cut_links, after.cut_links);
+}
+
+TEST(PartitionPlan, EveryCutLinkCarriesAtLeastTheCutLatency) {
+  const net::Topology topo = dumbbell();
+  const net::PartitionPlan plan = net::planPartitions(topo, 8);
+  for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const bool cut = plan.partitionOf(topo.link(l).a) != plan.partitionOf(topo.link(l).b);
+    if (cut) {
+      EXPECT_GE(topo.link(l).latency, plan.cut_latency);
+    }
+  }
+}
+
+TEST(PartitionPlan, RespectsMaxPartitions) {
+  // A uniform-latency star has no interior cut, so every node becomes its
+  // own component at tau = the common latency; bucketing must then fold the
+  // components into at most max_partitions groups.
+  net::Topology topo;
+  auto sw = topo.addRouter("sw");
+  for (int i = 0; i < 20; ++i) {
+    auto h = topo.addHost("h" + std::to_string(i));
+    topo.addLink("l" + std::to_string(i), h, sw, 100e6, 50 * kUs, 256 * 1024);
+  }
+  const net::PartitionPlan plan = net::planPartitions(topo, 4);
+  EXPECT_GT(plan.partitions, 1);
+  EXPECT_LE(plan.partitions, 4);
+  for (net::NodeId n = 0; n < topo.nodeCount(); ++n) {
+    EXPECT_GE(plan.partitionOf(n), 0);
+    EXPECT_LT(plan.partitionOf(n), plan.partitions);
+  }
+}
+
+TEST(PartitionPlan, NoUsefulCutMeansSinglePartition) {
+  // Zero-latency links cannot fund a lookahead: no plan.
+  net::Topology topo;
+  auto a = topo.addHost("a");
+  auto b = topo.addHost("b");
+  topo.addLink("l", a, b, 100e6, 0);
+  const net::PartitionPlan plan = net::planPartitions(topo, 8);
+  EXPECT_EQ(plan.partitions, 1);
+  EXPECT_TRUE(plan.cut_links.empty());
+  // max_partitions < 2 disables planning outright.
+  EXPECT_EQ(net::planPartitions(dumbbell(), 1).partitions, 1);
+}
+
+// ------------------------------------------------------------- lane engine --
+
+namespace {
+
+/// Per-lane execution journal: events append (time, tag) to their own lane's
+/// vector (race-free by the lane-drain discipline), and the merged view is
+/// rebuilt with the same deterministic rule the engine uses.
+struct LaneLog {
+  std::vector<std::vector<std::string>> by_lane;
+  explicit LaneLog(int lanes) : by_lane(static_cast<std::size_t>(lanes)) {}
+  void record(st::Simulator& sim, const std::string& tag) {
+    by_lane[static_cast<std::size_t>(sim.currentLane())].push_back(
+        std::to_string(sim.now()) + ":" + tag);
+  }
+  std::string merged() const {
+    std::string out;
+    for (const auto& lane : by_lane) {
+      for (const auto& e : lane) out += e + "\n";
+      out += "--\n";
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+TEST(ParallelEngine, CrossLaneTrafficIsDeterministicAcrossWorkerCounts) {
+  // Three lanes ping-ponging events across each other; any worker count must
+  // produce the identical per-lane journals.
+  auto runScenario = [](int workers) {
+    st::Simulator sim;
+    const st::SimTime kLook = 10;
+    sim.configureParallel(3, workers, kLook);
+    LaneLog log(3);
+    // Each wire lane runs a chain that re-schedules locally and periodically
+    // crosses to the other wire lane and back to lane 0 (always >= lookahead
+    // out, as the wire layer guarantees). The chain closures outlive the
+    // setup loop — events hold plain pointers into this vector.
+    std::vector<std::unique_ptr<std::function<void(int)>>> chains;
+    for (int lane = 1; lane <= 2; ++lane) {
+      chains.push_back(std::make_unique<std::function<void(int)>>());
+      auto* chain = chains.back().get();
+      *chain = [&sim, &log, chain, lane](int step) {
+        log.record(sim, "chain" + std::to_string(lane) + "." + std::to_string(step));
+        if (step >= 30) return;
+        sim.scheduleAfter(3, [chain, step] { (*chain)(step + 1); });
+        if (step % 5 == 0) {
+          const int other = (lane == 1) ? 2 : 1;
+          sim.scheduleOnLane(other, sim.now() + kLook,
+                             [&log, &sim, lane] { log.record(sim, "x-from" + std::to_string(lane)); });
+          sim.scheduleOnLane(0, sim.now() + kLook,
+                             [&log, &sim, lane] { log.record(sim, "home" + std::to_string(lane)); });
+        }
+      };
+      sim.scheduleOnLane(lane, static_cast<st::SimTime>(lane), [chain] { (*chain)(0); });
+    }
+    sim.run();
+    return log.merged() + sim.metrics().snapshotJson();
+  };
+  const std::string one = runScenario(1);
+  EXPECT_EQ(one, runScenario(2));
+  EXPECT_EQ(one, runScenario(4));
+  EXPECT_EQ(one, runScenario(8));
+  EXPECT_NE(one.find("x-from1"), std::string::npos);
+  EXPECT_NE(one.find("home2"), std::string::npos);
+}
+
+TEST(ParallelEngine, RunAtBarrierDefersUntilNoWorkerRuns) {
+  st::Simulator sim;
+  sim.configureParallel(2, 1, 10);
+  std::vector<std::string> order;
+  bool in_phase_at_op = true;
+  sim.scheduleOnLane(1, 0, [&] {
+    EXPECT_TRUE(sim.inParallelPhase());
+    sim.runAtBarrier([&] {
+      in_phase_at_op = sim.inParallelPhase();
+      order.push_back("barrier-op");
+    });
+    order.push_back("event");
+  });
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "event");      // op deferred past the event itself
+  EXPECT_EQ(order[1], "barrier-op");
+  EXPECT_FALSE(in_phase_at_op);      // ...to a point where no worker runs
+  EXPECT_EQ(sim.metrics().counterValue("sim.parallel.barrier_ops"), 1);
+}
+
+TEST(ParallelEngine, ProcessApisAreLane0Only) {
+  st::Simulator sim;
+  sim.configureParallel(2, 2, 10);
+  bool spawn_threw = false, delay_threw = false, kill_threw = false;
+  sim.scheduleOnLane(1, 0, [&] {
+    try {
+      sim.spawn("p", [] {});
+    } catch (const UsageError&) {
+      spawn_threw = true;
+    }
+    try {
+      sim.delay(1);
+    } catch (const UsageError&) {
+      delay_threw = true;
+    }
+    try {
+      sim.killProcessById(1);
+    } catch (const UsageError&) {
+      kill_threw = true;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(spawn_threw);
+  EXPECT_TRUE(delay_threw);
+  EXPECT_TRUE(kill_threw);
+}
+
+TEST(ParallelEngine, HorizonViolationIsCountedAndClamped) {
+  st::Simulator sim;
+  sim.configureParallel(3, 2, 10);
+  st::SimTime ran_at = -1;
+  // Lane 2 executes up to t=5 in the first phase; lane 1 then hands it an
+  // event at t=1 — in lane 2's past. The merge must clamp (never lose or
+  // reorder into history) and count the violation.
+  sim.scheduleOnLane(2, 5, [] {});
+  sim.scheduleOnLane(1, 0, [&] {
+    sim.scheduleOnLane(2, 1, [&] { ran_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(ran_at, 5);
+  EXPECT_EQ(sim.metrics().counterValue("sim.parallel.horizon_violations"), 1);
+}
+
+TEST(ParallelEngine, CrossLaneCancelDuringPhaseThrows) {
+  st::Simulator sim;
+  sim.configureParallel(2, 1, 10);
+  const st::EventId lane0_event = sim.scheduleAt(50, [] {});
+  ASSERT_NE(lane0_event, 0u);
+  bool threw = false;
+  sim.scheduleOnLane(1, 0, [&] {
+    try {
+      sim.cancel(lane0_event);
+    } catch (const UsageError&) {
+      threw = true;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ParallelEngine, ScheduleOnLaneOutsidePhaseIsDirectAndCancellable) {
+  st::Simulator sim;
+  sim.configureParallel(2, 1, 10);
+  bool cancelled_ran = false, kept_ran = false;
+  const st::EventId id = sim.scheduleOnLane(1, 5, [&] { cancelled_ran = true; });
+  EXPECT_NE(id, 0u);  // outside a phase, cross-lane schedules return real ids
+  sim.scheduleOnLane(1, 6, [&] { kept_ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_TRUE(kept_ran);
+  EXPECT_EQ(sim.pendingEventCount(), 0u);
+}
+
+TEST(ParallelEngine, SingleLaneEngineRunsProcessesClassically) {
+  // configureParallel(1, N, ...) keeps one lane (no usable topology cut) but
+  // still routes run() through the engine, so every worker count exercises
+  // the same code path. Processes must behave exactly as in the classic
+  // kernel.
+  st::Simulator sim;
+  sim.configureParallel(1, 4, 1);
+  int ticks = 0;
+  sim.spawn("ticker", [&] {
+    for (int i = 0; i < 5; ++i) {
+      sim.delay(10);
+      ++ticks;
+    }
+  });
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_GT(sim.metrics().counterValue("sim.parallel.epochs"), 0);
+}
+
+TEST(ParallelEngine, RunUntilBoundsEveryLaneClock) {
+  st::Simulator sim;
+  sim.configureParallel(3, 2, 10);
+  int ran = 0;
+  for (int lane = 0; lane < 3; ++lane) {
+    sim.scheduleOnLane(lane, 40, [&ran] { ++ran; });  // due
+    sim.scheduleOnLane(lane, 200, [&ran] { ++ran; }); // beyond the bound
+  }
+  sim.runUntil(100);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.pendingEventCount(), 3u);
+  sim.run();
+  EXPECT_EQ(ran, 6);
+}
+
+// ----------------------------------------------- sharded wire determinism --
+
+namespace {
+
+struct NetRun {
+  std::string metrics;
+  std::string trace;
+  std::vector<std::string> deliveries;  // lane-0 handler log, in order
+};
+
+/// Drive the sharded PacketNetwork directly: every host streams packets to a
+/// peer across the WAN cut (plus some intra-cluster chatter) over a lossy
+/// WAN link, so loss draws, queueing, and cross-partition handoff all engage.
+NetRun runShardedNet(int workers) {
+  st::Simulator sim;
+  net::Topology topo = dumbbell(/*wan_loss=*/0.05);
+  const net::PartitionPlan plan = net::planPartitions(topo, 8);
+  EXPECT_EQ(plan.partitions, 2);
+  net::PacketNetworkOptions nopts;
+  net::PacketNetwork net(sim, std::move(topo), nopts);
+  const st::SimTime lookahead =
+      std::min(nopts.host_stack_delay, plan.cut_latency);  // time_scale == 1
+  sim.configureParallel(plan.partitions + 1, workers, lookahead);
+  net.setPartitionPlan(plan);
+  sim.traceBus().setEnabled("net", true);
+
+  NetRun out;
+  const auto& t = net.topology();
+  for (net::NodeId n = 0; n < t.nodeCount(); ++n) {
+    if (t.node(n).kind != net::NodeKind::Host) continue;
+    net.attachHost(n, [&out, &net, n](net::Packet&& p) {
+      out.deliveries.push_back(net.topology().node(n).name + "<-" +
+                               net.topology().node(p.src).name + "@" +
+                               std::to_string(net.simulator().now()) + "#" +
+                               std::to_string(p.payload.size()));
+    });
+  }
+  // Senders live on lane 0, like real transports.
+  auto sendOne = [&net](const std::string& from, const std::string& to, std::size_t bytes) {
+    net::Packet p;
+    p.src = net.topology().findNode(from);
+    p.dst = net.topology().findNode(to);
+    p.protocol = net::Protocol::Udp;
+    p.payload.assign(bytes, 0xab);
+    net.send(std::move(p));
+  };
+  for (int i = 0; i < 40; ++i) {
+    sim.scheduleAt(i * 500 * kUs, [&sendOne, i] {
+      sendOne("a" + std::to_string(i % 3), "b" + std::to_string((i + 1) % 3),
+              static_cast<std::size_t>(100 + i));
+      sendOne("b" + std::to_string(i % 3), "a" + std::to_string((i + 2) % 3),
+              static_cast<std::size_t>(200 + i));
+      sendOne("a" + std::to_string(i % 3), "a" + std::to_string((i + 1) % 3), 64);
+    });
+  }
+  sim.run();
+  out.metrics = sim.metrics().snapshotJson();
+  out.trace = sim.traceBus().serialize();
+  return out;
+}
+
+}  // namespace
+
+TEST(ParallelNetwork, WorkerCountCannotChangeObservableOutput) {
+  const NetRun one = runShardedNet(1);
+  const NetRun two = runShardedNet(2);
+  const NetRun four = runShardedNet(4);
+  EXPECT_EQ(one.metrics, two.metrics);
+  EXPECT_EQ(one.metrics, four.metrics);
+  EXPECT_EQ(one.trace, two.trace);
+  EXPECT_EQ(one.trace, four.trace);
+  EXPECT_EQ(one.deliveries, two.deliveries);
+  EXPECT_EQ(one.deliveries, four.deliveries);
+  // The run exercised the stochastic path (WAN loss) and stayed horizon-safe.
+  EXPECT_NE(one.metrics.find("\"net.packet.dropped_loss\":"), std::string::npos);
+  EXPECT_GT(std::stoll(one.metrics.substr(one.metrics.find("\"sim.parallel.mailbox_msgs\":") + 28)),
+            0);
+  EXPECT_NE(one.metrics.find("\"sim.parallel.horizon_violations\":0"), std::string::npos);
+  EXPECT_FALSE(one.deliveries.empty());
+}
+
+TEST(ParallelNetwork, FaultMutationsApplyAtBarriersDeterministically) {
+  // Flip the WAN link and crash a host mid-run, from lane 0 (the fault
+  // layer's home); runAtBarrier must serialize the mutations against the
+  // wire lanes at any worker count.
+  auto runScenario = [](int workers) {
+    st::Simulator sim;
+    net::Topology topo = dumbbell();
+    const net::PartitionPlan plan = net::planPartitions(topo, 8);
+    net::PacketNetworkOptions nopts;
+    net::PacketNetwork net(sim, std::move(topo), nopts);
+    sim.configureParallel(plan.partitions + 1, workers,
+                          std::min(nopts.host_stack_delay, plan.cut_latency));
+    net.setPartitionPlan(plan);
+    int delivered = 0;
+    for (net::NodeId n = 0; n < net.topology().nodeCount(); ++n) {
+      if (net.topology().node(n).kind == net::NodeKind::Host) {
+        net.attachHost(n, [&delivered](net::Packet&&) { ++delivered; });
+      }
+    }
+    const net::LinkId wan = net.topology().findLink("wan");
+    const net::NodeId b0 = net.topology().findNode("b0");
+    for (int i = 0; i < 60; ++i) {
+      sim.scheduleAt(i * kMs, [&net] {
+        net::Packet p;
+        p.src = net.topology().findNode("a0");
+        p.dst = net.topology().findNode("b0");
+        p.protocol = net::Protocol::Udp;
+        p.payload.assign(128, 1);
+        net.send(std::move(p));
+      });
+    }
+    sim.scheduleAt(10 * kMs, [&net, wan] { net.setLinkUp(wan, false); });
+    sim.scheduleAt(25 * kMs, [&net, wan] { net.setLinkUp(wan, true); });
+    sim.scheduleAt(40 * kMs, [&net, b0] { net.setNodeUp(b0, false); });
+    sim.scheduleAt(50 * kMs, [&net, b0] { net.setNodeUp(b0, true); });
+    sim.run();
+    return sim.metrics().snapshotJson() + "#" + std::to_string(delivered);
+  };
+  const std::string one = runScenario(1);
+  EXPECT_EQ(one, runScenario(4));
+  // The faults really bit: drops on the downed link and the downed node.
+  EXPECT_EQ(one.find("\"net.packet.dropped_down\":0,"), std::string::npos);
+}
