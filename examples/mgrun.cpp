@@ -14,6 +14,13 @@
 //   --parts H:N,...    allocation parts (default: one rank per host)
 //   --quantum MS       scheduler quantum in milliseconds (default 10)
 //   --slowdown N       run the emulation N times slower (default 1)
+//   --netmodel M       network model (mgrid only): packet (default, per-hop
+//                      store-and-forward), flow (max-min fair fluid flows,
+//                      one event per flow state change — orders of magnitude
+//                      fewer events on large grids), or hybrid (flows by
+//                      default, packet detail where --netmodel-detail says)
+//   --netmodel-detail P,P,...  hybrid escalation selectors: host:GLOB (or a
+//                      bare hostname glob), port:N, port:LO-HI; repeatable
 //   --parallel N       drive the kernel with N worker threads (mgrid only;
 //                      the topology is sharded along its latency cut — any N
 //                      produces byte-identical metrics/trace/profile output,
@@ -59,6 +66,8 @@ struct Options {
   std::string parts;
   double quantum_ms = 10.0;
   double slowdown = 1.0;
+  std::string netmodel;  // "", "packet", "flow", or "hybrid"
+  std::vector<std::string> netmodel_detail;
   int parallel = 0;  // 0 = classic sequential kernel
   std::string faults_path;
   int resubmits = -1;   // -1: default (2 with faults, 0 without)
@@ -91,6 +100,11 @@ Options parseArgs(int argc, char** argv) {
       opt.quantum_ms = std::stod(next());
     } else if (flag == "--slowdown") {
       opt.slowdown = std::stod(next());
+    } else if (flag == "--netmodel" || flag.rfind("--netmodel=", 0) == 0) {
+      opt.netmodel = (flag == "--netmodel") ? next() : flag.substr(11);
+    } else if (flag == "--netmodel-detail" || flag.rfind("--netmodel-detail=", 0) == 0) {
+      const std::string val = (flag == "--netmodel-detail") ? next() : flag.substr(18);
+      for (const auto& p : util::splitTrim(val, ',')) opt.netmodel_detail.push_back(p);
     } else if (flag == "--parallel" || flag.rfind("--parallel=", 0) == 0) {
       opt.parallel = std::stoi((flag == "--parallel") ? next() : flag.substr(11));
       if (opt.parallel < 1) throw mg::UsageError("--parallel wants a worker count >= 1");
@@ -156,9 +170,21 @@ int main(int argc, char** argv) {
       mopts.quantum = sim::fromSeconds(opt.quantum_ms * 1e-3);
       mopts.slowdown = opt.slowdown;
       mopts.parallel_workers = opt.parallel;
+      if (!opt.netmodel.empty()) mopts.netmodel = net::parseNetModelKind(opt.netmodel);
+      if (!opt.netmodel_detail.empty() && mopts.netmodel != net::NetModelKind::Hybrid) {
+        throw mg::UsageError("--netmodel-detail needs --netmodel hybrid");
+      }
+      mopts.netmodel_detail = opt.netmodel_detail;
       auto p = std::make_unique<core::MicroGridPlatform>(cfg, mopts);
       std::cout << "MicroGrid platform, simulation rate " << p->rate() << ", quantum "
                 << opt.quantum_ms << " ms\n";
+      if (mopts.netmodel != net::NetModelKind::Packet) {
+        std::cout << "network model: " << net::netModelKindName(mopts.netmodel);
+        if (!mopts.netmodel_detail.empty()) {
+          std::cout << ", detail: " << util::join(mopts.netmodel_detail, ",");
+        }
+        std::cout << "\n";
+      }
       if (opt.parallel > 0) {
         const int lanes = p->simulator().laneCount();
         std::cout << "parallel: " << opt.parallel << " worker(s), " << (lanes - 1)
@@ -168,6 +194,9 @@ int main(int argc, char** argv) {
       platform = std::move(p);
     } else if (opt.platform == "pgrid") {
       if (opt.parallel > 0) throw mg::UsageError("--parallel needs --platform mgrid");
+      if (!opt.netmodel.empty()) {
+        throw mg::UsageError("--netmodel needs --platform mgrid (pgrid is always flow-level)");
+      }
       platform = std::make_unique<core::ReferencePlatform>(cfg);
       std::cout << "reference (physical grid) platform\n";
     } else {

@@ -45,6 +45,58 @@ class MicroGridPlatform::MgListener : public vos::Listener {
   std::shared_ptr<net::TcpListener> listener_;
 };
 
+// Hybrid mode: a port must accept both escalated (TCP) and fluid
+// connections. Both feed one unified backlog — the flow listener delivers
+// straight into it, and a pump daemon drains the TCP listener's handshake
+// output into it. Pure packet mode never comes through here, so its accept
+// path (and event stream) is untouched.
+class MicroGridPlatform::HybridListener : public vos::Listener {
+ public:
+  HybridListener(MicroGridPlatform& p, HostRt& rt, std::uint16_t port)
+      : p_(p),
+        unified_(std::make_shared<sim::Channel<std::shared_ptr<vos::StreamSocket>>>(p.sim_)) {
+    tcp_ = rt.stack->tcp().listen(port);
+    flow_ = p.flow_table_->listen(rt.info->node, port,
+                                  [ch = unified_](std::shared_ptr<vos::StreamSocket> s) {
+                                    if (!ch->closed()) ch->send(std::move(s));
+                                  });
+    // The pump owns shared refs so it can outlive this listener object
+    // (processes are only reaped at kernel safe points).
+    p.sim_.spawn("hybrid-accept-pump", [&p, tcp = tcp_, ch = unified_] {
+      try {
+        while (true) {
+          auto conn = tcp->accept();
+          if (!conn) break;
+          ch->send(std::make_shared<MgSocket>(p, std::move(conn)));
+        }
+      } catch (const sim::ChannelClosed&) {
+        // Listener or backlog closed: orderly pump shutdown.
+      }
+    });
+  }
+
+  ~HybridListener() override { close(); }
+
+  std::shared_ptr<vos::StreamSocket> accept() override { return unified_->recv(); }
+
+  std::shared_ptr<vos::StreamSocket> acceptFor(double virtual_seconds) override {
+    auto v = unified_->recvFor(p_.vt_->toKernel(virtual_seconds));
+    return v ? std::move(*v) : nullptr;
+  }
+
+  void close() override {
+    tcp_->close();
+    flow_->close();
+    unified_->close();
+  }
+
+ private:
+  MicroGridPlatform& p_;
+  std::shared_ptr<net::TcpListener> tcp_;
+  std::shared_ptr<FlowListener> flow_;
+  std::shared_ptr<sim::Channel<std::shared_ptr<vos::StreamSocket>>> unified_;
+};
+
 // ---------------------------------------------------------------- context --
 
 class MicroGridPlatform::MgContext : public vos::HostContext {
@@ -85,13 +137,28 @@ class MicroGridPlatform::MgContext : public vos::HostContext {
   const vos::HostMapper& mapper() const override { return p_.mapper_; }
 
   std::shared_ptr<vos::Listener> listen(std::uint16_t port) override {
-    return std::make_shared<MgListener>(p_, rt_.stack->tcp().listen(port));
+    switch (p_.opts_.netmodel) {
+      case net::NetModelKind::Packet:
+        return std::make_shared<MgListener>(p_, rt_.stack->tcp().listen(port));
+      case net::NetModelKind::Flow:
+        return p_.flow_table_->listen(rt_.info->node, port);
+      case net::NetModelKind::Hybrid:
+        return std::make_shared<HybridListener>(p_, rt_, port);
+    }
+    throw UsageError("unknown netmodel");
   }
 
   std::shared_ptr<vos::StreamSocket> connect(const std::string& host_or_ip,
                                              std::uint16_t port) override {
     const vos::VirtualHostInfo& target = p_.mapper_.resolve(host_or_ip);
-    return std::make_shared<MgSocket>(p_, rt_.stack->tcp().connect(target.node, port));
+    // The connector decides the path; hybrid escalation is symmetric in
+    // (src, dst), so both ends of a detail conversation agree on it.
+    if (p_.opts_.netmodel == net::NetModelKind::Packet ||
+        (p_.opts_.netmodel == net::NetModelKind::Hybrid &&
+         p_.net_->escalate(rt_.info->node, target.node, port))) {
+      return std::make_shared<MgSocket>(p_, rt_.stack->tcp().connect(target.node, port));
+    }
+    return p_.flow_table_->connect(rt_.info->node, target.node, port);
   }
 
   sim::Process& spawnProcess(const std::string& name,
@@ -135,9 +202,45 @@ MicroGridPlatform::MicroGridPlatform(const VirtualGridConfig& cfg, MicroGridOpti
   net::PacketNetworkOptions nopts;
   nopts.time_scale = vt_->kernelPerVirtual();
   nopts.seed = opts_.seed;
-  net_ = std::make_unique<net::PacketNetwork>(sim_, cfg.topology(), nopts);
+  switch (opts_.netmodel) {
+    case net::NetModelKind::Packet: {
+      auto pn = std::make_unique<net::PacketNetwork>(sim_, cfg.topology(), nopts);
+      packet_ = pn.get();
+      net_ = std::move(pn);
+      break;
+    }
+    case net::NetModelKind::Flow: {
+      net::FlowNetworkOptions fopts = opts_.flow;
+      fopts.time_scale = vt_->kernelPerVirtual();
+      net_ = std::make_unique<net::FlowNetwork>(sim_, cfg.topology(), fopts);
+      break;
+    }
+    case net::NetModelKind::Hybrid: {
+      net::HybridNetworkOptions hopts;
+      hopts.packet = nopts;
+      hopts.flow = opts_.flow;
+      hopts.detail = opts_.netmodel_detail;
+      auto hn = std::make_unique<net::HybridNetwork>(sim_, cfg.topology(), hopts);
+      packet_ = hn.get();
+      net_ = std::move(hn);
+      break;
+    }
+  }
+  if (opts_.netmodel != net::NetModelKind::Packet) {
+    flow_table_ = std::make_unique<FlowEndpointTable>(
+        *net_, [this](net::NodeId n) { return mapper_.byNode(n).hostname; },
+        [this](double s) { return vt_->toKernel(s); });
+  }
 
-  if (opts_.parallel_workers >= 1) {
+  if (opts_.parallel_workers >= 1 && opts_.netmodel != net::NetModelKind::Packet) {
+    // Fluid flows are global state (one shared max-min computation), so flow
+    // and hybrid mode run the lane engine single-laned: parallel_workers
+    // stays a valid knob everywhere, and pure packet mode — the one with
+    // per-link locality — is the one that shards the wire.
+    sim_.configureParallel(1, opts_.parallel_workers, 1);
+    MG_LOG_INFO("core") << "parallel: " << net::netModelKindName(opts_.netmodel)
+                        << " netmodel runs single-laned";
+  } else if (opts_.parallel_workers >= 1) {
     // Shard the wire along the topology's latency cut. The plan — and so the
     // lane layout — depends only on the topology and max_partitions, never
     // on the worker count: that is what makes parallel_workers a pure speed
@@ -170,7 +273,9 @@ MicroGridPlatform::MicroGridPlatform(const VirtualGridConfig& cfg, MicroGridOpti
   for (const auto& host : mapper_.hosts()) {
     HostRt rt;
     rt.info = &host;
-    rt.stack = std::make_unique<net::HostStack>(*net_, host.node, opts_.tcp);
+    // Transport stacks exist only where packets can arrive; pure flow mode
+    // has no per-segment machinery at all.
+    if (packet_ != nullptr) rt.stack = std::make_unique<net::HostStack>(*net_, host.node, opts_.tcp);
     rt.mem = std::make_unique<vos::MemoryManager>(host.memory_bytes, &sim_.metrics());
     rt.sched = schedulers_.at(host.physical_host).get();
     const double phys_ops = cfg.physical(host.physical_host).cpu_ops;
@@ -209,22 +314,27 @@ void MicroGridPlatform::crashHost(const std::string& hostname) {
   // set here survive the unwind.
   sim_.spans().abortTrack(hostname, "host_crash");
   // RSTs to peers are scheduled while the node is still up, so they escape
-  // onto the wire before the blackhole closes behind them.
-  rt.stack->tcp().abortAll("host " + hostname + " crashed");
+  // onto the wire before the blackhole closes behind them. Flow-mode
+  // connections get the same dying gasp: every socket touching the node
+  // resets immediately.
+  if (rt.stack) rt.stack->tcp().abortAll("host " + hostname + " crashed");
+  if (flow_table_) flow_table_->crashNode(rt.info->node);
   // Kill every process; each unwinds synchronously, releasing its memory
   // lease and scheduler slot. Finished (possibly reaped) ids are no-ops.
   std::vector<std::uint64_t> procs;
   procs.swap(rt.procs);
   for (std::uint64_t id : procs) sim_.killProcessById(id);
   net_->setNodeUp(rt.info->node, false);
-  net_->attachHost(rt.info->node, nullptr);  // the stack is about to die
-  rt.stack.reset();
+  if (rt.stack) {
+    net_->attachHost(rt.info->node, nullptr);  // the stack is about to die
+    rt.stack.reset();
+  }
 }
 
 void MicroGridPlatform::restartHost(const std::string& hostname) {
   HostRt& rt = hostRt(hostname);
   if (rt.alive) return;
-  rt.stack = std::make_unique<net::HostStack>(*net_, rt.info->node, opts_.tcp);
+  if (packet_ != nullptr) rt.stack = std::make_unique<net::HostStack>(*net_, rt.info->node, opts_.tcp);
   net_->setNodeUp(rt.info->node, true);
   rt.alive = true;
   MG_LOG_INFO("core") << "restart " << hostname;
@@ -237,6 +347,14 @@ void MicroGridPlatform::setHostCpuFactor(const std::string& hostname, double fac
   HostRt& rt = hostRt(hostname);
   rt.cpu_factor = factor;
   refraction(rt);
+}
+
+net::PacketNetwork& MicroGridPlatform::packetNetwork() {
+  if (packet_ == nullptr) {
+    throw UsageError("no packet machinery under --netmodel=" +
+                     std::string(net::netModelKindName(opts_.netmodel)));
+  }
+  return *packet_;
 }
 
 vos::CpuScheduler& MicroGridPlatform::schedulerFor(const std::string& physical_name) {

@@ -15,9 +15,11 @@
 #include <memory>
 #include <vector>
 
+#include "core/flow_socket.h"
 #include "core/platform.h"
 #include "core/virtual_grid.h"
 #include "net/host_stack.h"
+#include "net/hybrid_network.h"
 #include "net/packet_network.h"
 #include "vos/cpu_scheduler.h"
 #include "vos/memory.h"
@@ -40,6 +42,15 @@ struct MicroGridOptions {
   double rate_override = 0;
   /// Transport tuning for the virtual network.
   net::TcpOptions tcp;
+  /// Which model backs the virtual wire (DESIGN.md §8): full packet
+  /// simulation, max-min fair fluid flows, or hybrid (fluid by default,
+  /// packet detail for traffic matching `netmodel_detail`).
+  net::NetModelKind netmodel = net::NetModelKind::Packet;
+  /// Hybrid escalation patterns (see net::DetailSelector).
+  std::vector<std::string> netmodel_detail;
+  /// Fluid-path tuning for flow/hybrid mode; its time_scale is derived from
+  /// the simulation rate, not taken from here.
+  net::FlowNetworkOptions flow;
   std::uint64_t seed = 42;
   /// Parallel execution: worker threads driving the event lanes. 0 = the
   /// classic sequential kernel. Any N >= 1 engages the lane engine; the
@@ -67,7 +78,12 @@ class MicroGridPlatform : public Platform {
   double rate() const { return rate_; }
   int partitionOf(const std::string& host_or_ip) const override;
   const vos::VirtualTime& virtualTime() const { return *vt_; }
-  net::PacketNetwork& network() { return *net_; }
+  /// The network model behind the virtual wire (packet, flow, or hybrid).
+  net::NetworkModel& network() { return *net_; }
+  /// The packet machinery, when the active model has one (packet or hybrid
+  /// mode); throws UsageError under --netmodel=flow.
+  net::PacketNetwork& packetNetwork();
+  net::NetModelKind netModel() const { return opts_.netmodel; }
   vos::CpuScheduler& schedulerFor(const std::string& physical_name);
 
   /// Emulation wall-clock seconds consumed so far (the cost side of the
@@ -98,6 +114,7 @@ class MicroGridPlatform : public Platform {
   class MgContext;
   class MgSocket;
   class MgListener;
+  class HybridListener;
 
   struct HostRt {
     const vos::VirtualHostInfo* info = nullptr;
@@ -124,7 +141,9 @@ class MicroGridPlatform : public Platform {
   MicroGridOptions opts_;
   double rate_ = 0;
   std::unique_ptr<vos::VirtualTime> vt_;
-  std::unique_ptr<net::PacketNetwork> net_;
+  std::unique_ptr<net::NetworkModel> net_;
+  net::PacketNetwork* packet_ = nullptr;  // non-null in packet/hybrid mode
+  std::unique_ptr<FlowEndpointTable> flow_table_;  // non-null in flow/hybrid mode
   std::map<std::string, std::unique_ptr<vos::CpuScheduler>> schedulers_;
   std::map<std::string, HostRt> hosts_;
 };

@@ -1,158 +1,8 @@
 #include "core/reference_platform.h"
 
-#include <algorithm>
-#include <cstring>
-
 #include "util/log.h"
 
 namespace mg::core {
-
-// ---------------------------------------------------------------- sockets --
-
-class ReferencePlatform::RefSocket : public vos::StreamSocket,
-                                     public std::enable_shared_from_this<RefSocket> {
- public:
-  /// Per-connection in-flight cap, mirroring a TCP window: senders block
-  /// once this many bytes are reserved but undelivered.
-  static constexpr std::int64_t kWindow = 1 << 20;
-
-  RefSocket(ReferencePlatform& p, net::NodeId local, std::string local_host, net::NodeId remote,
-            std::string remote_host)
-      : p_(p),
-        local_(local),
-        remote_(remote),
-        local_host_(std::move(local_host)),
-        remote_host_(std::move(remote_host)),
-        readable_(p.sim_),
-        writable_(p.sim_) {}
-
-  static void pair(const std::shared_ptr<RefSocket>& a, const std::shared_ptr<RefSocket>& b) {
-    a->peer_ = b;
-    b->peer_ = a;
-  }
-
-  void send(const void* data, std::size_t n) override {
-    auto self = shared_from_this();
-    const auto* src = static_cast<const std::uint8_t*>(data);
-    std::size_t remaining = n;
-    while (remaining > 0) {
-      if (closed_) throw mg::UsageError("send after close");
-      auto peer = peer_.lock();
-      if (!peer || peer->closed_) throw mg::Error("connection reset by peer");
-      if (in_flight_ >= kWindow) {
-        writable_.wait();
-        continue;
-      }
-      const std::size_t chunk =
-          std::min(remaining, static_cast<std::size_t>(kWindow - in_flight_));
-      in_flight_ += static_cast<std::int64_t>(chunk);
-      auto buf = std::make_shared<std::vector<std::uint8_t>>(src, src + chunk);
-      const sim::SimTime at =
-          p_.flow_->reserveTransfer(local_, remote_, static_cast<std::int64_t>(chunk));
-      p_.sim_.scheduleAt(at, [self, peer, buf] {
-        self->in_flight_ -= static_cast<std::int64_t>(buf->size());
-        self->writable_.notifyAll();
-        if (!peer->closed_) {
-          peer->recv_buf_.insert(peer->recv_buf_.end(), buf->begin(), buf->end());
-          peer->readable_.notifyAll();
-        }
-      });
-      src += chunk;
-      remaining -= chunk;
-    }
-  }
-
-  std::size_t recv(void* buf, std::size_t max) override {
-    if (closed_) throw mg::UsageError("recv on closed socket");
-    if (max == 0) return 0;
-    while (recv_buf_.empty()) {
-      if (remote_closed_) return 0;
-      readable_.wait();
-      if (closed_) throw mg::UsageError("socket closed during recv");
-    }
-    const std::size_t n = std::min(max, recv_buf_.size());
-    std::copy_n(recv_buf_.begin(), n, static_cast<std::uint8_t*>(buf));
-    recv_buf_.erase(recv_buf_.begin(), recv_buf_.begin() + static_cast<std::ptrdiff_t>(n));
-    return n;
-  }
-
-  void close() override {
-    if (closed_) return;
-    closed_ = true;
-    readable_.notifyAll();
-    writable_.notifyAll();
-    auto peer = peer_.lock();
-    if (peer && local_ != net::kNoNode) {
-      // Deliver EOF in order: the zero-byte reservation queues behind every
-      // pending send on the same path.
-      const sim::SimTime at = p_.flow_->reserveTransfer(local_, remote_, 0);
-      p_.sim_.scheduleAt(at, [peer] {
-        peer->remote_closed_ = true;
-        peer->readable_.notifyAll();
-      });
-    }
-  }
-
-  std::string peerHost() const override { return remote_host_; }
-
- private:
-  ReferencePlatform& p_;
-  net::NodeId local_;
-  net::NodeId remote_;
-  std::string local_host_;
-  std::string remote_host_;
-  std::weak_ptr<RefSocket> peer_;
-  std::deque<std::uint8_t> recv_buf_;
-  std::int64_t in_flight_ = 0;
-  bool closed_ = false;
-  bool remote_closed_ = false;
-  sim::Condition readable_;
-  sim::Condition writable_;
-};
-
-class ReferencePlatform::RefListener : public vos::Listener {
- public:
-  RefListener(ReferencePlatform& p, net::NodeId node, std::uint16_t port)
-      : p_(p), node_(node), port_(port), backlog_(p.sim_) {
-    const auto key = std::make_pair(node_, port_);
-    if (p_.listeners_.count(key)) throw mg::UsageError("port already listening");
-    p_.listeners_[key] = this;
-  }
-  ~RefListener() override { close(); }
-
-  std::shared_ptr<vos::StreamSocket> accept() override {
-    try {
-      return backlog_.recv();
-    } catch (const sim::ChannelClosed&) {
-      throw mg::UsageError("accept on closed listener");
-    }
-  }
-
-  std::shared_ptr<vos::StreamSocket> acceptFor(double virtual_seconds) override {
-    try {
-      auto got = backlog_.recvFor(sim::fromSeconds(virtual_seconds));
-      return got ? *got : nullptr;
-    } catch (const sim::ChannelClosed&) {
-      throw mg::UsageError("accept on closed listener");
-    }
-  }
-
-  void close() override {
-    if (closed_) return;
-    closed_ = true;
-    p_.listeners_.erase(std::make_pair(node_, port_));
-    backlog_.close();
-  }
-
-  bool push(std::shared_ptr<RefSocket> sock) { return backlog_.trySend(std::move(sock)); }
-
- private:
-  ReferencePlatform& p_;
-  net::NodeId node_;
-  std::uint16_t port_;
-  bool closed_ = false;
-  sim::Channel<std::shared_ptr<vos::StreamSocket>> backlog_;
-};
 
 // ---------------------------------------------------------------- context --
 
@@ -180,27 +30,13 @@ class ReferencePlatform::RefContext : public vos::HostContext {
   const vos::HostMapper& mapper() const override { return p_.mapper_; }
 
   std::shared_ptr<vos::Listener> listen(std::uint16_t port) override {
-    return std::make_shared<RefListener>(p_, info_.node, port);
+    return p_.table_->listen(info_.node, port);
   }
 
   std::shared_ptr<vos::StreamSocket> connect(const std::string& host_or_ip,
                                              std::uint16_t port) override {
     const vos::VirtualHostInfo& target = p_.mapper_.resolve(host_or_ip);
-    // Handshake: one round trip plus fixed software cost.
-    const double rtt =
-        2.0 * sim::toSeconds(p_.flow_->estimate(info_.node, target.node, 0));
-    p_.sim_.delay(sim::fromSeconds(rtt + p_.opts_.connect_overhead_seconds));
-    auto it = p_.listeners_.find(std::make_pair(target.node, port));
-    if (it == p_.listeners_.end()) {
-      throw mg::Error("connection refused: " + target.hostname + ":" + std::to_string(port));
-    }
-    auto local = std::make_shared<RefSocket>(p_, info_.node, info_.hostname, target.node,
-                                             target.hostname);
-    auto remote = std::make_shared<RefSocket>(p_, target.node, target.hostname, info_.node,
-                                              info_.hostname);
-    RefSocket::pair(local, remote);
-    it->second->push(std::move(remote));
-    return local;
+    return p_.table_->connect(info_.node, target.node, port);
   }
 
   sim::Process& spawnProcess(const std::string& name,
@@ -222,6 +58,11 @@ class ReferencePlatform::RefContext : public vos::HostContext {
 ReferencePlatform::ReferencePlatform(const VirtualGridConfig& cfg, ReferenceOptions opts)
     : mapper_(cfg.mapper()), opts_(opts) {
   flow_ = std::make_unique<net::FlowNetwork>(sim_, cfg.topology(), opts_.network);
+  FlowEndpointOptions fopts;
+  fopts.connect_overhead = sim::fromSeconds(opts_.connect_overhead_seconds);
+  table_ = std::make_unique<FlowEndpointTable>(
+      *flow_, [this](net::NodeId n) { return mapper_.byNode(n).hostname; },
+      [](double s) { return sim::fromSeconds(s); }, fopts);
 }
 
 ReferencePlatform::~ReferencePlatform() { sim_.shutdown(); }

@@ -2,20 +2,20 @@
 //
 // Plays the role of the real testbed in the paper's validation experiments:
 // compute on a host with speed V takes exactly ops/V seconds, and messages
-// travel through the analytic flow-level network model. Virtual time equals
+// travel through the max-min fair flow-level network model — the same
+// FlowNetwork/FlowSocket stack MicroGridPlatform uses under --netmodel=flow,
+// so there is exactly one fluid wiring in the tree. Virtual time equals
 // kernel time (rate 1). See DESIGN.md §2 for why this substitution preserves
 // the comparisons.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
 
+#include "core/flow_socket.h"
 #include "core/platform.h"
 #include "core/virtual_grid.h"
 #include "net/flow_network.h"
-#include "sim/channel.h"
-#include "sim/condition.h"
 #include "vos/memory.h"
 
 namespace mg::core {
@@ -43,12 +43,7 @@ class ReferencePlatform : public Platform {
 
  private:
   friend class RefContext;
-  friend class RefSocket;
-  friend class RefListener;
-
   class RefContext;
-  class RefSocket;
-  class RefListener;
 
   vos::MemoryManager& memoryFor(const std::string& hostname);
 
@@ -56,9 +51,8 @@ class ReferencePlatform : public Platform {
   vos::HostMapper mapper_;
   ReferenceOptions opts_;
   std::unique_ptr<net::FlowNetwork> flow_;
+  std::unique_ptr<FlowEndpointTable> table_;
   std::map<std::string, std::unique_ptr<vos::MemoryManager>> memory_;
-  // Listener registry: (node, port) -> backlog of accepted sockets.
-  std::map<std::pair<net::NodeId, std::uint16_t>, RefListener*> listeners_;
 };
 
 }  // namespace mg::core

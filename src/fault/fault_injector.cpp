@@ -98,7 +98,7 @@ void FaultInjector::applied(const FaultEvent& ev) {
 
 void FaultInjector::fire(const FaultEvent& ev) {
   sim::Simulator& sim = platform_.simulator();
-  net::PacketNetwork& net = platform_.network();
+  net::NetworkModel& net = platform_.network();
   const net::Topology& topo = net.topology();
   const double now = platform_.virtualNow();
 
@@ -127,8 +127,8 @@ void FaultInjector::fire(const FaultEvent& ev) {
       break;
     case FaultKind::LinkDegrade: {
       const net::LinkId lid = topo.findLink(ev.target);
-      const net::PacketNetwork::LinkParams saved = net.linkParams(lid);
-      net::PacketNetwork::LinkParams p = saved;
+      const net::LinkParams saved = net.linkParams(lid);
+      net::LinkParams p = saved;
       if (ev.loss >= 0) p.loss_rate = ev.loss;
       p.latency = static_cast<sim::SimTime>(static_cast<double>(p.latency) * ev.latency_mult);
       p.bandwidth_bps *= ev.bandwidth_mult;

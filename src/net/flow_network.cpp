@@ -2,93 +2,444 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "sim/condition.h"
 #include "util/error.h"
+#include "util/log.h"
 
 namespace mg::net {
+namespace {
 
-FlowNetwork::FlowNetwork(sim::Simulator& sim, Topology topo, FlowNetworkOptions opts)
-    : sim_(sim),
-      topo_(std::move(topo)),
-      routing_(topo_),
+// Rates within this relative tolerance keep their scheduled drain event;
+// cancelling + rescheduling for sub-ulp share jitter would churn the event
+// heap for no modeled effect.
+constexpr double kRateEpsilon = 1e-12;
+
+bool rateChanged(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) > kRateEpsilon * scale;
+}
+
+}  // namespace
+
+FlowEngine::FlowEngine(NetworkModel& model, FlowNetworkOptions opts)
+    : model_(model),
+      sim_(model.simulator()),
       opts_(opts),
-      c_transfers_(sim.metrics().counter("net.flow.transfers")),
-      c_bytes_(sim.metrics().counter("net.flow.bytes")),
-      trace_(sim.traceBus().channel("net.flow")) {
-  if (opts_.time_scale <= 0) throw UsageError("time_scale must be positive");
-  link_free_at_.assign(static_cast<size_t>(topo_.linkCount()) * 2, 0);
+      c_started_(sim_.metrics().counter("net.flow.started")),
+      c_completed_(sim_.metrics().counter("net.flow.completed")),
+      c_aborted_(sim_.metrics().counter("net.flow.aborted")),
+      c_bytes_(sim_.metrics().counter("net.flow.payload_bytes")),
+      c_recomputes_(sim_.metrics().counter("net.flow.share_recomputes")),
+      c_dropped_down_(sim_.metrics().counter("net.flow.dropped_down")),
+      g_active_(sim_.metrics().gauge("net.flow.active")),
+      g_peak_(sim_.metrics().gauge("net.flow.active_peak")),
+      trace_(sim_.traceBus().channel("net.flow")) {
+  if (opts_.byte_overhead < 1.0) throw ConfigError("flow byte_overhead must be >= 1");
+  const auto links = static_cast<std::size_t>(model_.topology().linkCount());
+  cap_.assign(links * 2, 0.0);
+  cnt_.assign(links * 2, 0);
+  busy_mark_.assign(links, -1);
+  link_busy_s_.assign(links, 0.0);
+  g_link_busy_.assign(links, nullptr);
+  g_link_util_.assign(links, nullptr);
 }
 
-FlowNetworkStats FlowNetwork::stats() const {
-  return FlowNetworkStats{c_transfers_.value(), c_bytes_.value()};
+double FlowEngine::nowNetSeconds() const {
+  return sim::toSeconds(sim_.now()) / model_.timeScale();
 }
 
-sim::SimTime FlowNetwork::estimate(NodeId src, NodeId dst, std::int64_t bytes) const {
+sim::SimTime FlowEngine::estimate(NodeId src, NodeId dst, std::int64_t payload_bytes) const {
+  if (payload_bytes < 0) throw UsageError("negative transfer size");
   if (src == dst) return opts_.per_message_overhead;
-  auto p = routing_.path(src, dst);
-  if (p.empty()) throw ConfigError("no route between nodes");
-  const double wire_bits = static_cast<double>(bytes) * opts_.byte_overhead * 8.0;
+  const Topology& topo = model_.topology();
+  if (src < 0 || src >= topo.nodeCount() || dst < 0 || dst >= topo.nodeCount()) {
+    throw UsageError("flow endpoint out of range");
+  }
+  const std::vector<LinkId> path = model_.routing().path(src, dst);
+  if (path.empty()) throw ConfigError("no route between nodes");
   sim::SimTime latency = 0;
   double bottleneck = std::numeric_limits<double>::infinity();
-  for (LinkId lid : p) {
-    const Link& l = topo_.link(lid);
+  for (LinkId lid : path) {
+    const Link& l = topo.link(lid);
     latency += l.latency;
     bottleneck = std::min(bottleneck, l.bandwidth_bps);
   }
+  const double wire_bits = static_cast<double>(payload_bytes) * opts_.byte_overhead * 8.0;
   return opts_.per_message_overhead + latency + sim::fromSeconds(wire_bits / bottleneck);
 }
 
-sim::SimTime FlowNetwork::transfer(NodeId src, NodeId dst, std::int64_t bytes) {
-  const double inv_scale = 1.0 / opts_.time_scale;
-  const sim::SimTime now_net =
-      static_cast<sim::SimTime>(std::llround(static_cast<double>(sim_.now()) * inv_scale));
-  const sim::SimTime end_kernel = reserveTransfer(src, dst, bytes);
-  const sim::SimTime wait = std::max<sim::SimTime>(0, end_kernel - sim_.now());
-  sim_.delay(wait);
-  const sim::SimTime end_net =
-      static_cast<sim::SimTime>(std::llround(static_cast<double>(end_kernel) * inv_scale));
-  return end_net - now_net;
+FlowId FlowEngine::start(NodeId src, NodeId dst, std::int64_t payload_bytes,
+                         CompleteFn on_complete, AbortFn on_abort, DrainFn on_drain) {
+  if (payload_bytes < 0) throw UsageError("negative transfer size");
+  const double wire_bits = static_cast<double>(payload_bytes) * opts_.byte_overhead * 8.0;
+  return startBits(src, dst, wire_bits, payload_bytes, std::move(on_complete),
+                   std::move(on_abort), 0, std::move(on_drain));
 }
 
-sim::SimTime FlowNetwork::reserveTransfer(NodeId src, NodeId dst, std::int64_t bytes) {
-  if (bytes < 0) throw UsageError("negative transfer size");
-  c_transfers_.inc();
-  c_bytes_.inc(bytes);
-  if (trace_.enabled()) trace_.record(sim_.now(), "transfer", static_cast<double>(bytes));
-  const double inv_scale = 1.0 / opts_.time_scale;
-  const sim::SimTime now_net =
-      static_cast<sim::SimTime>(std::llround(static_cast<double>(sim_.now()) * inv_scale));
+FlowId FlowEngine::startBits(NodeId src, NodeId dst, double wire_bits,
+                             std::int64_t payload_bytes, CompleteFn on_complete,
+                             AbortFn on_abort, obs::SpanId span, DrainFn on_drain) {
+  const Topology& topo = model_.topology();
+  if (src < 0 || src >= topo.nodeCount() || dst < 0 || dst >= topo.nodeCount()) {
+    throw UsageError("flow endpoint out of range");
+  }
+  c_started_.inc();
+  c_bytes_.inc(payload_bytes);
+  if (trace_.enabled()) trace_.record(sim_.now(), "start", static_cast<double>(payload_bytes));
 
-  sim::SimTime end_net;
   if (src == dst) {
-    end_net = now_net + opts_.per_message_overhead;
-  } else {
-    auto p = routing_.path(src, dst);
-    if (p.empty()) throw ConfigError("no route between nodes");
-    const double wire_bits = static_cast<double>(bytes) * opts_.byte_overhead * 8.0;
-    // The flow streams across all path links concurrently; each directed
-    // link serializes flows FIFO. start chains forward so a queued upstream
-    // link delays the whole flow.
-    sim::SimTime start = now_net;
-    sim::SimTime latest_finish = now_net;
-    sim::SimTime total_latency = 0;
-    NodeId at = src;
-    for (LinkId lid : p) {
-      const Link& l = topo_.link(lid);
-      const int dir = (l.a == at) ? 0 : 1;
-      sim::SimTime& free_at = link_free_at_[static_cast<size_t>(lid) * 2 + static_cast<size_t>(dir)];
-      const sim::SimTime begin = std::max(start, free_at);
-      const sim::SimTime ser = sim::fromSeconds(wire_bits / l.bandwidth_bps);
-      free_at = begin + ser;
-      latest_finish = std::max(latest_finish, begin + ser);
-      total_latency += l.latency;
-      start = begin;
-      at = topo_.peer(lid, at);
-    }
-    end_net = latest_finish + total_latency + opts_.per_message_overhead;
+    // Loopback never touches the wire: per-message software overhead only.
+    // No link capacity is held, so the drain boundary is immediate.
+    if (on_drain) sim_.scheduleAt(sim_.now(), std::move(on_drain));
+    sim_.scheduleAfter(model_.scaleDuration(opts_.per_message_overhead),
+                       [this, cb = std::move(on_complete)] {
+                         c_completed_.inc();
+                         if (cb) cb();
+                       });
+    return kNoFlow;
   }
 
-  return static_cast<sim::SimTime>(std::llround(static_cast<double>(end_net) * opts_.time_scale));
+  const std::vector<LinkId> path = model_.routing().path(src, dst);
+  if (path.empty()) throw ConfigError("no route between nodes");
+
+  Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.on_complete = std::move(on_complete);
+  f.on_abort = std::move(on_abort);
+  f.dlinks.reserve(path.size());
+  f.nodes.reserve(path.size() + 1);
+  NodeId at = src;
+  f.nodes.push_back(at);
+  for (LinkId lid : path) {
+    const Link& l = topo.link(lid);
+    const int dir = (at == l.a) ? 0 : 1;
+    f.dlinks.push_back(static_cast<std::uint32_t>(lid) * 2 + static_cast<std::uint32_t>(dir));
+    f.latency += l.latency;
+    at = topo.peer(lid, at);
+    f.nodes.push_back(at);
+  }
+
+  if (wire_bits <= 0.0) {
+    // Zero-length payloads (EOF markers, bare signals) ride the latency +
+    // overhead path without ever occupying link capacity.
+    if (on_drain) sim_.scheduleAt(sim_.now(), std::move(on_drain));
+    sim_.scheduleAfter(model_.scaleDuration(f.latency + opts_.per_message_overhead),
+                       [this, cb = std::move(f.on_complete)] {
+                         c_completed_.inc();
+                         if (cb) cb();
+                       });
+    return kNoFlow;
+  }
+
+  f.on_drain = std::move(on_drain);
+  f.remaining_bits = wire_bits;
+  if (span != 0) {
+    f.span = span;
+  } else if (sim_.spans().enabled()) {
+    f.span = sim_.spans().begin("net.flow", "flow", topo.node(src).name);
+    f.owns_span = true;
+  }
+
+  const FlowId id = next_id_++;
+  integrateTo(sim_.now());
+  flows_.emplace(id, std::move(f));
+  if (static_cast<std::int64_t>(flows_.size()) > peak_active_) {
+    peak_active_ = static_cast<std::int64_t>(flows_.size());
+  }
+  publishActiveGauges();
+  shareOut();
+  return id;
+}
+
+void FlowEngine::sendPacket(Packet&& pkt) {
+  const Topology& topo = model_.topology();
+  if (pkt.src < 0 || pkt.src >= topo.nodeCount() || pkt.dst < 0 || pkt.dst >= topo.nodeCount()) {
+    throw UsageError("packet endpoint out of range");
+  }
+  if (pkt.src != pkt.dst && model_.routing().nextLink(pkt.src, pkt.dst) == kNoLink) {
+    c_dropped_down_.inc();
+    if (trace_.enabled()) trace_.record(sim_.now(), "drop_down", static_cast<double>(pkt.wireBytes()));
+    sim_.spans().endWith(pkt.span, "dropped", "no_route");
+    return;
+  }
+  auto p = std::make_shared<Packet>(std::move(pkt));
+  const double wire_bits = static_cast<double>(p->wireBytes()) * 8.0;
+  const auto payload_bytes = static_cast<std::int64_t>(p->payload.size());
+  const obs::SpanId span = p->span;
+  startBits(
+      p->src, p->dst, wire_bits, payload_bytes,
+      [this, p]() mutable { deliverPacket(std::move(*p)); },
+      [this, p](const std::string& why) {
+        c_dropped_down_.inc();
+        if (trace_.enabled()) trace_.record(sim_.now(), "drop_down", static_cast<double>(p->wireBytes()));
+        sim_.spans().endWith(p->span, "dropped", why);
+      },
+      span);
+}
+
+void FlowEngine::deliverPacket(Packet&& pkt) {
+  const Topology& topo = model_.topology();
+  if (!topo.node(pkt.dst).up) {
+    // Same blackhole semantics as the packet model: crashed hosts receive
+    // nothing, so peers learn of the failure from their own timers.
+    c_dropped_down_.inc();
+    if (trace_.enabled()) trace_.record(sim_.now(), "drop_node_down", static_cast<double>(pkt.wireBytes()), topo.node(pkt.dst).name);
+    sim_.spans().endWith(pkt.span, "dropped", "node_down");
+    return;
+  }
+  sim_.spans().end(pkt.span);
+  pkt.span = 0;
+  NetworkModel::PacketHandler& h = model_.handlers_.at(static_cast<std::size_t>(pkt.dst));
+  if (!h) {
+    MG_LOG_TRACE("net") << "flow packet to unattached node " << topo.node(pkt.dst).name;
+    return;
+  }
+  if (trace_.enabled()) trace_.record(sim_.now(), "deliver", static_cast<double>(pkt.payload.size()));
+  h(std::move(pkt));
+}
+
+void FlowEngine::integrateTo(sim::SimTime now) {
+  if (now == last_update_ || flows_.empty()) {
+    last_update_ = now;
+    return;
+  }
+  const double dt = sim::toSeconds(now - last_update_) / model_.timeScale();
+  last_update_ = now;
+  if (dt <= 0.0) return;
+  ++epoch_;
+  const double elapsed = nowNetSeconds();
+  for (auto& [id, f] : flows_) {
+    f.remaining_bits = std::max(0.0, f.remaining_bits - f.rate_bps * dt);
+    for (std::uint32_t d : f.dlinks) {
+      const std::size_t lid = d >> 1;
+      if (busy_mark_[lid] == epoch_) continue;
+      busy_mark_[lid] = epoch_;
+      link_busy_s_[lid] += dt;
+      if (g_link_busy_[lid] == nullptr) {
+        const std::string& name = model_.topology().link(static_cast<LinkId>(lid)).name;
+        g_link_busy_[lid] = &sim_.metrics().gauge("net.flow.link_busy_s." + name);
+        g_link_util_[lid] = &sim_.metrics().gauge("net.flow.link_util." + name);
+      }
+      g_link_busy_[lid]->set(link_busy_s_[lid]);
+      if (elapsed > 0.0) g_link_util_[lid]->set(link_busy_s_[lid] / elapsed);
+    }
+  }
+}
+
+void FlowEngine::shareOut() {
+  c_recomputes_.inc();
+  if (flows_.empty()) return;
+
+  // Progressive filling over directed links. Each direction of a link is an
+  // independent full-bandwidth resource, matching the packet model's two
+  // per-direction transmit queues.
+  touched_.clear();
+  for (auto& [id, f] : flows_) {
+    f.fixed = false;
+    f.new_rate = 0;
+    for (std::uint32_t d : f.dlinks) {
+      if (cnt_[d] == 0) {
+        cap_[d] = model_.topology().link(static_cast<LinkId>(d >> 1)).bandwidth_bps;
+        touched_.push_back(d);
+      }
+      ++cnt_[d];
+    }
+  }
+
+  int remaining = static_cast<int>(flows_.size());
+  while (remaining > 0) {
+    // Bottleneck: the directed link with the smallest fair share; ties break
+    // toward the lowest directed-link index for determinism.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::uint32_t best_dlink = 0;
+    bool found = false;
+    for (std::uint32_t d : touched_) {
+      if (cnt_[d] <= 0) continue;
+      const double share = cap_[d] / cnt_[d];
+      if (!found || share < best_share || (share == best_share && d < best_dlink)) {
+        best_share = share;
+        best_dlink = d;
+        found = true;
+      }
+    }
+    if (!found) break;
+    // Fix every unfixed flow crossing the bottleneck at its fair share, then
+    // release its claim on the rest of its route.
+    for (auto& [id, f] : flows_) {
+      if (f.fixed) continue;
+      bool crosses = false;
+      for (std::uint32_t d : f.dlinks) {
+        if (d == best_dlink) {
+          crosses = true;
+          break;
+        }
+      }
+      if (!crosses) continue;
+      f.fixed = true;
+      f.new_rate = best_share;
+      --remaining;
+      for (std::uint32_t d : f.dlinks) {
+        cap_[d] = std::max(0.0, cap_[d] - best_share);
+        --cnt_[d];
+      }
+    }
+  }
+
+  for (std::uint32_t d : touched_) {
+    cap_[d] = 0.0;
+    cnt_[d] = 0;
+  }
+
+  // Reschedule drains only where the share actually moved.
+  for (auto& [id, f] : flows_) {
+    if (f.drain_event != 0 && !rateChanged(f.new_rate, f.rate_bps)) continue;
+    if (f.drain_event != 0) sim_.cancel(f.drain_event);
+    f.rate_bps = f.new_rate;
+    const double drain_s = f.remaining_bits / f.rate_bps;
+    const FlowId fid = id;
+    f.drain_event = sim_.scheduleAfter(model_.scaleDuration(sim::fromSeconds(drain_s)),
+                                       [this, fid] { finishDrain(fid); });
+  }
+}
+
+void FlowEngine::finishDrain(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  integrateTo(sim_.now());
+  Flow f = std::move(it->second);
+  flows_.erase(it);
+  c_completed_.inc();
+  publishActiveGauges();
+  if (trace_.enabled()) trace_.record(sim_.now(), "complete", f.remaining_bits);
+  // The last bit leaves the source when the drain finishes; it still has to
+  // propagate (path latency) and clear the receive stack (per-message
+  // overhead) before the receiver sees the message.
+  const sim::SimTime tail = f.latency + opts_.per_message_overhead;
+  sim_.scheduleAfter(model_.scaleDuration(tail),
+                     [this, cb = std::move(f.on_complete), span = f.span, owns = f.owns_span] {
+                       if (owns) sim_.spans().end(span);
+                       if (cb) cb();
+                     });
+  // Chain before re-sharing: a pipelined sender's next chunk starts at this
+  // exact instant and should be part of the same recompute.
+  if (f.on_drain) f.on_drain();
+  shareOut();
+}
+
+void FlowEngine::abortMatching(const std::function<bool(const Flow&)>& pred,
+                               const std::string& reason) {
+  integrateTo(sim_.now());
+  bool any = false;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (!pred(it->second)) {
+      ++it;
+      continue;
+    }
+    Flow f = std::move(it->second);
+    it = flows_.erase(it);
+    any = true;
+    c_aborted_.inc();
+    if (trace_.enabled()) trace_.record(sim_.now(), "abort", f.remaining_bits);
+    if (f.drain_event != 0) sim_.cancel(f.drain_event);
+    if (f.owns_span) sim_.spans().endWith(f.span, "aborted", reason);
+    if (f.on_abort) {
+      // Deliver the abort in event context, never from inside a barrier op.
+      sim_.scheduleAt(sim_.now(), [cb = std::move(f.on_abort), reason] { cb(reason); });
+    }
+  }
+  if (any) {
+    publishActiveGauges();
+    shareOut();
+  }
+}
+
+void FlowEngine::abortFlowsOnLink(LinkId link, const std::string& reason) {
+  abortMatching(
+      [link](const Flow& f) {
+        for (std::uint32_t d : f.dlinks) {
+          if (static_cast<LinkId>(d >> 1) == link) return true;
+        }
+        return false;
+      },
+      reason);
+}
+
+void FlowEngine::abortFlowsAtNode(NodeId node, const std::string& reason) {
+  // Endpoint or transit: a crashed router stops forwarding, so flows routed
+  // through it die exactly as their packets would.
+  abortMatching(
+      [node](const Flow& f) {
+        for (NodeId n : f.nodes) {
+          if (n == node) return true;
+        }
+        return false;
+      },
+      reason);
+}
+
+void FlowEngine::reshare() {
+  if (flows_.empty()) return;
+  integrateTo(sim_.now());
+  shareOut();
+}
+
+double FlowEngine::currentRateBps(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+}
+
+double FlowEngine::linkUtilization(LinkId link) const {
+  const double elapsed = nowNetSeconds();
+  if (elapsed <= 0.0) return 0.0;
+  return link_busy_s_.at(static_cast<std::size_t>(link)) / elapsed;
+}
+
+void FlowEngine::publishActiveGauges() {
+  g_active_.set(static_cast<double>(flows_.size()));
+  g_peak_.set(static_cast<double>(peak_active_));
+}
+
+FlowNetworkStats FlowEngine::stats() const {
+  FlowNetworkStats s;
+  s.flows_started = c_started_.value();
+  s.flows_completed = c_completed_.value();
+  s.flows_aborted = c_aborted_.value();
+  s.payload_bytes = c_bytes_.value();
+  s.share_recomputes = c_recomputes_.value();
+  s.dropped_down = c_dropped_down_.value();
+  s.active_flows = static_cast<std::int64_t>(flows_.size());
+  s.peak_active_flows = peak_active_;
+  return s;
+}
+
+FlowNetwork::FlowNetwork(sim::Simulator& sim, Topology topo, FlowNetworkOptions opts)
+    : NetworkModel(sim, std::move(topo), opts.time_scale), engine_(*this, opts) {}
+
+void FlowNetwork::send(Packet&& pkt) { engine_.sendPacket(std::move(pkt)); }
+
+sim::SimTime FlowNetwork::transfer(NodeId src, NodeId dst, std::int64_t bytes) {
+  const sim::SimTime begin = sim_.now();
+  sim::Condition done(sim_);
+  bool finished = false;
+  std::string abort_why;
+  engine_.start(
+      src, dst, bytes,
+      [&] {
+        finished = true;
+        done.notifyAll();
+      },
+      [&](const std::string& why) {
+        abort_why = why;
+        finished = true;
+        done.notifyAll();
+      });
+  while (!finished) done.wait();
+  if (!abort_why.empty()) throw mg::Error("flow aborted: " + abort_why);
+  const double inv = 1.0 / timeScale();
+  return static_cast<sim::SimTime>(std::llround(static_cast<double>(sim_.now() - begin) * inv));
 }
 
 }  // namespace mg::net

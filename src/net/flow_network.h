@@ -1,20 +1,30 @@
-// Analytic flow-level network model.
+// Analytic flow-level network model with max-min fair bandwidth sharing.
 //
-// Serves two roles (DESIGN.md §2-§3):
-//  * the "physical grid" reference model — message time is latency plus
-//    serialization at the path bottleneck plus per-message software
-//    overhead, with per-link FIFO contention;
-//  * the scalability ablation the paper's future work calls for (packet-
-//    level NSE "does not scale up to large simulations well").
+// Every transfer is a *fluid flow*: it streams across all links of its
+// (fixed-at-start) route simultaneously, and concurrent flows sharing a
+// directed link split its bandwidth max-min fairly (progressive filling,
+// the classic water-filling allocation SimGrid's surf and MONARC-style grid
+// simulators use). Kernel events exist only at flow *state changes* — start,
+// drain, completion, fault — never per packet per hop, which is what lets
+// the fluid model scale orders of magnitude past the packet simulator
+// (DESIGN.md §8, the paper's "does not scale up to large simulations"
+// bottleneck).
 //
-// transfer() blocks the calling simulated process for the modeled duration.
+// Fault-aware like the packet model: a link or node going down aborts the
+// flows crossing it (their owners observe TCP-dying-gasp-style resets) and
+// re-shares the survivors; link degrades re-share in place. Routing comes
+// from the shared fault-aware RoutingTable; flows do not re-route mid-
+// flight.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
-#include "net/topology.h"
-#include "sim/simulator.h"
+#include "net/network_model.h"
 
 namespace mg::net {
 
@@ -28,43 +38,186 @@ struct FlowNetworkOptions {
   double byte_overhead = 1538.0 / 1460.0;
 };
 
-/// Snapshot view over the `net.flow.*` registry counters.
+/// Identifies an active flow; kNoFlow for flows that never entered the
+/// shared-link stage (same-node or zero-byte transfers).
+using FlowId = std::int64_t;
+constexpr FlowId kNoFlow = 0;
+
+/// Snapshot view over the `net.flow.*` registry counters/gauges.
 struct FlowNetworkStats {
-  std::int64_t transfers = 0;
-  std::int64_t bytes = 0;
+  std::int64_t flows_started = 0;
+  std::int64_t flows_completed = 0;
+  std::int64_t flows_aborted = 0;     // killed by link/node faults
+  std::int64_t payload_bytes = 0;     // offered payload (at start)
+  std::int64_t share_recomputes = 0;  // max-min recompute passes
+  std::int64_t dropped_down = 0;      // packet-as-flow sends lost to faults
+  std::int64_t active_flows = 0;      // current
+  std::int64_t peak_active_flows = 0;
 };
 
-class FlowNetwork {
+/// The max-min fair fluid engine. Owned by FlowNetwork (all traffic) and
+/// HybridNetwork (non-escalated traffic); platforms reach it through
+/// NetworkModel::flows() to run socket-level transfers as single events.
+class FlowEngine {
+ public:
+  using CompleteFn = std::function<void()>;
+  using AbortFn = std::function<void(const std::string& reason)>;
+  /// Fires when the last bit leaves the source (link capacity released),
+  /// before the latency + overhead delivery tail. Lets pipelined senders
+  /// chain their next chunk at the drain boundary — exactly when the wire
+  /// frees up — instead of waiting a full one-way delivery.
+  using DrainFn = std::function<void()>;
+
+  FlowEngine(NetworkModel& model, FlowNetworkOptions opts);
+  FlowEngine(const FlowEngine&) = delete;
+  FlowEngine& operator=(const FlowEngine&) = delete;
+
+  /// Start a flow of `payload_bytes` (wire size = payload * byte_overhead).
+  /// on_complete fires in event context when the last bit has drained plus
+  /// path latency plus per-message overhead; on_abort fires instead if a
+  /// link or node on the flow's route goes down mid-transfer. Throws
+  /// ConfigError if the nodes are not connected.
+  FlowId start(NodeId src, NodeId dst, std::int64_t payload_bytes, CompleteFn on_complete,
+               AbortFn on_abort = {}, DrainFn on_drain = {});
+
+  /// Low-level variant with explicit wire bits (the packet-as-flow path
+  /// knows its exact framing). `span`, when nonzero, is an externally owned
+  /// transit span: the engine neither creates nor closes one.
+  FlowId startBits(NodeId src, NodeId dst, double wire_bits, std::int64_t payload_bytes,
+                   CompleteFn on_complete, AbortFn on_abort, obs::SpanId span = 0,
+                   DrainFn on_drain = {});
+
+  /// Model one packet as a flow of its wire size; delivery invokes the
+  /// destination node's handler (NetworkModel::attachHost). Unroutable or
+  /// fault-killed packets are dropped under `net.flow.dropped_down`.
+  void sendPacket(Packet&& pkt);
+
+  /// Modeled duration of an uncontended transfer (no flow started):
+  /// per_message_overhead + path latency + wire_bits / bottleneck.
+  sim::SimTime estimate(NodeId src, NodeId dst, std::int64_t payload_bytes) const;
+
+  /// Fault hooks (the owning model calls these from NetworkModel's barrier
+  /// hooks, after the topology flip).
+  void abortFlowsOnLink(LinkId link, const std::string& reason);
+  void abortFlowsAtNode(NodeId node, const std::string& reason);
+  /// Link capacity/latency changed (degrade, restore, link-up): re-share.
+  void reshare();
+
+  int activeFlows() const { return static_cast<int>(flows_.size()); }
+  /// A flow's current max-min rate in bits/s; 0 when the id is not active
+  /// (fairness oracles in tests).
+  double currentRateBps(FlowId id) const;
+  /// Fraction of network time a link has carried at least one flow.
+  double linkUtilization(LinkId link) const;
+  const FlowNetworkOptions& options() const { return opts_; }
+  FlowNetworkStats stats() const;
+
+ private:
+  struct Flow {
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    std::vector<std::uint32_t> dlinks;  // directed links: link*2 + dir
+    std::vector<NodeId> nodes;          // path nodes incl. endpoints
+    sim::SimTime latency = 0;           // path latency at start (network time)
+    double remaining_bits = 0;
+    double rate_bps = 0;
+    sim::EventId drain_event = 0;
+    CompleteFn on_complete;
+    AbortFn on_abort;
+    DrainFn on_drain;
+    obs::SpanId span = 0;
+    bool owns_span = false;
+    // Scratch for shareOut().
+    double new_rate = 0;
+    bool fixed = false;
+  };
+
+  /// Advance remaining_bits and per-link busy time to `now` at the current
+  /// rates (rates are constant between recomputes, so this is exact).
+  void integrateTo(sim::SimTime now);
+  /// Progressive filling over the active flows; reschedules the drain event
+  /// of every flow whose rate changed.
+  void shareOut();
+  void recompute();
+  void finishDrain(FlowId id);
+  void abortMatching(const std::function<bool(const Flow&)>& pred, const std::string& reason);
+  void deliverPacket(Packet&& pkt);
+  void publishActiveGauges();
+  double nowNetSeconds() const;
+
+  NetworkModel& model_;
+  sim::Simulator& sim_;
+  FlowNetworkOptions opts_;
+
+  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  FlowId next_id_ = 1;
+  sim::SimTime last_update_ = 0;  // kernel time of last integration
+
+  // Scratch arrays for shareOut()/integrateTo(), sized links*2 (directed)
+  // or links (undirected), reset per pass via the epoch mark.
+  std::vector<double> cap_;
+  std::vector<int> cnt_;
+  std::vector<std::uint32_t> touched_;
+  std::vector<std::int64_t> busy_mark_;
+  std::int64_t epoch_ = 0;
+
+  // Per-link busy accounting (network seconds carrying >= 1 flow), with
+  // lazily created registry gauges so --metrics output covers only links
+  // that actually saw fluid traffic.
+  std::vector<double> link_busy_s_;
+  std::vector<obs::Gauge*> g_link_busy_;
+  std::vector<obs::Gauge*> g_link_util_;
+
+  obs::Counter& c_started_;
+  obs::Counter& c_completed_;
+  obs::Counter& c_aborted_;
+  obs::Counter& c_bytes_;
+  obs::Counter& c_recomputes_;
+  obs::Counter& c_dropped_down_;
+  obs::Gauge& g_active_;
+  obs::Gauge& g_peak_;
+  obs::TraceBus::Channel& trace_;
+  std::int64_t peak_active_ = 0;
+};
+
+/// The pure fluid model: every send/transfer goes through the FlowEngine.
+class FlowNetwork : public NetworkModel {
  public:
   FlowNetwork(sim::Simulator& sim, Topology topo, FlowNetworkOptions opts = {});
 
-  const Topology& topology() const { return topo_; }
-  const RoutingTable& routing() const { return routing_; }
-  FlowNetworkStats stats() const;
+  NetModelKind kind() const override { return NetModelKind::Flow; }
 
-  /// Blocking transfer of `bytes` payload from src to dst. Returns the
-  /// network-time duration the transfer took (unscaled). Throws ConfigError
-  /// if the nodes are not connected.
+  /// Datagram-as-flow: the packet is delivered whole to the destination
+  /// handler when its flow completes.
+  void send(Packet&& pkt) override;
+
+  bool escalate(NodeId, NodeId, std::uint16_t) const override { return false; }
+  FlowEngine* flows() override { return &engine_; }
+  FlowEngine& engine() { return engine_; }
+
+  const FlowNetworkOptions& options() const { return engine_.options(); }
+  FlowNetworkStats stats() const { return engine_.stats(); }
+
+  /// Modeled duration of an uncontended transfer.
+  sim::SimTime estimate(NodeId src, NodeId dst, std::int64_t bytes) const {
+    return engine_.estimate(src, dst, bytes);
+  }
+
+  /// Blocking transfer of `bytes` payload from src to dst (process
+  /// context). Returns the network-time duration the transfer took
+  /// (unscaled). Throws ConfigError if the nodes are not connected and
+  /// mg::Error if a fault aborts the flow mid-transfer.
   sim::SimTime transfer(NodeId src, NodeId dst, std::int64_t bytes);
 
-  /// Reserve link capacity for a transfer starting now, without blocking.
-  /// Returns the absolute kernel-clock completion time (schedule delivery
-  /// there). Throws ConfigError if the nodes are not connected.
-  sim::SimTime reserveTransfer(NodeId src, NodeId dst, std::int64_t bytes);
-
-  /// Modeled duration of an uncontended transfer (no reservation made).
-  sim::SimTime estimate(NodeId src, NodeId dst, std::int64_t bytes) const;
+ protected:
+  void onLinkDown(LinkId link) override { engine_.abortFlowsOnLink(link, "link_down"); }
+  void onLinkUp(LinkId) override { engine_.reshare(); }
+  void onNodeDown(NodeId node) override { engine_.abortFlowsAtNode(node, "node_down"); }
+  void onNodeUp(NodeId) override { engine_.reshare(); }
+  void onLinkParamsChanged(LinkId) override { engine_.reshare(); }
 
  private:
-  sim::Simulator& sim_;
-  Topology topo_;
-  RoutingTable routing_;
-  FlowNetworkOptions opts_;
-  obs::Counter& c_transfers_;
-  obs::Counter& c_bytes_;
-  obs::TraceBus::Channel& trace_;
-  // Per-link, per-direction earliest availability, in network time.
-  std::vector<sim::SimTime> link_free_at_;
+  FlowEngine engine_;
 };
 
 }  // namespace mg::net

@@ -11,7 +11,7 @@ namespace mg::net {
 
 class HostStack {
  public:
-  HostStack(PacketNetwork& net, NodeId node, TcpOptions tcp_opts = {})
+  HostStack(NetworkModel& net, NodeId node, TcpOptions tcp_opts = {})
       : tcp_(net, node, tcp_opts), udp_(net, node) {
     net.attachHost(node, [this](Packet&& pkt) {
       if (pkt.protocol == Protocol::Tcp) {

@@ -1,0 +1,89 @@
+// Hybrid network model: fluid flows by default, full packet simulation for
+// the traffic the user asked to see in detail.
+//
+// The MicroGrid paper's tension is fidelity vs. scale: the packet model
+// reproduces transport dynamics but costs O(hops) events per MTU, the flow
+// model costs O(1) events per message but abstracts away queueing and loss.
+// HybridNetwork keeps both wired to the same topology, routing table and
+// fault plumbing, and picks per message: traffic matching the detail
+// selector (--netmodel-detail=host:GLOB / port:LO-HI patterns) rides the
+// packet path, everything else is fluid. Both paths share metrics, spans
+// and the trace bus, so observability output is uniform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/flow_network.h"
+#include "net/packet_network.h"
+
+namespace mg::net {
+
+/// Glob match with `*` (any run) and `?` (any one char); case-sensitive.
+bool globMatch(std::string_view pattern, std::string_view text);
+
+/// Compiled --netmodel-detail patterns. Accepted forms:
+///   host:GLOB   escalate traffic whose src or dst node name matches GLOB
+///   port:N      escalate traffic to destination port N
+///   port:LO-HI  escalate destination ports in [LO, HI]
+///   GLOB        shorthand for host:GLOB
+/// A message escalates if any pattern matches. Node globs are precompiled
+/// to a per-node bitset so the per-send test is O(ports) with no string
+/// work.
+class DetailSelector {
+ public:
+  DetailSelector() = default;
+  DetailSelector(const Topology& topo, const std::vector<std::string>& patterns);
+
+  bool matches(NodeId src, NodeId dst, std::uint16_t dst_port) const;
+  bool empty() const { return !any_; }
+
+ private:
+  std::vector<char> node_detail_;                        // per-node flag
+  std::vector<std::pair<int, int>> port_ranges_;         // inclusive
+  bool any_ = false;
+};
+
+struct HybridNetworkOptions {
+  PacketNetworkOptions packet;
+  /// Fluid-path tuning; its time_scale is ignored (the packet option's
+  /// time_scale governs the whole model).
+  FlowNetworkOptions flow;
+  /// Detail selector patterns (see DetailSelector).
+  std::vector<std::string> detail;
+};
+
+class HybridNetwork : public PacketNetwork {
+ public:
+  HybridNetwork(sim::Simulator& sim, Topology topo, HybridNetworkOptions opts = {});
+
+  NetModelKind kind() const override { return NetModelKind::Hybrid; }
+
+  /// Escalated traffic goes through the packet machinery (queues, loss,
+  /// per-hop events); the rest becomes fluid flows.
+  void send(Packet&& pkt) override;
+
+  bool escalate(NodeId src, NodeId dst, std::uint16_t dst_port) const override {
+    return selector_.matches(src, dst, dst_port);
+  }
+
+  FlowEngine* flows() override { return &engine_; }
+  FlowEngine& engine() { return engine_; }
+  const DetailSelector& selector() const { return selector_; }
+
+ protected:
+  // Faults hit both halves: packet queues purge, fluid flows abort/re-share.
+  void onLinkDown(LinkId link) override;
+  void onLinkUp(LinkId link) override;
+  void onNodeDown(NodeId node) override;
+  void onNodeUp(NodeId node) override;
+  void onLinkParamsChanged(LinkId link) override;
+
+ private:
+  DetailSelector selector_;
+  FlowEngine engine_;
+};
+
+}  // namespace mg::net

@@ -1,0 +1,110 @@
+#include "net/network_model.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace mg::net {
+
+NetModelKind parseNetModelKind(const std::string& s) {
+  const std::string v = util::toLower(s);
+  if (v == "packet") return NetModelKind::Packet;
+  if (v == "flow") return NetModelKind::Flow;
+  if (v == "hybrid") return NetModelKind::Hybrid;
+  throw ConfigError("unknown network model '" + s + "' (expected packet, flow or hybrid)");
+}
+
+const char* netModelKindName(NetModelKind k) {
+  switch (k) {
+    case NetModelKind::Packet:
+      return "packet";
+    case NetModelKind::Flow:
+      return "flow";
+    case NetModelKind::Hybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+NetworkModel::NetworkModel(sim::Simulator& sim, Topology topo, double time_scale)
+    : sim_(sim),
+      topo_(std::move(topo)),
+      routing_(topo_),
+      c_route_recomputes_(sim.metrics().counter("net.route.recomputes")),
+      time_scale_(time_scale) {
+  if (time_scale_ <= 0) throw UsageError("time_scale must be positive");
+  unit_time_scale_ = (time_scale_ == 1.0);
+  handlers_.resize(static_cast<size_t>(topo_.nodeCount()));
+}
+
+sim::SimTime NetworkModel::scaledSlow(sim::SimTime t) const {
+  return static_cast<sim::SimTime>(std::llround(static_cast<double>(t) * time_scale_));
+}
+
+void NetworkModel::attachHost(NodeId node, PacketHandler handler) {
+  handlers_.at(static_cast<size_t>(node)) = std::move(handler);
+}
+
+void NetworkModel::recomputeRoutes() {
+  routing_.recompute(topo_);
+  c_route_recomputes_.inc();
+}
+
+void NetworkModel::setLinkUp(LinkId link, bool up) {
+  sim_.runAtBarrier([this, link, up] {
+    Link& l = topo_.mutableLink(link);
+    if (l.up == up) return;
+    l.up = up;
+    if (up) {
+      onLinkUp(link);
+    } else {
+      onLinkDown(link);
+    }
+    recomputeRoutes();
+  });
+}
+
+void NetworkModel::setNodeUp(NodeId node, bool up) {
+  sim_.runAtBarrier([this, node, up] {
+    Node& n = topo_.mutableNode(node);
+    if (n.up == up) return;
+    n.up = up;
+    if (up) {
+      onNodeUp(node);
+    } else {
+      onNodeDown(node);
+    }
+    recomputeRoutes();
+  });
+}
+
+LinkParams NetworkModel::linkParams(LinkId link) const {
+  const Link& l = topo_.link(link);
+  return LinkParams{l.bandwidth_bps, l.latency, l.loss_rate};
+}
+
+void NetworkModel::applyLinkParams(LinkId link, const LinkParams& params) {
+  // Validate synchronously (the caller's error), mutate at the barrier.
+  if (params.bandwidth_bps <= 0) throw UsageError("link bandwidth must be positive");
+  if (params.latency < 0 || params.loss_rate < 0 || params.loss_rate >= 1.0) {
+    throw UsageError("bad link parameters");
+  }
+  validateLinkParams(link, params);
+  sim_.runAtBarrier([this, link, params] {
+    Link& l = topo_.mutableLink(link);
+    l.bandwidth_bps = params.bandwidth_bps;
+    l.latency = params.latency;
+    l.loss_rate = params.loss_rate;
+    onLinkParamsChanged(link);
+    recomputeRoutes();
+  });
+}
+
+void NetworkModel::setPartitionPlan(const PartitionPlan& plan) {
+  (void)plan;
+  throw UsageError(std::string("network model '") + netModelKindName(kind()) +
+                   "' does not shard across event lanes");
+}
+
+}  // namespace mg::net

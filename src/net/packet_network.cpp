@@ -8,9 +8,7 @@
 namespace mg::net {
 
 PacketNetwork::PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOptions opts)
-    : sim_(sim),
-      topo_(std::move(topo)),
-      routing_(topo_),
+    : NetworkModel(sim, std::move(topo), opts.time_scale),
       opts_(opts),
       c_sent_(sim.metrics().counter("net.packet.sent")),
       c_delivered_(sim.metrics().counter("net.packet.delivered")),
@@ -19,15 +17,11 @@ PacketNetwork::PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOp
       c_dropped_down_(sim.metrics().counter("net.packet.dropped_down")),
       c_dropped_link_down_(sim.metrics().counter("net.packet.drop_link_down")),
       c_dropped_node_down_(sim.metrics().counter("net.packet.drop_node_down")),
-      c_route_recomputes_(sim.metrics().counter("net.route.recomputes")),
       c_bytes_delivered_(sim.metrics().counter("net.packet.bytes_delivered")),
       c_wire_bytes_(sim.metrics().counter("net.packet.wire_bytes_sent")),
       trace_(sim.traceBus().channel("net.packet")) {
-  if (opts_.time_scale <= 0) throw UsageError("time_scale must be positive");
-  unit_time_scale_ = (opts_.time_scale == 1.0);
   rngs_.emplace_back(opts.seed);
   flight_.emplace_back();
-  handlers_.resize(static_cast<size_t>(topo_.nodeCount()));
   link_queues_.resize(static_cast<size_t>(topo_.linkCount()) * 2);
 }
 
@@ -69,11 +63,6 @@ PacketNetworkStats PacketNetwork::stats() const {
   return s;
 }
 
-sim::SimTime PacketNetwork::scaled(sim::SimTime t) const {
-  if (unit_time_scale_) return t;
-  return static_cast<sim::SimTime>(std::llround(static_cast<double>(t) * opts_.time_scale));
-}
-
 std::uint32_t PacketNetwork::parkInFlight(Packet&& pkt) {
   FlightPool& pool = flight_[static_cast<std::size_t>(sim_.currentLane())];
   if (pool.free.empty()) {
@@ -91,10 +80,6 @@ Packet PacketNetwork::takeInFlight(std::uint32_t slot) {
   Packet pkt = std::move(pool.slots[slot]);
   pool.free.push_back(slot);
   return pkt;
-}
-
-void PacketNetwork::attachHost(NodeId node, PacketHandler handler) {
-  handlers_.at(static_cast<size_t>(node)) = std::move(handler);
 }
 
 void PacketNetwork::send(Packet&& pkt) {
@@ -283,62 +268,24 @@ void PacketNetwork::dropQueuedDir(LinkId link, int dir, obs::Counter& cause) {
   }
 }
 
-void PacketNetwork::recomputeRoutes() {
-  routing_.recompute(topo_);
-  c_route_recomputes_.inc();
-}
+void PacketNetwork::onLinkDown(LinkId link) { dropQueued(link, c_dropped_link_down_); }
 
-// Topology mutations (fault injection) touch state that every wire lane
-// reads — routing tables, link up/down flags, queue contents — so under
-// parallel execution they defer to the next barrier, where no worker runs.
-// Without a parallel engine runAtBarrier() applies the op immediately, so
-// classic sequential behaviour is unchanged.
-void PacketNetwork::setLinkUp(LinkId link, bool up) {
-  sim_.runAtBarrier([this, link, up] {
-    Link& l = topo_.mutableLink(link);
-    if (l.up == up) return;
-    l.up = up;
-    if (!up) dropQueued(link, c_dropped_link_down_);
-    recomputeRoutes();
-  });
-}
-
-void PacketNetwork::setNodeUp(NodeId node, bool up) {
-  sim_.runAtBarrier([this, node, up] { setNodeUpAtBarrier(node, up); });
-}
-
-void PacketNetwork::setNodeUpAtBarrier(NodeId node, bool up) {
-  Node& n = topo_.mutableNode(node);
-  if (n.up == up) return;
-  n.up = up;
-  if (!up) {
-    // Packets queued *toward* the dead node are lost (they could only
-    // blackhole at delivery). The outbound direction is deliberately left to
-    // drain: those packets were already handed to the NIC before the crash
-    // instant — they carry the dying kernel's last-gasp RSTs, which is how
-    // established peers learn of the crash promptly. The links themselves
-    // stay up: a crashed host's cable is still plugged in.
-    for (LinkId lid : topo_.linksAt(node)) {
-      const Link& l = topo_.link(lid);
-      const NodeId peer = (l.a == node) ? l.b : l.a;
-      const int dir_in = (peer == l.a) ? 0 : 1;  // peer -> node
-      dropQueuedDir(lid, dir_in, c_dropped_node_down_);
-    }
+void PacketNetwork::onNodeDown(NodeId node) {
+  // Packets queued *toward* the dead node are lost (they could only
+  // blackhole at delivery). The outbound direction is deliberately left to
+  // drain: those packets were already handed to the NIC before the crash
+  // instant — they carry the dying kernel's last-gasp RSTs, which is how
+  // established peers learn of the crash promptly. The links themselves
+  // stay up: a crashed host's cable is still plugged in.
+  for (LinkId lid : topo_.linksAt(node)) {
+    const Link& l = topo_.link(lid);
+    const NodeId peer = (l.a == node) ? l.b : l.a;
+    const int dir_in = (peer == l.a) ? 0 : 1;  // peer -> node
+    dropQueuedDir(lid, dir_in, c_dropped_node_down_);
   }
-  recomputeRoutes();
 }
 
-PacketNetwork::LinkParams PacketNetwork::linkParams(LinkId link) const {
-  const Link& l = topo_.link(link);
-  return LinkParams{l.bandwidth_bps, l.latency, l.loss_rate};
-}
-
-void PacketNetwork::applyLinkParams(LinkId link, const LinkParams& params) {
-  // Validate synchronously (the caller's error), mutate at the barrier.
-  if (params.bandwidth_bps <= 0) throw UsageError("link bandwidth must be positive");
-  if (params.latency < 0 || params.loss_rate < 0 || params.loss_rate >= 1.0) {
-    throw UsageError("bad link parameters");
-  }
+void PacketNetwork::validateLinkParams(LinkId link, const net::LinkParams& params) const {
   if (laned_ && plan_.partitionOf(topo_.link(link).a) != plan_.partitionOf(topo_.link(link).b) &&
       params.latency < plan_.cut_latency) {
     // Degrading a cut link below the planned cut latency would invalidate
@@ -346,13 +293,6 @@ void PacketNetwork::applyLinkParams(LinkId link, const LinkParams& params) {
     // static topology, so this is a configuration error, not a race.
     throw UsageError("cannot degrade a cut link's latency below the partition lookahead");
   }
-  sim_.runAtBarrier([this, link, params] {
-    Link& l = topo_.mutableLink(link);
-    l.bandwidth_bps = params.bandwidth_bps;
-    l.latency = params.latency;
-    l.loss_rate = params.loss_rate;
-    recomputeRoutes();
-  });
 }
 
 }  // namespace mg::net

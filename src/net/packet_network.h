@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 
+#include "net/network_model.h"
 #include "net/packet.h"
 #include "net/partition.h"
 #include "net/topology.h"
@@ -61,55 +62,21 @@ struct PacketNetworkStats {
   std::int64_t wire_bytes_sent = 0;  // includes headers/framing/retransmits
 };
 
-class PacketNetwork {
+class PacketNetwork : public NetworkModel {
  public:
-  using PacketHandler = std::function<void(Packet&&)>;
-
   PacketNetwork(sim::Simulator& sim, Topology topo, PacketNetworkOptions opts = {});
 
-  sim::Simulator& simulator() { return sim_; }
-  const Topology& topology() const { return topo_; }
-  const RoutingTable& routing() const { return routing_; }
+  NetModelKind kind() const override { return NetModelKind::Packet; }
+
   PacketNetworkStats stats() const;
   const PacketNetworkOptions& options() const { return opts_; }
 
-  /// Install the transport dispatch for a host node. One handler per node;
-  /// replacing is allowed (tests), unhandled packets are dropped.
-  void attachHost(NodeId node, PacketHandler handler);
-
   /// Inject a packet at its source node. Takes the full path through link
   /// queues; delivery invokes the destination node's handler.
-  void send(Packet&& pkt);
+  void send(Packet&& pkt) override;
 
-  /// Administratively set a link up or down and recompute routes (exactly
-  /// once per actual state change; a same-state call is a no-op). Packets
-  /// already queued on a downed link are dropped and counted under
-  /// `net.packet.drop_link_down`.
-  void setLinkUp(LinkId link, bool up);
-
-  /// Mark a node up or down (host crash / restart). A down node neither
-  /// receives packets (dropped at delivery, `net.packet.drop_node_down`)
-  /// nor forwards (routing recomputes around it); packets queued toward it
-  /// are dropped, while its own already-queued outbound packets drain (the
-  /// dying kernel's last-gasp RSTs must reach established peers).
-  void setNodeUp(NodeId node, bool up);
-  bool nodeUp(NodeId node) const { return topo_.node(node).up; }
-
-  /// A link's mutable performance parameters, for fault injection
-  /// (link_degrade / restore). Changing them recomputes routing, since the
-  /// Dijkstra weights depend on latency and bandwidth.
-  struct LinkParams {
-    double bandwidth_bps = 0;
-    sim::SimTime latency = 0;
-    double loss_rate = 0;
-  };
-  LinkParams linkParams(LinkId link) const;
-  void applyLinkParams(LinkId link, const LinkParams& params);
-
-  /// Convert a network-time duration to kernel-clock time (multiplies by
-  /// time_scale). Transports use this for their protocol timers so that RTO
-  /// and friends stay correct in rescaled emulations.
-  sim::SimTime scaleDuration(sim::SimTime t) const { return scaled(t); }
+  /// Kept for call-site compatibility; identical to net::LinkParams.
+  using LinkParams = net::LinkParams;
 
   // --- parallel execution ---
 
@@ -117,11 +84,11 @@ class PacketNetwork {
   /// simulator to have been configured with plan.partitions + 1 lanes (lane
   /// 0 stays the process lane) and must be called before any packet flows.
   /// A single-partition plan is a no-op (classic single-lane operation).
-  void setPartitionPlan(const PartitionPlan& plan);
+  void setPartitionPlan(const PartitionPlan& plan) override;
 
   /// The lane carrying a node's wire events: partition + 1 when sharded,
   /// 0 otherwise.
-  int laneOf(NodeId node) const {
+  int laneOf(NodeId node) const override {
     return laned_ ? plan_.partitionOf(node) + 1 : 0;
   }
 
@@ -129,9 +96,18 @@ class PacketNetwork {
   /// scaled(min(host_stack_delay, min cut-link latency)). 0 when unsharded
   /// (or when the plan/options give no positive bound — the platform then
   /// falls back to sequential execution).
-  sim::SimTime wireLookahead() const;
+  sim::SimTime wireLookahead() const override;
 
-  const PartitionPlan& partitionPlan() const { return plan_; }
+ protected:
+  // Fault hooks (NetworkModel runs them at the barrier, between the state
+  // flip and the routing recompute). Packets already queued on a downed
+  // link are dropped and counted under `net.packet.drop_link_down`; packets
+  // queued *toward* a downed node are dropped under
+  // `net.packet.drop_node_down` while its own outbound packets drain (the
+  // dying kernel's last-gasp RSTs must reach established peers).
+  void onLinkDown(LinkId link) override;
+  void onNodeDown(NodeId node) override;
+  void validateLinkParams(LinkId link, const net::LinkParams& params) const override;
 
  private:
   // Per-direction link queue state. Direction 0 = a->b, 1 = b->a.
@@ -142,21 +118,15 @@ class PacketNetwork {
   };
 
   LinkQueue& queueFor(LinkId link, NodeId from);
-  void setNodeUpAtBarrier(NodeId node, bool up);
   void dropQueued(LinkId link, obs::Counter& cause);
   void dropQueuedDir(LinkId link, int dir, obs::Counter& cause);
-  void recomputeRoutes();
   void forward(NodeId at, Packet&& pkt);
   void enqueue(LinkId link, NodeId from, Packet&& pkt);
   void startTransmit(LinkId link, NodeId from);
   void deliverLocal(Packet&& pkt);
-  sim::SimTime scaled(sim::SimTime t) const;
   std::uint32_t parkInFlight(Packet&& pkt);
   Packet takeInFlight(std::uint32_t slot);
 
-  sim::Simulator& sim_;
-  Topology topo_;
-  RoutingTable routing_;
   PacketNetworkOptions opts_;
   // net.packet.* counter handles, resolved once against sim_.metrics().
   obs::Counter& c_sent_;
@@ -167,7 +137,6 @@ class PacketNetwork {
   // Fault-specific sub-causes of dropped_down (which stays the aggregate).
   obs::Counter& c_dropped_link_down_;
   obs::Counter& c_dropped_node_down_;
-  obs::Counter& c_route_recomputes_;
   obs::Counter& c_bytes_delivered_;
   obs::Counter& c_wire_bytes_;
   obs::TraceBus::Channel& trace_;
@@ -175,12 +144,8 @@ class PacketNetwork {
   // with opts.seed exactly as the classic single-stream network was; wire
   // lanes get deterministically derived streams in setPartitionPlan().
   std::vector<util::Rng> rngs_;
-  std::vector<PacketHandler> handlers_;
   // linkqueues_[link * 2 + direction]
   std::vector<LinkQueue> link_queues_;
-  // True when time_scale == 1.0 exactly: scaled() is then the identity and
-  // skips the int -> double -> llround round-trip on every hop.
-  bool unit_time_scale_ = false;
   // In-flight packet records: packets traversing a latency/stack-delay leg
   // park here so the completion event captures only a slot index (which
   // keeps it inside EventFn's inline buffer — no allocation per hop). Slots
@@ -196,8 +161,7 @@ class PacketNetwork {
     std::vector<std::uint32_t> free;
   };
   std::vector<FlightPool> flight_;
-  // Partition plan; laned_ caches plan_.partitions > 1.
-  PartitionPlan plan_;
+  // True when setPartitionPlan installed a multi-partition plan.
   bool laned_ = false;
 };
 

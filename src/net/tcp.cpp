@@ -537,7 +537,7 @@ void TcpListener::close() {
 // TcpStack
 // ===========================================================================
 
-TcpStack::TcpStack(PacketNetwork& net, NodeId node, TcpOptions opts)
+TcpStack::TcpStack(NetworkModel& net, NodeId node, TcpOptions opts)
     : net_(net),
       node_(node),
       opts_(opts),

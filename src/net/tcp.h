@@ -19,7 +19,7 @@
 #include <memory>
 #include <optional>
 
-#include "net/packet_network.h"
+#include "net/network_model.h"
 #include "sim/channel.h"
 #include "sim/condition.h"
 
@@ -202,7 +202,7 @@ class TcpListener {
 /// The per-host TCP endpoint table. Packets are fed in by HostStack.
 class TcpStack {
  public:
-  TcpStack(PacketNetwork& net, NodeId node, TcpOptions opts = {});
+  TcpStack(NetworkModel& net, NodeId node, TcpOptions opts = {});
   ~TcpStack();
   TcpStack(const TcpStack&) = delete;
   TcpStack& operator=(const TcpStack&) = delete;
@@ -226,7 +226,7 @@ class TcpStack {
   void abortAll(const std::string& why);
 
   NodeId node() const { return node_; }
-  PacketNetwork& network() { return net_; }
+  NetworkModel& network() { return net_; }
   sim::Simulator& simulator() { return net_.simulator(); }
   const TcpOptions& options() const { return opts_; }
 
@@ -246,7 +246,7 @@ class TcpStack {
   void removeListener(std::uint16_t port);
   std::uint16_t allocateEphemeralPort();
 
-  PacketNetwork& net_;
+  NetworkModel& net_;
   NodeId node_;
   TcpOptions opts_;
   // Host-wide transport counters: every stack on a simulator resolves the

@@ -104,59 +104,80 @@ constexpr double kMtuBits = 1500.0 * 8.0;
 RoutingTable::RoutingTable(const Topology& topo) { recompute(topo); }
 
 void RoutingTable::recompute(const Topology& topo) {
+  std::lock_guard<std::mutex> lock(build_mu_);
   topo_ = &topo;
   n_ = topo.nodeCount();
-  next_.assign(static_cast<size_t>(n_) * static_cast<size_t>(n_), kNoLink);
+  storage_.clear();
+  // std::atomic is neither copyable nor movable, so resize via a fresh vector.
+  std::vector<std::atomic<const Column*>> fresh(static_cast<size_t>(n_));
+  for (auto& slot : fresh) slot.store(nullptr, std::memory_order_relaxed);
+  cols_.swap(fresh);
+}
 
+const RoutingTable::Column& RoutingTable::columnFor(NodeId dst) const {
+  const Column* col = cols_[static_cast<size_t>(dst)].load(std::memory_order_acquire);
+  if (col) return *col;
+
+  std::lock_guard<std::mutex> lock(build_mu_);
+  col = cols_[static_cast<size_t>(dst)].load(std::memory_order_relaxed);
+  if (col) return *col;
+
+  const Topology& topo = *topo_;
   // One Dijkstra per destination, relaxing toward the destination so that
-  // next_[dst][from] is the first link on the shortest from->dst path.
+  // column(dst).next[from] is the first link on the shortest from->dst path.
   // Links are symmetric, so shortest paths to dst equal reversed paths
   // from dst.
-  for (NodeId dst = 0; dst < n_; ++dst) {
-    std::vector<double> dist(static_cast<size_t>(n_), std::numeric_limits<double>::infinity());
-    std::vector<LinkId> via(static_cast<size_t>(n_), kNoLink);
-    using Item = std::pair<double, NodeId>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-    dist[static_cast<size_t>(dst)] = 0;
-    pq.emplace(0.0, dst);
-    while (!pq.empty()) {
-      auto [d, u] = pq.top();
-      pq.pop();
-      if (d > dist[static_cast<size_t>(u)]) continue;
-      // Down nodes do not forward: no path may transit them. They do keep a
-      // first hop *out* (dist/via assigned when a live neighbor relaxes into
-      // them), so a crashing host's already-queued packets — its last-gasp
-      // RSTs — can still leave.
-      if (!topo.node(u).up && u != dst) continue;
-      for (LinkId lid : topo.linksAt(u)) {
-        const Link& l = topo.link(lid);
-        if (!l.up) continue;
-        const NodeId v = topo.peer(lid, u);
-        const double w = sim::toSeconds(l.latency) + kMtuBits / l.bandwidth_bps;
-        const double nd = d + w;
-        auto& dv = dist[static_cast<size_t>(v)];
-        // Strictly-better, or equal-cost tie broken toward the lower
-        // upstream node id for determinism.
-        if (nd < dv - 1e-15 || (nd <= dv + 1e-15 && via[static_cast<size_t>(v)] != kNoLink &&
-                                u < topo.peer(via[static_cast<size_t>(v)], v))) {
-          dv = std::min(dv, nd);
-          via[static_cast<size_t>(v)] = lid;
-          pq.emplace(nd, v);
-        }
+  std::vector<double> dist(static_cast<size_t>(n_), std::numeric_limits<double>::infinity());
+  std::vector<LinkId> via(static_cast<size_t>(n_), kNoLink);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<size_t>(dst)] = 0;
+  pq.emplace(0.0, dst);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    // Down nodes do not forward: no path may transit them. They do keep a
+    // first hop *out* (dist/via assigned when a live neighbor relaxes into
+    // them), so a crashing host's already-queued packets — its last-gasp
+    // RSTs — can still leave.
+    if (!topo.node(u).up && u != dst) continue;
+    for (LinkId lid : topo.linksAt(u)) {
+      const Link& l = topo.link(lid);
+      if (!l.up) continue;
+      const NodeId v = topo.peer(lid, u);
+      const double w = sim::toSeconds(l.latency) + kMtuBits / l.bandwidth_bps;
+      const double nd = d + w;
+      auto& dv = dist[static_cast<size_t>(v)];
+      // Strictly-better, or equal-cost tie broken toward the lower
+      // upstream node id for determinism.
+      if (nd < dv - 1e-15 || (nd <= dv + 1e-15 && via[static_cast<size_t>(v)] != kNoLink &&
+                              u < topo.peer(via[static_cast<size_t>(v)], v))) {
+        dv = std::min(dv, nd);
+        via[static_cast<size_t>(v)] = lid;
+        pq.emplace(nd, v);
       }
     }
-    for (NodeId from = 0; from < n_; ++from) {
-      if (from == dst) continue;
-      next_[static_cast<size_t>(dst) * static_cast<size_t>(n_) + static_cast<size_t>(from)] =
-          via[static_cast<size_t>(from)];
-    }
   }
+  via[static_cast<size_t>(dst)] = kNoLink;
+
+  auto built = std::make_unique<Column>();
+  built->next = std::move(via);
+  const Column* ptr = built.get();
+  storage_.push_back(std::move(built));
+  cols_[static_cast<size_t>(dst)].store(ptr, std::memory_order_release);
+  return *ptr;
+}
+
+int RoutingTable::columnsBuilt() const {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  return static_cast<int>(storage_.size());
 }
 
 LinkId RoutingTable::nextLink(NodeId from, NodeId dst) const {
   if (from < 0 || from >= n_ || dst < 0 || dst >= n_) throw UsageError("route endpoint out of range");
   if (from == dst) return kNoLink;
-  return next_[static_cast<size_t>(dst) * static_cast<size_t>(n_) + static_cast<size_t>(from)];
+  return columnFor(dst).next[static_cast<size_t>(from)];
 }
 
 std::vector<LinkId> RoutingTable::path(NodeId src, NodeId dst) const {

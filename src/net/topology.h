@@ -7,8 +7,11 @@
 // simulation system allows definition of an arbitrary network configuration."
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -89,14 +92,26 @@ class Topology {
 };
 
 /// All-pairs next-hop routing, recomputable when links change state.
+///
+/// Routes are materialized lazily, one destination *column* at a time, on
+/// the first lookup toward that destination: a 100k-node grid whose traffic
+/// touches a handful of destinations pays for a handful of Dijkstra runs,
+/// not n of them (and n * n table cells). Column reads after publication are
+/// a single acquire load, so wire lanes can look up routes concurrently;
+/// the build path is serialized by a mutex and publishes with a release
+/// store. recompute() (barrier-only under parallel execution) drops every
+/// column, so fault-driven topology changes invalidate all cached routes.
 class RoutingTable {
  public:
-  /// Compute routes over all `up` links. Weight of a link is its latency
-  /// plus the serialization time of one MTU-sized packet, so routing prefers
-  /// fast, short links; ties break toward lower node ids (determinism).
+  /// Routes are computed over all `up` links, skipping down nodes (a crashed
+  /// host / failed router does not forward — paths never transit it). Weight
+  /// of a link is its latency plus the serialization time of one MTU-sized
+  /// packet, so routing prefers fast, short links; ties break toward lower
+  /// node ids (determinism).
   explicit RoutingTable(const Topology& topo);
 
-  /// Recompute after link state changes.
+  /// Invalidate after link/node state changes. Must not race with lookups
+  /// (callers run it at a barrier or in single-threaded setup).
   void recompute(const Topology& topo);
 
   /// The link to take from `from` toward `dst`; kNoLink if unreachable.
@@ -112,11 +127,26 @@ class RoutingTable {
   /// Minimum bandwidth along path(src, dst); 0 if unreachable.
   double bottleneckBandwidth(const Topology& topo, NodeId src, NodeId dst) const;
 
+  /// Destination columns materialized since the last recompute (scale
+  /// diagnostics: how many Dijkstra runs the traffic pattern actually paid
+  /// for).
+  int columnsBuilt() const;
+
  private:
+  // next[from] = link to take from `from` toward the column's destination.
+  struct Column {
+    std::vector<LinkId> next;
+  };
+
+  const Column& columnFor(NodeId dst) const;
+
   int n_ = 0;
-  // next_[dst * n_ + from] = link to take from `from` toward `dst`.
-  std::vector<LinkId> next_;
   const Topology* topo_ = nullptr;
+  // cols_[dst] is null until first use; unique_ptr keeps Column addresses
+  // stable while other columns are built.
+  mutable std::vector<std::atomic<const Column*>> cols_;
+  mutable std::vector<std::unique_ptr<Column>> storage_;
+  mutable std::mutex build_mu_;
 };
 
 }  // namespace mg::net

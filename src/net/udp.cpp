@@ -35,7 +35,7 @@ void UdpSocket::close() {
 
 // -------------------------------------------------------------- UdpStack --
 
-UdpStack::UdpStack(PacketNetwork& net, NodeId node)
+UdpStack::UdpStack(NetworkModel& net, NodeId node)
     : net_(net),
       node_(node),
       c_datagrams_sent_(net.simulator().metrics().counter("net.udp.datagrams_sent")),

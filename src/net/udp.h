@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "net/packet_network.h"
+#include "net/network_model.h"
 #include "sim/channel.h"
 
 namespace mg::net {
@@ -60,7 +60,7 @@ class UdpStack {
   /// Reassembly timeout for incomplete datagrams.
   static constexpr sim::SimTime kReassemblyTimeout = 30 * sim::kSecond;
 
-  UdpStack(PacketNetwork& net, NodeId node);
+  UdpStack(NetworkModel& net, NodeId node);
   UdpStack(const UdpStack&) = delete;
   UdpStack& operator=(const UdpStack&) = delete;
 
@@ -74,7 +74,7 @@ class UdpStack {
   void onPacket(Packet&& pkt);
 
   NodeId node() const { return node_; }
-  PacketNetwork& network() { return net_; }
+  NetworkModel& network() { return net_; }
   sim::Simulator& simulator() { return net_.simulator(); }
 
   std::int64_t datagramsDroppedIncomplete() const { return c_dropped_incomplete_.value(); }
@@ -97,7 +97,7 @@ class UdpStack {
     sim::SimTime started = 0;
   };
 
-  PacketNetwork& net_;
+  NetworkModel& net_;
   NodeId node_;
   // Aggregated `net.udp.*` registry counters (shared across stacks).
   obs::Counter& c_datagrams_sent_;

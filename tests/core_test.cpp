@@ -310,7 +310,104 @@ TEST(MicroGridPlatform, SocketEchoThroughPacketNetwork) {
   });
   p.run();
   EXPECT_EQ(got, "grid");
-  EXPECT_GT(p.network().stats().packets_delivered, 0);
+  EXPECT_GT(p.packetNetwork().stats().packets_delivered, 0);
+}
+
+TEST(MicroGridPlatform, SocketEchoThroughFlowModel) {
+  auto cfg = topologies::alphaCluster();
+  MicroGridOptions mopts;
+  mopts.netmodel = net::NetModelKind::Flow;
+  MicroGridPlatform p(cfg, mopts);
+  std::string got;
+  p.spawnOn("vm0.ucsd.edu", "server", [&](vos::HostContext& ctx) {
+    auto listener = ctx.listen(80);
+    auto sock = listener->accept();
+    char buf[64];
+    const size_t n = sock->recv(buf, sizeof buf);
+    sock->send(buf, n);
+  });
+  p.spawnOn("vm1.ucsd.edu", "client", [&](vos::HostContext& ctx) {
+    ctx.sleep(0.001);
+    auto sock = ctx.connect("vm0.ucsd.edu", 80);
+    sock->send("grid", 4);
+    char buf[8];
+    sock->recvExact(buf, 4);
+    got.assign(buf, 4);
+  });
+  p.run();
+  EXPECT_EQ(got, "grid");
+  ASSERT_NE(p.network().flows(), nullptr);
+  EXPECT_GT(p.network().flows()->stats().flows_started, 0);
+  // No packet machinery exists in pure flow mode.
+  EXPECT_THROW(p.packetNetwork(), mg::UsageError);
+}
+
+TEST(MicroGridPlatform, HybridEscalatesBySelector) {
+  auto cfg = topologies::alphaCluster();
+  MicroGridOptions mopts;
+  mopts.netmodel = net::NetModelKind::Hybrid;
+  mopts.netmodel_detail = {"port:81"};
+  MicroGridPlatform p(cfg, mopts);
+  auto echoServer = [](vos::HostContext& ctx, std::uint16_t port) {
+    auto listener = ctx.listen(port);
+    auto sock = listener->accept();
+    char buf[64];
+    const size_t n = sock->recv(buf, sizeof buf);
+    sock->send(buf, n);
+  };
+  std::string via_flow, via_packet;
+  p.spawnOn("vm0.ucsd.edu", "srv80", [&](vos::HostContext& ctx) { echoServer(ctx, 80); });
+  p.spawnOn("vm0.ucsd.edu", "srv81", [&](vos::HostContext& ctx) { echoServer(ctx, 81); });
+  p.spawnOn("vm1.ucsd.edu", "client", [&](vos::HostContext& ctx) {
+    ctx.sleep(0.001);
+    auto fluid = ctx.connect("vm0.ucsd.edu", 80);
+    fluid->send("flow", 4);
+    char buf[8];
+    fluid->recvExact(buf, 4);
+    via_flow.assign(buf, 4);
+    auto detailed = ctx.connect("vm0.ucsd.edu", 81);
+    detailed->send("pckt", 4);
+    detailed->recvExact(buf, 4);
+    via_packet.assign(buf, 4);
+  });
+  p.run();
+  EXPECT_EQ(via_flow, "flow");
+  EXPECT_EQ(via_packet, "pckt");
+  // Both engines carried their share: port 81 escalated to the packet path,
+  // everything else rode the fluid model.
+  EXPECT_TRUE(p.network().escalate(0, 1, 81));
+  EXPECT_FALSE(p.network().escalate(0, 1, 80));
+  ASSERT_NE(p.network().flows(), nullptr);
+  EXPECT_GT(p.network().flows()->stats().flows_started, 0);
+  EXPECT_GT(p.packetNetwork().stats().packets_delivered, 0);
+}
+
+TEST(MicroGridPlatform, FlowModeCrashResetsBlockedPeers) {
+  auto cfg = topologies::alphaCluster();
+  MicroGridOptions mopts;
+  mopts.netmodel = net::NetModelKind::Flow;
+  MicroGridPlatform p(cfg, mopts);
+  bool reset_seen = false;
+  p.spawnOn("vm0.ucsd.edu", "server", [&](vos::HostContext& ctx) {
+    auto listener = ctx.listen(80);
+    auto sock = listener->accept();
+    char buf[16];
+    sock->recv(buf, sizeof buf);
+    ctx.sleep(100.0);  // never finishes: the host crashes first
+  });
+  p.spawnOn("vm1.ucsd.edu", "client", [&](vos::HostContext& ctx) {
+    auto sock = ctx.connect("vm0.ucsd.edu", 80);
+    sock->send("hi", 2);
+    char buf[8];
+    try {
+      sock->recv(buf, sizeof buf);  // dying gasp, not an infinite block
+    } catch (const net::ConnectionReset&) {
+      reset_seen = true;
+    }
+  });
+  p.simulator().scheduleAfter(sim::fromSeconds(0.5), [&p] { p.crashHost("vm0.ucsd.edu"); });
+  p.run();
+  EXPECT_TRUE(reset_seen);
 }
 
 TEST(MicroGridPlatform, TwoVirtualHostsShareOnePhysical) {

@@ -127,7 +127,7 @@ TEST(FailureInjection, LossyWanStillCompletesNpb) {
   auto result = launcher.run("npb.mg", "S", {{"a.site", 1}, {"b.site", 1}});
   EXPECT_TRUE(result.ok) << result.error;
   EXPECT_TRUE(sink.allVerified());
-  EXPECT_GT(platform.network().stats().packets_dropped_loss, 0);
+  EXPECT_GT(platform.packetNetwork().stats().packets_dropped_loss, 0);
 }
 
 // ------------------------------------------------- config-file driven -----

@@ -850,20 +850,208 @@ TEST(FlowNetwork, TransferBlocksForModeledDuration) {
   SimTime took = 0;
   sim.spawn("p", [&] { took = fn.transfer(0, 2, 100000); });
   sim.run();
+  // An uncontended flow runs at the bottleneck rate for its whole life, so
+  // the blocking transfer must land exactly on the analytic estimate.
   EXPECT_NEAR(static_cast<double>(took), static_cast<double>(fn.estimate(0, 2, 100000)),
-              static_cast<double>(st::kMillisecond));
-  EXPECT_EQ(fn.stats().transfers, 1);
+              static_cast<double>(st::kMicrosecond));
+  EXPECT_EQ(fn.stats().flows_started, 1);
+  EXPECT_EQ(fn.stats().flows_completed, 1);
 }
 
-TEST(FlowNetwork, ContentionSerializesFlows) {
+TEST(FlowNetwork, ContentionHalvesThroughput) {
+  // Two equal concurrent flows on the same path: max-min gives each half the
+  // bottleneck, so both take ~2x the solo duration and finish together.
+  SimTime solo = 0;
+  {
+    Simulator sim;
+    FlowNetwork fn(sim, lineTopo(), {});
+    sim.spawn("p", [&] { solo = fn.transfer(0, 2, 1'000'000); });
+    sim.run();
+  }
   Simulator sim;
   FlowNetwork fn(sim, lineTopo(), {});
   SimTime t1 = 0, t2 = 0;
   sim.spawn("p1", [&] { t1 = fn.transfer(0, 2, 1'000'000); });
   sim.spawn("p2", [&] { t2 = fn.transfer(0, 2, 1'000'000); });
   sim.run();
-  // The second flow queues behind the first on both links: roughly 2x.
-  EXPECT_GT(static_cast<double>(t2), 1.7 * static_cast<double>(t1));
+  const double wire_s = 1'000'000 * (1538.0 / 1460.0) * 8.0 / 100e6;  // solo drain
+  const double tol = 2e-3 * static_cast<double>(st::kSecond);
+  EXPECT_NEAR(static_cast<double>(t1), static_cast<double>(solo) + wire_s * st::kSecond, tol);
+  EXPECT_NEAR(static_cast<double>(t2), static_cast<double>(t1), tol);
+}
+
+namespace {
+// Two equal links in a row: n0 --L0-- n1 --L1-- n2, 100 Mbit/s each.
+Topology twoHopTopo() {
+  Topology t;
+  t.addHost("n0");
+  t.addRouter("n1");
+  t.addHost("n2");
+  t.addLink("L0", 0, 1, 100e6, st::fromSeconds(1e-3));
+  t.addLink("L1", 1, 2, 100e6, st::fromSeconds(1e-3));
+  return t;
+}
+}  // namespace
+
+TEST(FlowMaxMin, SingleBottleneckSplitsEvenly) {
+  Simulator sim;
+  Topology t;
+  t.addHost("a");
+  t.addHost("b");
+  t.addLink("l0", 0, 1, 100e6, st::fromSeconds(1e-3));
+  FlowNetwork fn(sim, std::move(t), {});
+  auto& eng = fn.engine();
+  FlowId f1 = 0, f2 = 0;
+  double r1 = -1, r2 = -1, r1_after = -1;
+  sim.scheduleAt(0, [&] {
+    f1 = eng.startBits(0, 1, 100e6, 0, {}, {});  // 1 s of wire solo
+    f2 = eng.startBits(0, 1, 25e6, 0, {}, {});
+  });
+  sim.scheduleAt(st::kMillisecond, [&] {
+    r1 = eng.currentRateBps(f1);
+    r2 = eng.currentRateBps(f2);
+  });
+  // f2 drains at 25e6 / 50e6 = 0.5 s; afterwards f1 has the link alone.
+  sim.scheduleAt(600 * st::kMillisecond, [&] { r1_after = eng.currentRateBps(f1); });
+  sim.run();
+  EXPECT_NEAR(r1, 50e6, 1.0);
+  EXPECT_NEAR(r2, 50e6, 1.0);
+  EXPECT_NEAR(r1_after, 100e6, 1.0);
+  EXPECT_EQ(fn.stats().flows_completed, 2);
+  EXPECT_EQ(fn.stats().peak_active_flows, 2);
+}
+
+TEST(FlowMaxMin, DirectionsShareNothing) {
+  // The two directions of a full-duplex link are independent resources, as
+  // in the packet model's per-direction transmit queues.
+  Simulator sim;
+  Topology t;
+  t.addHost("a");
+  t.addHost("b");
+  t.addLink("l0", 0, 1, 100e6, st::fromSeconds(1e-3));
+  FlowNetwork fn(sim, std::move(t), {});
+  auto& eng = fn.engine();
+  FlowId fwd = 0, rev = 0;
+  double r_fwd = -1, r_rev = -1;
+  sim.scheduleAt(0, [&] {
+    fwd = eng.startBits(0, 1, 50e6, 0, {}, {});
+    rev = eng.startBits(1, 0, 50e6, 0, {}, {});
+  });
+  sim.scheduleAt(st::kMillisecond, [&] {
+    r_fwd = eng.currentRateBps(fwd);
+    r_rev = eng.currentRateBps(rev);
+  });
+  sim.run();
+  EXPECT_NEAR(r_fwd, 100e6, 1.0);
+  EXPECT_NEAR(r_rev, 100e6, 1.0);
+}
+
+TEST(FlowMaxMin, ParkingLotOracle) {
+  // Parking lot: F0 spans both links; F1 and F3 load L0, F2 loads L1.
+  //   L0 carries {F0, F1, F3} -> bottleneck share 100/3 Mbit/s fixes them;
+  //   L1 then has 100 - 100/3 left for F2 alone -> 200/3 Mbit/s.
+  Simulator sim;
+  FlowNetwork fn(sim, twoHopTopo(), {});
+  auto& eng = fn.engine();
+  FlowId f0 = 0, f1 = 0, f2 = 0, f3 = 0;
+  double r0 = -1, r1 = -1, r2 = -1, r3 = -1;
+  sim.scheduleAt(0, [&] {
+    f0 = eng.startBits(0, 2, 1e9, 0, {}, {});
+    f1 = eng.startBits(0, 1, 1e9, 0, {}, {});
+    f2 = eng.startBits(1, 2, 1e9, 0, {}, {});
+    f3 = eng.startBits(0, 1, 1e9, 0, {}, {});
+  });
+  sim.scheduleAt(st::kMillisecond, [&] {
+    r0 = eng.currentRateBps(f0);
+    r1 = eng.currentRateBps(f1);
+    r2 = eng.currentRateBps(f2);
+    r3 = eng.currentRateBps(f3);
+  });
+  sim.run();
+  EXPECT_NEAR(r0, 100e6 / 3.0, 1.0);
+  EXPECT_NEAR(r1, 100e6 / 3.0, 1.0);
+  EXPECT_NEAR(r3, 100e6 / 3.0, 1.0);
+  EXPECT_NEAR(r2, 200e6 / 3.0, 1.0);
+}
+
+TEST(FlowMaxMin, ReShareOnCompletionOracle) {
+  // A (10 Mbit wire) and B (2.5 Mbit) start together on a 100 Mbit/s link:
+  // both run at 50 Mbit/s until B drains at t=0.05 s; A then finishes its
+  // remaining 7.5 Mbit alone at 100 Mbit/s, draining at t=0.125 s. Each
+  // completion fires latency + per-message overhead after its drain.
+  Simulator sim;
+  FlowNetworkOptions opts;
+  Topology t;
+  t.addHost("a");
+  t.addHost("b");
+  t.addLink("l0", 0, 1, 100e6, st::fromSeconds(1e-3));
+  FlowNetwork fn(sim, std::move(t), opts);
+  auto& eng = fn.engine();
+  SimTime done_a = 0, done_b = 0;
+  sim.scheduleAt(0, [&] {
+    eng.startBits(0, 1, 10e6, 0, [&] { done_a = sim.now(); }, {});
+    eng.startBits(0, 1, 2.5e6, 0, [&] { done_b = sim.now(); }, {});
+  });
+  sim.run();
+  const double tail = 1e-3 + st::toSeconds(opts.per_message_overhead);
+  EXPECT_NEAR(st::toSeconds(done_b), 0.05 + tail, 1e-6);
+  EXPECT_NEAR(st::toSeconds(done_a), 0.125 + tail, 1e-6);
+}
+
+TEST(FlowMaxMin, LinkDownAbortsActiveFlows) {
+  Simulator sim;
+  FlowNetwork fn(sim, twoHopTopo(), {});
+  auto& eng = fn.engine();
+  std::string why;
+  bool completed = false;
+  sim.scheduleAt(0, [&] {
+    eng.startBits(0, 2, 1e9, 0, [&] { completed = true; },
+                  [&](const std::string& r) { why = r; });
+  });
+  sim.scheduleAt(10 * st::kMillisecond, [&] { fn.setLinkUp(1, false); });
+  sim.run();
+  EXPECT_EQ(why, "link_down");
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(fn.stats().flows_aborted, 1);
+  EXPECT_EQ(eng.activeFlows(), 0);
+}
+
+TEST(FlowMaxMin, TransitNodeCrashAbortsFlows) {
+  Simulator sim;
+  FlowNetwork fn(sim, twoHopTopo(), {});
+  auto& eng = fn.engine();
+  std::string why;
+  sim.scheduleAt(0, [&] {
+    eng.startBits(0, 2, 1e9, 0, {}, [&](const std::string& r) { why = r; });
+  });
+  sim.scheduleAt(10 * st::kMillisecond, [&] { fn.setNodeUp(1, false); });
+  sim.run();
+  EXPECT_EQ(why, "node_down");
+  EXPECT_EQ(fn.stats().flows_aborted, 1);
+}
+
+TEST(FlowMaxMin, DegradeResharesMidFlow) {
+  // 10 Mbit wire alone at 100 Mbit/s; at t=0.04 s (4 Mbit drained) the link
+  // degrades to 50 Mbit/s, so the last 6 Mbit take 0.12 s: drain at 0.16 s.
+  Simulator sim;
+  FlowNetworkOptions opts;
+  Topology t;
+  t.addHost("a");
+  t.addHost("b");
+  t.addLink("l0", 0, 1, 100e6, st::fromSeconds(1e-3));
+  FlowNetwork fn(sim, std::move(t), opts);
+  auto& eng = fn.engine();
+  SimTime done = 0;
+  sim.scheduleAt(0, [&] { eng.startBits(0, 1, 10e6, 0, [&] { done = sim.now(); }, {}); });
+  sim.scheduleAt(40 * st::kMillisecond, [&] {
+    LinkParams p = fn.linkParams(0);
+    p.bandwidth_bps = 50e6;
+    fn.applyLinkParams(0, p);
+  });
+  sim.run();
+  const double tail = 1e-3 + st::toSeconds(opts.per_message_overhead);
+  EXPECT_NEAR(st::toSeconds(done), 0.16 + tail, 1e-6);
+  EXPECT_GT(eng.linkUtilization(0), 0.0);
 }
 
 TEST(FlowNetwork, NoRouteThrows) {

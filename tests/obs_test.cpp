@@ -383,7 +383,7 @@ TEST(ObsEndToEnd, LegacyStatsViewsAgreeWithRegistry) {
   RunResult r = runObservedWorkload(/*enable_tracing=*/false);
   // The thin stats() views are assembled from the registry, so a call site
   // reading the struct sees exactly the registry's numbers.
-  const auto s = r.platform->network().stats();
+  const auto s = r.platform->packetNetwork().stats();
   const auto& m = r.platform->simulator().metrics();
   EXPECT_EQ(s.packets_sent, m.counterValue("net.packet.sent"));
   EXPECT_EQ(s.packets_delivered, m.counterValue("net.packet.delivered"));
