@@ -37,6 +37,15 @@
 //                      (FMT is table or json; implies span recording)
 //   --verbose          print per-rank results
 //
+// Workload mode (the grid economy; see examples/workloads/*.ini):
+//   --workload FILE    run an open-loop synthetic workload through the
+//                      broker/batch-queue economy instead of one GRAM job.
+//                      FILE holds [workload] and [grid] sections; the grid
+//                      is generated, the run uses the flow network model,
+//                      and the report is byte-identical across reruns.
+//   --broker P         placement policy: cost | deadline (default) | locality
+//   --jobs N           override the [workload] job count
+//
 // A bare (non-flag) argument is taken as the config file, so
 // `mgrun --trace-out=ep.json examples/grids/alpha4.ini` works.
 #include <fstream>
@@ -48,6 +57,7 @@
 #include "core/microgrid_platform.h"
 #include "core/reference_platform.h"
 #include "core/topologies.h"
+#include "econ/economy.h"
 #include "fault/fault_injector.h"
 #include "npb/npb.h"
 #include "obs/sim_profiler.h"
@@ -76,6 +86,9 @@ struct Options {
   std::string profile;    // "", "table", or "json"
   bool verbose = false;
   bool list = false;
+  std::string workload_path;  // economy mode when non-empty
+  std::string broker;         // "", "cost", "deadline", or "locality"
+  std::int64_t jobs = 0;      // 0 = use the [workload] section's count
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -124,6 +137,13 @@ Options parseArgs(int argc, char** argv) {
       if (opt.profile != "table" && opt.profile != "json") {
         throw mg::UsageError("--profile must be table or json");
       }
+    } else if (flag == "--workload" || flag.rfind("--workload=", 0) == 0) {
+      opt.workload_path = (flag == "--workload") ? next() : flag.substr(11);
+    } else if (flag == "--broker" || flag.rfind("--broker=", 0) == 0) {
+      opt.broker = (flag == "--broker") ? next() : flag.substr(9);
+    } else if (flag == "--jobs" || flag.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::stoll((flag == "--jobs") ? next() : flag.substr(7));
+      if (opt.jobs < 1) throw mg::UsageError("--jobs wants a count >= 1");
     } else if (flag == "--verbose") {
       opt.verbose = true;
     } else if (flag == "--list-executables") {
@@ -151,6 +171,38 @@ int main(int argc, char** argv) {
     if (opt.list) {
       std::cout << "registered executables:\n";
       for (const auto& name : registry.names()) std::cout << "  " << name << "\n";
+      return 0;
+    }
+
+    if (!opt.workload_path.empty()) {
+      // Economy mode: generate the grid, synthesize the workload, run the
+      // broker/batch-queue pipeline event-driven at simulation rate 1.
+      const util::Config raw = util::Config::parseFile(opt.workload_path);
+      econ::EconOptions eopts;
+      eopts.workload = econ::WorkloadSpec::fromConfig(raw);
+      if (opt.jobs > 0) eopts.workload.jobs = opt.jobs;
+      if (!opt.broker.empty()) eopts.policy = econ::parseBrokerPolicy(opt.broker);
+      const econ::EconGrid grid = econ::makeEconGrid(econ::EconGridSpec::fromConfig(raw));
+
+      core::MicroGridOptions mopts;
+      mopts.netmodel = net::NetModelKind::Flow;
+      mopts.rate_override = 1.0;  // kernel time == virtual time
+      mopts.parallel_workers = opt.parallel;
+      core::MicroGridPlatform platform(grid.grid, mopts);
+      std::cout << "grid economy: " << grid.clusters.size() << " cluster(s), "
+                << eopts.workload.jobs << " job(s), policy "
+                << econ::brokerPolicyName(eopts.policy) << ", seed " << eopts.workload.seed
+                << "\n";
+
+      econ::GridEconomy economy(platform, grid, eopts);
+      economy.arm();
+      platform.run();
+      std::cout << economy.report().render();
+      if (opt.metrics == "json") {
+        std::cout << platform.simulator().metrics().snapshotJson() << "\n";
+      } else if (opt.metrics == "table") {
+        platform.simulator().metrics().snapshotTable().print(std::cout, "metrics");
+      }
       return 0;
     }
 

@@ -74,8 +74,9 @@ void Launcher::startServices(const VirtualGridConfig* publish, const std::string
     // traffic runs on under parallel execution (0 = unsharded platform).
     MG_LOG_DEBUG("launcher") << "placement: " << host.hostname << " -> partition "
                              << platform_.partitionOf(host.hostname);
-    platform_.spawnOn(host.hostname, "gatekeeper." + host.hostname,
-                      [this](vos::HostContext& ctx) { grid::serveGatekeeper(ctx, registry_); });
+    platform_.spawnOn(host.hostname, "gatekeeper." + host.hostname, [this](vos::HostContext& ctx) {
+      grid::serveGatekeeper(ctx, registry_, gk_opts_);
+    });
   }
 }
 
@@ -170,8 +171,9 @@ void Launcher::markHostUp(const std::string& hostname) {
         gis::serveDirectory(ctx, directory_);
       });
     }
-    platform_.spawnOn(hostname, "gatekeeper." + hostname,
-                      [this](vos::HostContext& ctx) { grid::serveGatekeeper(ctx, registry_); });
+    platform_.spawnOn(hostname, "gatekeeper." + hostname, [this](vos::HostContext& ctx) {
+      grid::serveGatekeeper(ctx, registry_, gk_opts_);
+    });
   }
 }
 

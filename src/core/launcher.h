@@ -74,6 +74,12 @@ class Launcher {
   void setLaunchOptions(const LaunchOptions& opts) { opts_ = opts; }
   const LaunchOptions& launchOptions() const { return opts_; }
 
+  /// Options for every gatekeeper the launcher spawns (including respawns
+  /// after a restart). Set before startServices(); enables e.g. the batch
+  /// jobmanager mode on all hosts.
+  void setGatekeeperOptions(const grid::GatekeeperOptions& opts) { gk_opts_ = opts; }
+  const grid::GatekeeperOptions& gatekeeperOptions() const { return gk_opts_; }
+
   /// Fault wiring: stamp the host's GIS record as expired *now*, so
   /// placement searches stop seeing it. Called when a host crashes.
   void markHostDown(const std::string& hostname);
@@ -88,6 +94,7 @@ class Launcher {
   gis::Directory directory_;
   std::string gis_host_;
   LaunchOptions opts_;
+  grid::GatekeeperOptions gk_opts_;
   bool services_started_ = false;
 };
 

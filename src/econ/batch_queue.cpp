@@ -1,0 +1,141 @@
+#include "econ/batch_queue.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace mg::econ {
+
+QueuePolicy parseQueuePolicy(const std::string& s) {
+  const std::string t = util::toLower(s);
+  if (t == "fcfs") return QueuePolicy::Fcfs;
+  if (t == "easy" || t == "backfill" || t == "easy-backfill") return QueuePolicy::EasyBackfill;
+  if (t == "timeshared" || t == "time-shared" || t == "ps") return QueuePolicy::TimeShared;
+  throw ConfigError("unknown queue policy '" + s + "' (fcfs, easy, timeshared)");
+}
+
+const char* queuePolicyName(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::Fcfs: return "fcfs";
+    case QueuePolicy::EasyBackfill: return "easy";
+    case QueuePolicy::TimeShared: return "timeshared";
+  }
+  return "?";
+}
+
+BatchQueue::BatchQueue(const Options& opt) : opt_(opt) {
+  if (opt_.slots < 1) throw ConfigError("batch queue: slots must be >= 1");
+  if (opt_.backfill_window < 1) throw ConfigError("batch queue: backfill_window must be >= 1");
+  if (opt_.oversubscribe < 1) throw ConfigError("batch queue: oversubscribe must be >= 1");
+}
+
+int BatchQueue::maxWidth() const {
+  return opt_.policy == QueuePolicy::TimeShared ? opt_.slots * opt_.oversubscribe : opt_.slots;
+}
+
+void BatchQueue::submit(const QueuedJob& job, double now) {
+  (void)now;
+  queue_.push_back(job);
+}
+
+bool BatchQueue::cancel(std::int64_t id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BatchQueue::finish(std::int64_t id) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return false;
+  used_ -= it->second.cpus;
+  running_.erase(it);
+  return true;
+}
+
+bool BatchQueue::tryStart(const QueuedJob& job, double now) {
+  const int capacity =
+      opt_.policy == QueuePolicy::TimeShared ? opt_.slots * opt_.oversubscribe : opt_.slots;
+  if (used_ + job.cpus > capacity) return false;
+  used_ += job.cpus;
+  running_[job.id] = Running{job.cpus, now + job.est_runtime_s};
+  return true;
+}
+
+std::vector<StartedJob> BatchQueue::dispatch(double now) {
+  std::vector<StartedJob> started;
+
+  // FCFS prefix: start in arrival order until the head no longer fits.
+  while (!queue_.empty() && tryStart(queue_.front(), now)) {
+    started.push_back({queue_.front(), false});
+    queue_.pop_front();
+  }
+  if (queue_.empty() || opt_.policy != QueuePolicy::EasyBackfill) return started;
+
+  // EASY backfilling. The blocked head holds a reservation at its shadow
+  // time: walk running jobs in expected-end order, accumulating freed cores
+  // until the head fits. Cores free at that instant beyond the head's need
+  // are the "extra" pool a backfill job may borrow indefinitely; anything
+  // else it borrows must be returned by the shadow time.
+  const QueuedJob& head = queue_.front();
+  std::vector<const Running*> by_end;
+  by_end.reserve(running_.size());
+  for (const auto& [id, r] : running_) by_end.push_back(&r);
+  std::sort(by_end.begin(), by_end.end(), [](const Running* a, const Running* b) {
+    return a->expected_end_s < b->expected_end_s;
+  });
+
+  double shadow = now;
+  int avail = opt_.slots - used_;
+  std::size_t i = 0;
+  while (avail < head.cpus && i < by_end.size()) {
+    avail += by_end[i]->cpus;
+    shadow = by_end[i]->expected_end_s;
+    ++i;
+  }
+  // avail >= head.cpus here unless the head is wider than the machine, which
+  // submit-side validation rules out; guard anyway so a bad est can't wedge.
+  const int extra = std::max(0, avail - head.cpus);
+
+  int scanned = 0;
+  for (auto it = std::next(queue_.begin());
+       it != queue_.end() && scanned < opt_.backfill_window && used_ < opt_.slots;) {
+    ++scanned;
+    const QueuedJob& cand = *it;
+    const bool fits_now = cand.cpus <= opt_.slots - used_;
+    const bool ends_before_shadow = now + cand.est_runtime_s <= shadow;
+    const bool within_extra = cand.cpus <= extra;
+    if (fits_now && (ends_before_shadow || within_extra)) {
+      tryStart(cand, now);
+      started.push_back({cand, true});
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return started;
+}
+
+double BatchQueue::estimateWait(int cpus, double now) const {
+  if (cpus <= opt_.slots - used_ && queue_.empty()) return 0;
+  // Remaining running work plus queued work, spread over the slots: a fluid
+  // approximation of how long the machine needs to drain ahead of us.
+  double cpu_seconds = 0;
+  for (const auto& [id, r] : running_) {
+    cpu_seconds += std::max(0.0, r.expected_end_s - now) * r.cpus;
+  }
+  for (const QueuedJob& q : queue_) cpu_seconds += q.est_runtime_s * q.cpus;
+  return cpu_seconds / opt_.slots;
+}
+
+double BatchQueue::backlogSeconds() const {
+  double cpu_seconds = 0;
+  for (const QueuedJob& q : queue_) cpu_seconds += q.est_runtime_s * q.cpus;
+  return cpu_seconds / opt_.slots;
+}
+
+}  // namespace mg::econ

@@ -1,0 +1,106 @@
+// Batch queue scheduling policies (the "local resource manager" the broker
+// and the GRAM batch jobmanager share).
+//
+// A BatchQueue is a pure policy object: it owns slot accounting and queue
+// order but no clock and no events. Callers feed it time explicitly —
+// submit(job, now), finish(id), dispatch(now) — and it answers with the jobs
+// that may start. That keeps the same code exact in both worlds it serves:
+// the event-driven million-job economy simulation (src/econ/economy.*) and
+// the full-fidelity GRAM gatekeeper batch mode (src/grid/gram.*).
+//
+// Three policies:
+//  * Fcfs          — strict arrival order; head-of-line blocking and all.
+//  * EasyBackfill  — FCFS plus EASY (aggressive) backfilling: the queue head
+//                    gets a shadow-time reservation computed from running
+//                    jobs' user estimates, and later jobs may jump ahead only
+//                    if they cannot delay that reservation. The scan is
+//                    capped at `backfill_window` candidates so dispatch stays
+//                    O(window + running), not O(depth), at million-job scale.
+//  * TimeShared    — admit up to `oversubscribe` x slots cores and let the
+//                    caller stretch runtimes (processor sharing); queue past
+//                    that point, FCFS.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mg::econ {
+
+enum class QueuePolicy { Fcfs, EasyBackfill, TimeShared };
+QueuePolicy parseQueuePolicy(const std::string& s);
+const char* queuePolicyName(QueuePolicy p);
+
+/// What the queue needs to know about a job. `est_runtime_s` is the user's
+/// estimate (reservations use it; actual completion is the caller's business).
+struct QueuedJob {
+  std::int64_t id = 0;
+  int cpus = 1;
+  double est_runtime_s = 0;
+  double submit_s = 0;
+};
+
+struct StartedJob {
+  QueuedJob job;
+  bool backfilled = false;  // started ahead of an older queued job
+};
+
+class BatchQueue {
+ public:
+  struct Options {
+    int slots = 8;  // schedulable cores
+    QueuePolicy policy = QueuePolicy::EasyBackfill;
+    int backfill_window = 64;  // queued jobs examined beyond the head
+    int oversubscribe = 4;     // TimeShared admission cap multiplier
+  };
+
+  explicit BatchQueue(const Options& opt);
+
+  /// Widest job this queue can ever run; wider submissions are the caller's
+  /// error to reject.
+  int maxWidth() const;
+
+  /// Enqueue. Does not start anything — call dispatch() after.
+  void submit(const QueuedJob& job, double now);
+
+  /// Remove a still-queued job. False if unknown or already running.
+  bool cancel(std::int64_t id);
+
+  /// Release the cores of a running job. False if the id is not running.
+  bool finish(std::int64_t id);
+
+  /// Start every job the policy allows at `now`, in deterministic order.
+  std::vector<StartedJob> dispatch(double now);
+
+  int freeSlots() const { return opt_.slots - used_; }
+  int usedSlots() const { return used_; }
+  int depth() const { return static_cast<int>(queue_.size()); }
+  int runningCount() const { return static_cast<int>(running_.size()); }
+  const Options& options() const { return opt_; }
+
+  /// Estimated seconds until a hypothetical (cpus, est_runtime_s) arrival
+  /// would start: remaining running work plus queued work, normalized by
+  /// slot count. Zero when it would start immediately. A heuristic for
+  /// broker ranking, not a promise.
+  double estimateWait(int cpus, double now) const;
+
+  /// Queued work in cpu-seconds / slots — the "backlog depth" metric.
+  double backlogSeconds() const;
+
+ private:
+  struct Running {
+    int cpus = 0;
+    double expected_end_s = 0;  // start + user estimate; reservations use this
+  };
+
+  bool tryStart(const QueuedJob& job, double now);
+
+  Options opt_;
+  int used_ = 0;
+  std::deque<QueuedJob> queue_;
+  std::map<std::int64_t, Running> running_;
+};
+
+}  // namespace mg::econ

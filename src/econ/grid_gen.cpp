@@ -1,0 +1,93 @@
+#include "econ/grid_gen.h"
+
+#include "util/error.h"
+
+namespace mg::econ {
+
+EconGridSpec EconGridSpec::fromConfig(const util::Config& cfg) {
+  EconGridSpec spec;
+  const auto sections = cfg.sectionsOfType("grid");
+  if (sections.empty()) return spec;
+  const util::ConfigSection& s = *sections.front();
+  spec.clusters = static_cast<int>(s.getInt("clusters", spec.clusters));
+  spec.hosts_per_cluster = static_cast<int>(s.getInt("hosts_per_cluster", spec.hosts_per_cluster));
+  spec.cores_per_host = static_cast<int>(s.getInt("cores_per_host", spec.cores_per_host));
+  if (s.has("wan_bandwidth")) spec.wan_bandwidth_bps = s.getBandwidth("wan_bandwidth");
+  if (s.has("wan_latency")) spec.wan_latency_s = s.getTime("wan_latency");
+  if (s.has("lan_bandwidth")) spec.lan_bandwidth_bps = s.getBandwidth("lan_bandwidth");
+  if (s.has("lan_latency")) spec.lan_latency_s = s.getTime("lan_latency");
+  if (s.has("base_core_ops")) spec.base_core_ops = s.getComputeRate("base_core_ops");
+  spec.timeshared_every = static_cast<int>(s.getInt("timeshared_every", spec.timeshared_every));
+  spec.validate();
+  return spec;
+}
+
+void EconGridSpec::validate() const {
+  if (clusters < 1) throw ConfigError("grid: clusters must be >= 1");
+  if (hosts_per_cluster < 1) throw ConfigError("grid: hosts_per_cluster must be >= 1");
+  if (cores_per_host < 1) throw ConfigError("grid: cores_per_host must be >= 1");
+  if (wan_bandwidth_bps <= 0 || lan_bandwidth_bps <= 0) {
+    throw ConfigError("grid: bandwidths must be positive");
+  }
+  if (wan_latency_s < 0 || lan_latency_s < 0) {
+    throw ConfigError("grid: latencies must be non-negative");
+  }
+  if (base_core_ops <= 0) throw ConfigError("grid: base_core_ops must be positive");
+  if (timeshared_every < 0) throw ConfigError("grid: timeshared_every must be >= 0");
+}
+
+EconGrid makeEconGrid(const EconGridSpec& spec) {
+  spec.validate();
+  EconGrid out;
+  out.grid.addRouter("wan");
+
+  for (int i = 0; i < spec.clusters; ++i) {
+    const std::string cname = std::string("c") + std::to_string(i);
+    // Speed tiers cycle {0.75, 1.0, 1.25, 1.5}x; price grows with the
+    // *square* of speed, so per-unit-of-work cost rises with speed and the
+    // cost-vs-deadline trade-off is real.
+    const double speed = 0.75 + 0.25 * (i % 4);
+    const double core_ops = spec.base_core_ops * speed;
+    const double price = 0.5 * speed * speed;
+
+    const double host_ops = core_ops * spec.cores_per_host;
+    // One physical machine per cluster, with 2x headroom over its virtual
+    // load so any derived simulation rate stays >= 1.
+    const double phys_ops = host_ops * (spec.hosts_per_cluster + 1) * 2;
+    const std::string phys = cname + "-phys";
+    out.grid.addPhysical(phys, phys_ops);
+
+    const std::string sw = cname + "-sw";
+    out.grid.addRouter(sw);
+    out.grid.addLink(cname + "-uplink", sw, "wan", spec.wan_bandwidth_bps, spec.wan_latency_s);
+
+    const std::string head = cname + "-head";
+    out.grid.addHost(head, "10." + std::to_string(i) + ".250.1", host_ops,
+                     std::int64_t{1} << 30, phys);
+    out.grid.addLink(cname + "-headlink", head, sw, spec.lan_bandwidth_bps, spec.lan_latency_s);
+
+    for (int h = 0; h < spec.hosts_per_cluster; ++h) {
+      const std::string host = cname + "-n" + std::to_string(h);
+      const std::string ip = "10." + std::to_string(i) + "." + std::to_string(h / 200) + "." +
+                             std::to_string(h % 200 + 1);
+      out.grid.addHost(host, ip, host_ops, std::int64_t{1} << 30, phys);
+      out.grid.addLink(cname + "-l" + std::to_string(h), host, sw, spec.lan_bandwidth_bps,
+                       spec.lan_latency_s);
+    }
+
+    EconCluster c;
+    c.name = cname;
+    c.head = head;
+    c.site = i;
+    c.slots = spec.hosts_per_cluster * spec.cores_per_host;
+    c.core_ops = core_ops;
+    c.price_per_cpu_s = price;
+    c.policy = (spec.timeshared_every > 0 && i % spec.timeshared_every == spec.timeshared_every - 1)
+                   ? QueuePolicy::TimeShared
+                   : QueuePolicy::EasyBackfill;
+    out.clusters.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace mg::econ

@@ -1,0 +1,66 @@
+// Generated multi-cluster grids for economy experiments.
+//
+// makeEconGrid() builds a VirtualGridConfig the usual way — a WAN core
+// router, one switch + head node + worker hosts per cluster — plus the
+// economic metadata the broker trades on: per-cluster core speed, posted
+// price, and queue policy. Speeds and prices are deliberately misaligned
+// (fast clusters are disproportionately expensive), so cost-optimizing and
+// deadline-optimizing brokers genuinely pick different clusters and the
+// policy-comparison table in examples/grid_economy.cpp has something to say.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/virtual_grid.h"
+#include "econ/batch_queue.h"
+#include "util/config.h"
+
+namespace mg::econ {
+
+/// One generated cluster and its economic posture.
+struct EconCluster {
+  std::string name;       // "c3"
+  std::string head;       // head-node hostname ("c3-head"); transfers land here
+  int site = 0;           // data-site index == cluster index
+  int slots = 0;          // worker hosts x cores per host
+  double core_ops = 1e9;  // per-core speed
+  double price_per_cpu_s = 1.0;
+  QueuePolicy policy = QueuePolicy::EasyBackfill;
+};
+
+/// Shape of the generated grid. Parse an INI [grid] section to override:
+///
+///   [grid]
+///   clusters = 8
+///   hosts_per_cluster = 32
+///   cores_per_host = 4
+///   wan_bandwidth = 10Gbps
+///   wan_latency = 20ms
+///   lan_bandwidth = 1Gbps
+///   lan_latency = 0.1ms
+///   base_core_ops = 1GHz
+///   timeshared_every = 4   ; every Nth cluster is time-shared (0 = none)
+struct EconGridSpec {
+  int clusters = 8;
+  int hosts_per_cluster = 32;
+  int cores_per_host = 4;
+  double wan_bandwidth_bps = 10e9;
+  double wan_latency_s = 0.02;
+  double lan_bandwidth_bps = 1e9;
+  double lan_latency_s = 1e-4;
+  double base_core_ops = 1e9;
+  int timeshared_every = 4;
+
+  static EconGridSpec fromConfig(const util::Config& cfg);
+  void validate() const;
+};
+
+struct EconGrid {
+  core::VirtualGridConfig grid;
+  std::vector<EconCluster> clusters;
+};
+
+EconGrid makeEconGrid(const EconGridSpec& spec);
+
+}  // namespace mg::econ

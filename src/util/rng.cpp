@@ -73,6 +73,13 @@ double Rng::normal(double mean, double stddev) { return mean + stddev * normal()
 
 double Rng::exponential(double rate) { return -std::log(1.0 - uniform()) / rate; }
 
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::pareto(double xm, double alpha) {
+  // Inverse CDF: xm * (1-u)^(-1/alpha); uniform() < 1 so the pow is finite.
+  return xm * std::pow(1.0 - uniform(), -1.0 / alpha);
+}
+
 Rng Rng::split() {
   Rng child(0);
   std::uint64_t sm = next();

@@ -45,6 +45,17 @@ class Rng {
   /// Exponential with the given rate (mean 1/rate).
   double exponential(double rate);
 
+  /// Lognormal: exp(normal(mu, sigma)) — mu/sigma are the parameters of the
+  /// underlying normal (mean of the lognormal is exp(mu + sigma^2/2)).
+  /// The standard heavy-ish-tailed model for job runtimes and file sizes.
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (type I) with scale xm > 0 and shape alpha > 0: support
+  /// [xm, inf), P(X > x) = (xm/x)^alpha. Mean xm*alpha/(alpha-1) for
+  /// alpha > 1; infinite-variance heavy tail for alpha <= 2 — the classic
+  /// model for bursty interarrivals and elephant transfers.
+  double pareto(double xm, double alpha);
+
   /// Fork a statistically independent child stream (used to give each
   /// simulated entity its own stream regardless of creation order).
   Rng split();

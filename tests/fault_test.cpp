@@ -417,6 +417,43 @@ TEST(Resilience, GramRetriesUntilGatekeeperComesUp) {
   EXPECT_GT(p.simulator().metrics().counterValue("grid.gram.retries"), 0);
 }
 
+TEST(Resilience, GisTtlExpiryReplacesDeadHostOnResubmit) {
+  // A permanent crash (no restart): the host's GIS record is stamped with
+  // Record_Expires, so the resubmission's re-placement search stops seeing
+  // it and the part moves to a surviving host.
+  auto cfg = core::topologies::alphaCluster();
+  core::MicroGridPlatform platform(cfg);
+  grid::ExecutableRegistry registry;
+  std::set<std::string> ran_on;
+  registry.add("worker", [&ran_on](grid::JobContext& jc) {
+    ran_on.insert(jc.os.hostname());
+    jc.os.sleep(1.0);
+    return 0;
+  });
+  core::Launcher launcher(platform, registry);
+  launcher.startServices(&cfg, "Alpha4");
+  core::LaunchOptions lopts;
+  lopts.max_resubmits = 3;
+  launcher.setLaunchOptions(lopts);
+
+  fault::FaultPlan plan;
+  plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 0.5));  // forever
+  fault::FaultInjector injector(platform, std::move(plan));
+  injector.onHostCrash([&launcher](const std::string& h) { launcher.markHostDown(h); });
+  injector.arm();
+
+  const auto result =
+      launcher.run("worker", "", {{"vm3.ucsd.edu", 1}}, {}, "vm0.ucsd.edu");
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.resubmits, 1);
+  // The retry ran somewhere that is not the dead host.
+  EXPECT_GT(ran_on.size(), 0u);
+  EXPECT_EQ(ran_on.count("vm3.ucsd.edu"), 1u);  // first attempt started there
+  bool elsewhere = false;
+  for (const auto& h : ran_on) elsewhere |= h != "vm3.ucsd.edu";
+  EXPECT_TRUE(elsewhere);
+}
+
 TEST(Resilience, GisSearchExcludesExpiredRecords) {
   gis::Directory dir;
   gis::Record alive(gis::Dn::parse("hn=up.grid, o=Grid"));

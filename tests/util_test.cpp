@@ -1,8 +1,10 @@
 // Unit tests for the util module: strings, units, rng, stats, config, table.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/config.h"
 #include "util/error.h"
@@ -177,6 +179,57 @@ TEST(Rng, ExponentialMean) {
   mu::RunningStats s;
   for (int i = 0; i < 100000; ++i) s.add(r.exponential(4.0));
   EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+namespace {
+
+/// Empirical q-quantile of a sample (sorted copy; fine at test sizes).
+double sampleQuantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+}  // namespace
+
+TEST(Rng, ExponentialTailQuantile) {
+  mu::Rng r(23);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = r.exponential(2.0);
+  // Closed form: Q(q) = -ln(1-q)/rate.
+  EXPECT_NEAR(sampleQuantile(xs, 0.99), -std::log(0.01) / 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanAndTail) {
+  mu::Rng r(29);
+  const double mu_p = 1.0, sigma = 0.5;
+  mu::RunningStats s;
+  std::vector<double> xs(200000);
+  for (double& x : xs) {
+    x = r.lognormal(mu_p, sigma);
+    EXPECT_GT(x, 0.0);
+    s.add(x);
+  }
+  // Closed form: mean = exp(mu + sigma^2/2), Q(q) = exp(mu + sigma z_q).
+  EXPECT_NEAR(s.mean(), std::exp(mu_p + sigma * sigma / 2), 0.05);
+  const double z95 = 1.6448536269514722;
+  EXPECT_NEAR(sampleQuantile(xs, 0.95), std::exp(mu_p + sigma * z95), 0.15);
+}
+
+TEST(Rng, ParetoMeanAndTail) {
+  mu::Rng r(31);
+  const double xm = 1.0, alpha = 3.0;
+  mu::RunningStats s;
+  std::vector<double> xs(200000);
+  for (double& x : xs) {
+    x = r.pareto(xm, alpha);
+    EXPECT_GE(x, xm);  // support is [xm, inf)
+    s.add(x);
+  }
+  // Closed form (alpha > 1): mean = alpha xm / (alpha - 1);
+  // Q(q) = xm (1-q)^(-1/alpha).
+  EXPECT_NEAR(s.mean(), alpha * xm / (alpha - 1), 0.03);
+  EXPECT_NEAR(sampleQuantile(xs, 0.95), xm * std::pow(0.05, -1.0 / alpha), 0.1);
 }
 
 TEST(Rng, SplitStreamsIndependentAndDeterministic) {
