@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 
+#include "net/flow_network.h"
 #include "net/host_stack.h"
 #include "net/packet_network.h"
 #include "sim/channel.h"
@@ -207,5 +208,57 @@ static void BM_TcpThroughputSim(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * (1 << 20));
 }
 BENCHMARK(BM_TcpThroughputSim)->Unit(benchmark::kMillisecond);
+
+static void BM_FlowChurn(benchmark::State& state) {
+  // Fluid-model flow churn on a star of clusters: 8 edge switches under one
+  // core, 16 hosts each. Every host keeps one flow alive to a host in the
+  // next cluster over, re-starting it on completion — so every completion
+  // re-shares and every start re-shares, the exact pattern flow-heavy grid
+  // workloads (stage-in/stage-out) generate. Arg(0) runs the full-recompute
+  // oracle, Arg(1) the component-scoped incremental engine; the
+  // visits_per_recompute counter is the scoping win (and what CI gates on).
+  const bool incremental = state.range(0) != 0;
+  constexpr int kClusters = 8;
+  constexpr int kHostsPer = 16;
+  constexpr int kRounds = 40;  // completion-chained churn per iteration
+  std::int64_t recomputes = 0, visits = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Topology topo;
+    const auto core = topo.addRouter("core");
+    std::array<net::NodeId, kClusters * kHostsPer> hosts{};
+    for (int c = 0; c < kClusters; ++c) {
+      const auto sw = topo.addRouter("sw" + std::to_string(c));
+      topo.addLink("up" + std::to_string(c), sw, core, 1e9, sim::fromSeconds(0.2e-3));
+      for (int h = 0; h < kHostsPer; ++h) {
+        const int idx = c * kHostsPer + h;
+        hosts[static_cast<std::size_t>(idx)] = topo.addHost("h" + std::to_string(idx));
+        topo.addLink("eth" + std::to_string(idx), hosts[static_cast<std::size_t>(idx)], sw,
+                     100e6, sim::fromSeconds(0.05e-3));
+      }
+    }
+    net::FlowNetworkOptions opts;
+    opts.incremental = incremental;
+    net::FlowNetwork fn(sim, std::move(topo), opts);
+    auto& eng = fn.engine();
+    std::function<void(int, int)> restart = [&](int idx, int rounds_left) {
+      if (rounds_left <= 0) return;
+      const int dst = (idx + kHostsPer) % (kClusters * kHostsPer);
+      eng.startBits(hosts[static_cast<std::size_t>(idx)], hosts[static_cast<std::size_t>(dst)],
+                    2e6, 0, [&restart, idx, rounds_left] { restart(idx, rounds_left - 1); }, {});
+    };
+    sim.scheduleAt(0, [&] {
+      for (int idx = 0; idx < kClusters * kHostsPer; ++idx) restart(idx, kRounds);
+    });
+    sim.run();
+    const net::FlowNetworkStats stats = fn.stats();
+    recomputes += stats.share_recomputes;
+    visits += stats.recompute_flow_visits;
+  }
+  state.SetItemsProcessed(recomputes);
+  state.counters["visits_per_recompute"] =
+      benchmark::Counter(static_cast<double>(visits) / static_cast<double>(recomputes));
+}
+BENCHMARK(BM_FlowChurn)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

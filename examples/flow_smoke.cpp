@@ -21,7 +21,14 @@
 //   --netmodel MODEL   packet | flow (default) | hybrid
 //   --compare-packet   rerun the workload in packet mode and require a
 //                      >= 10x kernel-event advantage for the flow model
+//   --full-recompute   disable incremental sharing: every recompute visits
+//                      every active flow (the correctness oracle; results
+//                      are bit-identical, only the visit counters differ)
 //   --quiet            suppress the metrics snapshot (timing summary only)
+//
+// Wall-clock seconds go to stderr (stdout stays byte-stable for the CI
+// determinism cmp); the soak job reads them for the flow_smoke_100k timing.
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -41,6 +48,7 @@ struct Options {
   std::int64_t bytes = 262144;
   std::string netmodel = "flow";
   bool compare_packet = false;
+  bool full_recompute = false;
   bool quiet = false;
 };
 
@@ -64,6 +72,8 @@ Options parseArgs(int argc, char** argv) {
       opt.netmodel = next();
     } else if (flag == "--compare-packet") {
       opt.compare_packet = true;
+    } else if (flag == "--full-recompute") {
+      opt.full_recompute = true;
     } else if (flag == "--quiet") {
       opt.quiet = true;
     } else {
@@ -108,6 +118,9 @@ struct RunResult {
   double virtual_seconds = 0;
   std::uint64_t events = 0;
   std::int64_t bytes_received = 0;
+  std::int64_t share_recomputes = 0;
+  std::int64_t flow_visits = 0;
+  double wall_seconds = 0;
   std::string metrics_json;
 };
 
@@ -115,6 +128,7 @@ RunResult runWorkload(const core::VirtualGridConfig& cfg, const Options& opt,
                       net::NetModelKind kind) {
   core::MicroGridOptions mopts;
   mopts.netmodel = kind;
+  mopts.flow.incremental = !opt.full_recompute;
   if (kind == net::NetModelKind::Hybrid) {
     // Escalate the first half of the pair ports so both paths carry traffic.
     mopts.netmodel_detail = {"port:7000-" + std::to_string(7000 + std::max(0, opt.pairs / 2 - 1))};
@@ -158,9 +172,13 @@ RunResult runWorkload(const core::VirtualGridConfig& cfg, const Options& opt,
   }
 
   RunResult r;
+  const auto wall_begin = std::chrono::steady_clock::now();
   r.virtual_seconds = platform.run();
+  r.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin).count();
   r.events = platform.simulator().eventsExecuted();
   r.bytes_received = *total;
+  r.share_recomputes = platform.simulator().metrics().counter("net.flow.share_recomputes").value();
+  r.flow_visits = platform.simulator().metrics().counter("net.flow.recompute_flow_visits").value();
   r.metrics_json = platform.simulator().metrics().snapshotJson();
   return r;
 }
@@ -186,6 +204,13 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL: expected " << expected << " byte(s)\n";
       return 1;
     }
+    if (run.share_recomputes > 0) {
+      std::cout << "recompute scope: " << run.flow_visits << " flow visit(s) over "
+                << run.share_recomputes << " recompute(s) ("
+                << (opt.full_recompute ? "full" : "incremental") << ")\n";
+    }
+    // Wall clock is nondeterministic: stderr only, so stdout stays cmp-able.
+    std::cerr << "wall_seconds=" << run.wall_seconds << "\n";
     if (!opt.quiet) std::cout << run.metrics_json << "\n";
 
     if (opt.compare_packet) {

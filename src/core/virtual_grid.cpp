@@ -10,17 +10,19 @@ namespace mg::core {
 
 void VirtualGridConfig::addPhysical(const std::string& name, double cpu_ops) {
   if (cpu_ops <= 0) throw ConfigError("physical machine '" + name + "' needs positive CPU speed");
-  for (const auto& p : physical_) {
-    if (p.name == name) throw ConfigError("duplicate physical machine '" + name + "'");
+  if (physical_index_.count(name) != 0) {
+    throw ConfigError("duplicate physical machine '" + name + "'");
   }
+  physical_index_.emplace(name, physical_.size());
   physical_.push_back(PhysicalMachine{name, cpu_ops});
 }
 
 const PhysicalMachine& VirtualGridConfig::physical(const std::string& name) const {
-  for (const auto& p : physical_) {
-    if (p.name == name) return p;
+  auto it = physical_index_.find(name);
+  if (it == physical_index_.end()) {
+    throw ConfigError("unknown physical machine '" + name + "'");
   }
-  throw ConfigError("unknown physical machine '" + name + "'");
+  return physical_[it->second];
 }
 
 net::NodeId VirtualGridConfig::addHost(const std::string& hostname, const std::string& ip,
@@ -37,6 +39,7 @@ net::NodeId VirtualGridConfig::addHost(const std::string& hostname, const std::s
   info.physical_host = physical_name;
   info.node = node;
   mapper_.add(std::move(info));
+  virtual_ops_[physical_name] += cpu_ops;
   return node;
 }
 
@@ -101,9 +104,8 @@ void VirtualGridConfig::toGis(gis::Directory& dir, const gis::Dn& base,
 }
 
 double VirtualGridConfig::virtualOpsOn(const std::string& physical_name) const {
-  double total = 0;
-  for (const auto* h : mapper_.hostsOnPhysical(physical_name)) total += h->cpu_ops;
-  return total;
+  auto it = virtual_ops_.find(physical_name);
+  return it == virtual_ops_.end() ? 0.0 : it->second;
 }
 
 SimulationRate SimulationRate::compute(const VirtualGridConfig& cfg) {

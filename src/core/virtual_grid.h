@@ -28,6 +28,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gis/directory.h"
@@ -80,6 +81,12 @@ class VirtualGridConfig {
   vos::HostMapper mapper_;
   net::Topology topology_;
   std::vector<PhysicalMachine> physical_;
+  // name → physical_ position, and the running per-machine virtual-ops sum:
+  // generated grids look both up once per addHost, and the simulation-rate
+  // calculation reads the sums once per machine — linear scans made both
+  // quadratic at 100k hosts.
+  std::unordered_map<std::string, std::size_t> physical_index_;
+  std::unordered_map<std::string, double> virtual_ops_;
 };
 
 /// Simulation-rate calculation (paper §2.3). SR_r = physical spec / virtual

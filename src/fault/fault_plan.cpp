@@ -74,9 +74,18 @@ FaultEvent FaultPlan::parseSection(const util::ConfigSection& sec) {
   if (ev.kind == FaultKind::CpuBrownout && (ev.factor <= 0 || ev.factor > 1.0)) {
     throw ConfigError("brownout fault '" + ev.name + "' needs factor in (0, 1]");
   }
-  if (ev.kind == FaultKind::LinkDegrade && ev.loss < 0 && ev.latency_mult == 1.0 &&
-      ev.bandwidth_mult == 1.0) {
-    throw ConfigError("degrade fault '" + ev.name + "' changes nothing");
+  if (ev.kind == FaultKind::LinkDegrade) {
+    // bandwidth_mult = 0 is legal: it stalls fluid flows (and starves the
+    // packet queues) until a restore; negative capacity is meaningless.
+    if (ev.bandwidth_mult < 0) {
+      throw ConfigError("degrade fault '" + ev.name + "' has negative bandwidth_mult");
+    }
+    if (ev.latency_mult < 0) {
+      throw ConfigError("degrade fault '" + ev.name + "' has negative latency_mult");
+    }
+    if (ev.loss < 0 && ev.latency_mult == 1.0 && ev.bandwidth_mult == 1.0) {
+      throw ConfigError("degrade fault '" + ev.name + "' changes nothing");
+    }
   }
   return ev;
 }

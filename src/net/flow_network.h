@@ -10,11 +10,23 @@
 // (DESIGN.md §8, the paper's "does not scale up to large simulations"
 // bottleneck).
 //
+// Recomputation is *exact-incremental* (DESIGN.md §8 "Incremental
+// sharing"): a link→flows reverse index identifies the connected component
+// of the bipartite flow–link contention graph containing a changed flow or
+// link, and only that component is re-shared. Max-min shares are
+// component-local — progressive filling never moves bandwidth between
+// disconnected components — so the scoped recompute produces bit-identical
+// rates to a full pass (the `incremental = false` oracle mode, kept for the
+// property test). Per-flow `last_integrated` stamps make byte accounting
+// lazy: a flow's remaining_bits advance only when its own rate changes, so
+// untouched components cost nothing per recompute.
+//
 // Fault-aware like the packet model: a link or node going down aborts the
 // flows crossing it (their owners observe TCP-dying-gasp-style resets) and
-// re-shares the survivors; link degrades re-share in place. Routing comes
-// from the shared fault-aware RoutingTable; flows do not re-route mid-
-// flight.
+// re-shares the survivors; link degrades re-share in place. A link degraded
+// to zero bandwidth *stalls* the flows whose bottleneck it is (no drain
+// event, rate 0) until capacity returns. Routing comes from the shared
+// fault-aware RoutingTable; flows do not re-route mid-flight.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +37,7 @@
 #include <vector>
 
 #include "net/network_model.h"
+#include "util/stats.h"
 
 namespace mg::net {
 
@@ -36,6 +49,11 @@ struct FlowNetworkOptions {
   /// Wire bytes per payload byte (headers + framing); 1538/1460 for
   /// TCP/IPv4 over Ethernet at full-MSS segments.
   double byte_overhead = 1538.0 / 1460.0;
+  /// Component-scoped recompute (the default). `false` re-runs progressive
+  /// filling over *all* flows on every change — the slow full-recompute
+  /// oracle the incremental engine is property-tested against; results are
+  /// bit-identical either way.
+  bool incremental = true;
 };
 
 /// Identifies an active flow; kNoFlow for flows that never entered the
@@ -50,6 +68,8 @@ struct FlowNetworkStats {
   std::int64_t flows_aborted = 0;     // killed by link/node faults
   std::int64_t payload_bytes = 0;     // offered payload (at start)
   std::int64_t share_recomputes = 0;  // max-min recompute passes
+  std::int64_t recompute_flow_visits = 0;  // flows visited across all passes
+  std::int64_t flows_stalled = 0;     // transitions into the zero-rate park
   std::int64_t dropped_down = 0;      // packet-as-flow sends lost to faults
   std::int64_t active_flows = 0;      // current
   std::int64_t peak_active_flows = 0;
@@ -93,22 +113,35 @@ class FlowEngine {
   void sendPacket(Packet&& pkt);
 
   /// Modeled duration of an uncontended transfer (no flow started):
-  /// per_message_overhead + path latency + wire_bits / bottleneck.
+  /// per_message_overhead + path latency + wire_bits / bottleneck. Throws
+  /// ConfigError when the route exists but has been degraded to zero
+  /// capacity (an uncontended transfer would never finish).
   sim::SimTime estimate(NodeId src, NodeId dst, std::int64_t payload_bytes) const;
 
   /// Fault hooks (the owning model calls these from NetworkModel's barrier
   /// hooks, after the topology flip).
   void abortFlowsOnLink(LinkId link, const std::string& reason);
   void abortFlowsAtNode(NodeId node, const std::string& reason);
-  /// Link capacity/latency changed (degrade, restore, link-up): re-share.
-  void reshare();
+  /// Link performance parameters changed (degrade / restore): re-share the
+  /// contention component touching this link. Stalled flows crossing it
+  /// resume here when capacity returns. Link/node *up* transitions need no
+  /// call: a freshly restored element carries no flows (all were aborted on
+  /// the way down) and existing routes never change mid-flight.
+  void onLinkChanged(LinkId link);
 
   int activeFlows() const { return static_cast<int>(flows_.size()); }
   /// A flow's current max-min rate in bits/s; 0 when the id is not active
   /// (fairness oracles in tests).
   double currentRateBps(FlowId id) const;
+  /// True when the flow is parked at rate 0 (every path through its
+  /// bottleneck link degraded to zero capacity).
+  bool isStalled(FlowId id) const;
   /// Fraction of network time a link has carried at least one flow.
   double linkUtilization(LinkId link) const;
+  /// Exhaustive O(F·L) audit of the link→flow reverse index and busy
+  /// accounting invariants; used by debug asserts after aborts and by
+  /// consistency tests.
+  bool indexConsistent() const;
   const FlowNetworkOptions& options() const { return opts_; }
   FlowNetworkStats stats() const;
 
@@ -121,28 +154,47 @@ class FlowEngine {
     sim::SimTime latency = 0;           // path latency at start (network time)
     double remaining_bits = 0;
     double rate_bps = 0;
+    sim::SimTime last_integrated = 0;  // kernel time bits were last accrued
     sim::EventId drain_event = 0;
+    bool stalled = false;  // parked at rate 0, no drain event
     CompleteFn on_complete;
     AbortFn on_abort;
     DrainFn on_drain;
     obs::SpanId span = 0;
     bool owns_span = false;
-    // Scratch for shareOut().
+    // Scratch for the recompute pass.
     double new_rate = 0;
     bool fixed = false;
+    std::int64_t mark = 0;  // component-BFS visit epoch
   };
 
-  /// Advance remaining_bits and per-link busy time to `now` at the current
-  /// rates (rates are constant between recomputes, so this is exact).
-  void integrateTo(sim::SimTime now);
-  /// Progressive filling over the active flows; reschedules the drain event
-  /// of every flow whose rate changed.
-  void shareOut();
-  void recompute();
+  /// Advance one flow's remaining_bits to `now` at its current (constant
+  /// since the last recompute that touched it) rate.
+  void integrateFlow(Flow& f, sim::SimTime now);
+  /// Insert / remove a flow in the link→flows reverse index, maintaining
+  /// the per-link active counts and busy-time accrual transitions.
+  void indexFlow(FlowId id, Flow& f, sim::SimTime now);
+  void unindexFlow(FlowId id, const Flow& f, sim::SimTime now);
+  /// Start a fresh component collection; seedDlink() plants BFS roots.
+  void beginComponent();
+  void seedDlink(std::uint32_t d);
+  /// Close the component under flow↔link adjacency (or take every active
+  /// flow when incremental mode is off), run progressive filling over it,
+  /// and reschedule the drains whose rates moved. Increments
+  /// net.flow.share_recomputes and records the visit scope.
+  void recomputeComponent();
+  /// Progressive filling over comp_/comp_dlinks_ via the min-share heap;
+  /// fills each flow's new_rate.
+  void shareComponent();
+  /// Apply new_rate to comp flows in ascending FlowId order: integrate,
+  /// park zero-rate flows as stalled, reschedule drain events.
+  void rescheduleComponent();
   void finishDrain(FlowId id);
   void abortMatching(const std::function<bool(const Flow&)>& pred, const std::string& reason);
   void deliverPacket(Packet&& pkt);
   void publishActiveGauges();
+  void publishLinkGauges(std::size_t lid, sim::SimTime now);
+  double linkBusySeconds(std::size_t lid, sim::SimTime now) const;
   double nowNetSeconds() const;
 
   NetworkModel& model_;
@@ -151,20 +203,44 @@ class FlowEngine {
 
   std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
   FlowId next_id_ = 1;
-  sim::SimTime last_update_ = 0;  // kernel time of last integration
 
-  // Scratch arrays for shareOut()/integrateTo(), sized links*2 (directed)
-  // or links (undirected), reset per pass via the epoch mark.
+  // Link→flows reverse index, per directed link (link*2 + dir). Each entry
+  // carries the Flow* (std::map nodes are pointer-stable until erase) so the
+  // hot recompute paths never pay a map lookup. Insertion order within a
+  // dlink is load order; recompute determinism never depends on it
+  // (component flows are sorted by id before use).
+  struct IndexEntry {
+    FlowId id;
+    Flow* flow;
+  };
+  std::vector<std::vector<IndexEntry>> dlink_flows_;
+
+  // Component-collection scratch (sized links*2; epoch-marked so clearing
+  // is O(component), not O(links)).
+  std::vector<std::int64_t> dlink_mark_;
+  std::int64_t comp_epoch_ = 0;
+  std::vector<IndexEntry> comp_;  // component flows, ascending id
+  std::vector<std::uint32_t> comp_dlinks_;
+  std::vector<std::uint32_t> abort_seeds_;
+
+  // Progressive-filling scratch, sized links*2: residual capacity and
+  // unfixed-flow counts (all zero outside shareComponent), the (share,
+  // dlink) min-heap, and per-round dirty-link dedup marks.
   std::vector<double> cap_;
   std::vector<int> cnt_;
-  std::vector<std::uint32_t> touched_;
-  std::vector<std::int64_t> busy_mark_;
-  std::int64_t epoch_ = 0;
+  std::vector<std::pair<double, std::uint32_t>> heap_;
+  std::vector<std::uint32_t> dirty_;
+  std::vector<std::int64_t> round_mark_;
+  std::int64_t round_epoch_ = 0;
 
-  // Per-link busy accounting (network seconds carrying >= 1 flow), with
-  // lazily created registry gauges so --metrics output covers only links
-  // that actually saw fluid traffic.
-  std::vector<double> link_busy_s_;
+  // Per-link busy accounting: accrual happens at occupancy *transitions*
+  // (first flow arrives / last flow leaves), not per recompute. A link is
+  // busy while >= 1 flow crosses it in either direction — stalled flows
+  // hold their route, so they count. Gauges materialize lazily, covering
+  // only links that actually saw fluid traffic.
+  std::vector<int> link_active_;            // flows currently crossing (undirected)
+  std::vector<sim::SimTime> link_busy_since_;  // kernel time of the 0→1 edge
+  std::vector<double> link_busy_s_;         // closed-span network seconds
   std::vector<obs::Gauge*> g_link_busy_;
   std::vector<obs::Gauge*> g_link_util_;
 
@@ -173,9 +249,12 @@ class FlowEngine {
   obs::Counter& c_aborted_;
   obs::Counter& c_bytes_;
   obs::Counter& c_recomputes_;
+  obs::Counter& c_visited_;
+  obs::Counter& c_stalled_;
   obs::Counter& c_dropped_down_;
   obs::Gauge& g_active_;
   obs::Gauge& g_peak_;
+  util::Histogram& h_scope_;
   obs::TraceBus::Channel& trace_;
   std::int64_t peak_active_ = 0;
 };
@@ -211,10 +290,14 @@ class FlowNetwork : public NetworkModel {
 
  protected:
   void onLinkDown(LinkId link) override { engine_.abortFlowsOnLink(link, "link_down"); }
-  void onLinkUp(LinkId) override { engine_.reshare(); }
+  // Up transitions are no-ops for the fluid engine: a restored link or node
+  // carries no flows (everything crossing it was aborted when it went
+  // down), routes are fixed at flow start, and progressive filling never
+  // reads up/down flags — so no active flow's rate can change.
+  void onLinkUp(LinkId) override {}
   void onNodeDown(NodeId node) override { engine_.abortFlowsAtNode(node, "node_down"); }
-  void onNodeUp(NodeId) override { engine_.reshare(); }
-  void onLinkParamsChanged(LinkId) override { engine_.reshare(); }
+  void onNodeUp(NodeId) override {}
+  void onLinkParamsChanged(LinkId link) override { engine_.onLinkChanged(link); }
 
  private:
   FlowEngine engine_;

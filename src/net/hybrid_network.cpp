@@ -114,8 +114,10 @@ void HybridNetwork::onLinkDown(LinkId link) {
 }
 
 void HybridNetwork::onLinkUp(LinkId link) {
+  // Up transitions touch only the packet side: a restored link carries no
+  // fluid flows (they were aborted on the way down) and routes are fixed at
+  // flow start, so no active flow's share can change.
   PacketNetwork::onLinkUp(link);
-  engine_.reshare();
 }
 
 void HybridNetwork::onNodeDown(NodeId node) {
@@ -125,12 +127,13 @@ void HybridNetwork::onNodeDown(NodeId node) {
 
 void HybridNetwork::onNodeUp(NodeId node) {
   PacketNetwork::onNodeUp(node);
-  engine_.reshare();
 }
 
 void HybridNetwork::onLinkParamsChanged(LinkId link) {
   PacketNetwork::onLinkParamsChanged(link);
-  engine_.reshare();
+  // Re-share only the contention component touching the changed link; a
+  // degrade under escalated packet traffic never reaches the fluid engine.
+  engine_.onLinkChanged(link);
 }
 
 }  // namespace mg::net

@@ -86,7 +86,11 @@ LinkParams NetworkModel::linkParams(LinkId link) const {
 
 void NetworkModel::applyLinkParams(LinkId link, const LinkParams& params) {
   // Validate synchronously (the caller's error), mutate at the barrier.
-  if (params.bandwidth_bps <= 0) throw UsageError("link bandwidth must be positive");
+  // Zero bandwidth is a legal *degraded* state (fluid flows stall on it and
+  // routing steers new paths around it); models that cannot represent it
+  // reject it in validateLinkParams (the packet model divides by bandwidth
+  // per segment).
+  if (params.bandwidth_bps < 0) throw UsageError("link bandwidth must be non-negative");
   if (params.latency < 0 || params.loss_rate < 0 || params.loss_rate >= 1.0) {
     throw UsageError("bad link parameters");
   }

@@ -130,7 +130,10 @@ class NetworkModel {
   friend class FlowEngine;
 
   // Model-specific reactions, invoked at the barrier after the state flip
-  // and before the routing recompute.
+  // and before the routing recompute. Fluid models react with *scoped* work:
+  // down/params hooks touch only the contention component containing the
+  // changed element (net.flow.recompute_flows histogram records the scope),
+  // and up hooks are no-ops for flows (a restored element carries none).
   virtual void onLinkDown(LinkId link) { (void)link; }
   virtual void onLinkUp(LinkId link) { (void)link; }
   virtual void onNodeDown(NodeId node) { (void)node; }

@@ -286,6 +286,13 @@ void PacketNetwork::onNodeDown(NodeId node) {
 }
 
 void PacketNetwork::validateLinkParams(LinkId link, const net::LinkParams& params) const {
+  // Per-segment serialization time divides by bandwidth, so the packet
+  // pipeline (and the hybrid model, which inherits this check for its
+  // escalated traffic) cannot express a fully-starved link; only the pure
+  // fluid model accepts bandwidth 0 (flows stall until restore).
+  if (params.bandwidth_bps <= 0) {
+    throw UsageError("packet model needs positive link bandwidth");
+  }
   if (laned_ && plan_.partitionOf(topo_.link(link).a) != plan_.partitionOf(topo_.link(link).b) &&
       params.latency < plan_.cut_latency) {
     // Degrading a cut link below the planned cut latency would invalidate

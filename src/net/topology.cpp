@@ -12,14 +12,18 @@ NodeId Topology::addHost(std::string name) {
   if (findNode(name) != kNoNode) throw ConfigError("duplicate node '" + name + "'");
   nodes_.push_back(Node{std::move(name), NodeKind::Host});
   adjacency_.emplace_back();
-  return static_cast<NodeId>(nodes_.size() - 1);
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  node_index_.emplace(nodes_.back().name, id);
+  return id;
 }
 
 NodeId Topology::addRouter(std::string name) {
   if (findNode(name) != kNoNode) throw ConfigError("duplicate node '" + name + "'");
   nodes_.push_back(Node{std::move(name), NodeKind::Router});
   adjacency_.emplace_back();
-  return static_cast<NodeId>(nodes_.size() - 1);
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  node_index_.emplace(nodes_.back().name, id);
+  return id;
 }
 
 LinkId Topology::addLink(std::string name, NodeId a, NodeId b, double bandwidth_bps,
@@ -43,21 +47,19 @@ LinkId Topology::addLink(std::string name, NodeId a, NodeId b, double bandwidth_
   LinkId id = static_cast<LinkId>(links_.size() - 1);
   adjacency_[static_cast<size_t>(a)].push_back(id);
   adjacency_[static_cast<size_t>(b)].push_back(id);
+  // emplace keeps the first id on a duplicate name (the old scan order).
+  link_index_.emplace(links_.back().name, id);
   return id;
 }
 
 NodeId Topology::findNode(const std::string& name) const {
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].name == name) return static_cast<NodeId>(i);
-  }
-  return kNoNode;
+  auto it = node_index_.find(name);
+  return it == node_index_.end() ? kNoNode : it->second;
 }
 
 LinkId Topology::findLink(const std::string& name) const {
-  for (size_t i = 0; i < links_.size(); ++i) {
-    if (links_[i].name == name) return static_cast<LinkId>(i);
-  }
-  return kNoLink;
+  auto it = link_index_.find(name);
+  return it == link_index_.end() ? kNoLink : it->second;
 }
 
 NodeId Topology::peer(LinkId id, NodeId from) const {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -63,9 +64,12 @@ class Topology {
   int nodeCount() const { return static_cast<int>(nodes_.size()); }
   int linkCount() const { return static_cast<int>(links_.size()); }
 
-  /// Node id by name; kNoNode if absent.
+  /// Node id by name; kNoNode if absent. O(1) via the name index (generated
+  /// 100k-host grids call this once per addHost/addLink — a linear scan
+  /// here made topology construction quadratic).
   NodeId findNode(const std::string& name) const;
-  /// Link id by name; kNoLink if absent.
+  /// Link id by name; kNoLink if absent (first of that name when
+  /// duplicates exist, matching the historical scan order).
   LinkId findLink(const std::string& name) const;
 
   /// Links incident to a node.
@@ -89,6 +93,8 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> adjacency_;
+  std::unordered_map<std::string, NodeId> node_index_;
+  std::unordered_map<std::string, LinkId> link_index_;
 };
 
 /// All-pairs next-hop routing, recomputable when links change state.

@@ -9,27 +9,28 @@ void HostMapper::add(VirtualHostInfo info) {
   if (contains(info.hostname) || (!info.virtual_ip.empty() && contains(info.virtual_ip))) {
     throw ConfigError("duplicate virtual host '" + info.hostname + "'");
   }
+  const std::size_t pos = hosts_.size();
   hosts_.push_back(std::move(info));
+  const VirtualHostInfo& h = hosts_.back();
+  by_name_.emplace(h.hostname, pos);
+  if (!h.virtual_ip.empty()) by_name_.emplace(h.virtual_ip, pos);
+  by_node_.emplace(h.node, pos);
 }
 
 const VirtualHostInfo& HostMapper::resolve(const std::string& name_or_ip) const {
-  for (const auto& h : hosts_) {
-    if (h.hostname == name_or_ip || h.virtual_ip == name_or_ip) return h;
-  }
-  throw UnknownHost(name_or_ip);
+  auto it = by_name_.find(name_or_ip);
+  if (it == by_name_.end()) throw UnknownHost(name_or_ip);
+  return hosts_[it->second];
 }
 
 const VirtualHostInfo& HostMapper::byNode(net::NodeId node) const {
-  for (const auto& h : hosts_) {
-    if (h.node == node) return h;
-  }
-  throw UnknownHost("node " + std::to_string(node));
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) throw UnknownHost("node " + std::to_string(node));
+  return hosts_[it->second];
 }
 
 bool HostMapper::contains(const std::string& name_or_ip) const {
-  return std::any_of(hosts_.begin(), hosts_.end(), [&](const VirtualHostInfo& h) {
-    return h.hostname == name_or_ip || h.virtual_ip == name_or_ip;
-  });
+  return by_name_.find(name_or_ip) != by_name_.end();
 }
 
 std::vector<const VirtualHostInfo*> HostMapper::hostsOnPhysical(const std::string& physical) const {

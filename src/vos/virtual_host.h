@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/topology.h"
@@ -54,6 +55,11 @@ class HostMapper {
 
  private:
   std::vector<VirtualHostInfo> hosts_;
+  // Name/IP/node lookup indexes (values are hosts_ positions; the vector
+  // reallocates, so no pointers). Generated 100k-host grids resolve names
+  // once per host and per connection — linear scans made setup quadratic.
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::unordered_map<net::NodeId, std::size_t> by_node_;
 };
 
 }  // namespace mg::vos

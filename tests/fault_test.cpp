@@ -576,6 +576,85 @@ TEST(Resilience, HostCrashAbortsOpenSpansAndMarksThem) {
   EXPECT_NE(r.span_tree.find("aborted=host_crash"), std::string::npos);
 }
 
+TEST(FaultPlanTest, DegradeToZeroBandwidthIsLegal) {
+  // bandwidth_mult = 0 models a blackout that keeps the link administratively
+  // up: fluid flows crossing it stall until the restore. Negative multipliers
+  // stay configuration errors.
+  auto plan = fault::FaultPlan::fromConfig(util::Config::parse(R"(
+[fault blackout]
+at = 1s
+kind = link_degrade
+target = eth0
+bandwidth_mult = 0
+duration = 2s
+)"));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.events()[0].bandwidth_mult, 0.0);
+  EXPECT_THROW(fault::FaultPlan::fromConfig(util::Config::parse(
+                   "[fault f]\nat = 1s\nkind = link_degrade\ntarget = eth0\n"
+                   "bandwidth_mult = -0.5\n")),
+               ConfigError);
+  EXPECT_THROW(fault::FaultPlan::fromConfig(util::Config::parse(
+                   "[fault f]\nat = 1s\nkind = link_degrade\ntarget = eth0\n"
+                   "latency_mult = -1\n")),
+               ConfigError);
+}
+
+TEST(Resilience, FlowStallsThroughZeroBandwidthOutageAndCompletes) {
+  // Regression for the zero-rate drain hazard: a fluid flow whose bottleneck
+  // degrades to 0 bps mid-transfer must park (no drain event at a garbage
+  // time, no division blow-up) and finish after the auto-restore — the
+  // transfer just takes the outage longer.
+  auto cfg = core::topologies::alphaCluster();
+  core::MicroGridOptions mopts;
+  mopts.netmodel = net::NetModelKind::Flow;
+  core::MicroGridPlatform p(cfg, mopts);
+
+  fault::FaultPlan plan;
+  fault::FaultEvent ev;
+  ev.name = "blackout";
+  ev.at = 0.05;
+  ev.kind = fault::FaultKind::LinkDegrade;
+  ev.target = "eth0";
+  ev.bandwidth_mult = 0.0;
+  ev.duration = 0.1;
+  plan.add(ev);
+  fault::FaultInjector injector(p, std::move(plan));
+  injector.arm();
+
+  // ~0.18 s of wire at 100 Mb/s: guaranteed to straddle the outage window.
+  const std::size_t kBytes = 2 << 20;
+  std::size_t received = 0;
+  p.spawnOn("vm0.ucsd.edu", "rx", [&](vos::HostContext& ctx) {
+    auto listener = ctx.listen(80);
+    auto sock = listener->accept();
+    std::vector<std::uint8_t> buf(1 << 16);
+    for (;;) {
+      const std::size_t n = sock->recv(buf.data(), buf.size());
+      if (n == 0) break;
+      received += n;
+    }
+  });
+  p.spawnOn("vm1.ucsd.edu", "tx", [&](vos::HostContext& ctx) {
+    ctx.sleep(0.001);
+    auto sock = ctx.connect("vm0.ucsd.edu", 80);
+    std::vector<std::uint8_t> msg(kBytes, 0x5a);
+    sock->send(msg.data(), msg.size());
+    sock->close();
+  });
+  const double virtual_s = p.run();
+
+  EXPECT_EQ(received, kBytes);
+  ASSERT_NE(p.network().flows(), nullptr);
+  const net::FlowNetworkStats stats = p.network().flows()->stats();
+  EXPECT_GE(stats.flows_stalled, 1) << "outage never parked the transfer";
+  EXPECT_EQ(stats.flows_aborted, 0);
+  EXPECT_EQ(p.network().flows()->activeFlows(), 0);
+  // The outage pushes completion past the no-fault duration plus the window.
+  EXPECT_GT(virtual_s, 0.15 + 0.1);
+  EXPECT_EQ(injector.injected(), 2);  // degrade + its restore
+}
+
 TEST(Resilience, FaultRunsAreByteDeterministic) {
   const CrashRun r1 = runCrashResubmitScenario();
   const CrashRun r2 = runCrashResubmitScenario();

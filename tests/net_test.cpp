@@ -1098,6 +1098,164 @@ TEST(FlowNetwork, TimeScaleInvariantInNetworkTime) {
   EXPECT_NEAR(static_cast<double>(d1), static_cast<double>(d8), 5.0);
 }
 
+TEST(FlowMaxMin, DegradeToZeroStallsThenResumes) {
+  // 10 Mbit wire alone at 100 Mbit/s; at t=0.04 s the link degrades to zero
+  // bandwidth. The flow must *stall* (rate 0, no drain event, no progress)
+  // rather than divide by zero or drain on a stale schedule. At t=0.1 s
+  // capacity returns: the remaining 6 Mbit take 0.06 s, so drain lands at
+  // 0.16 s exactly as if the link had been 50 Mbit/s the whole middle leg.
+  Simulator sim;
+  FlowNetworkOptions opts;
+  Topology t;
+  t.addHost("a");
+  t.addHost("b");
+  t.addLink("l0", 0, 1, 100e6, st::fromSeconds(1e-3));
+  FlowNetwork fn(sim, std::move(t), opts);
+  auto& eng = fn.engine();
+  FlowId f = 0;
+  SimTime done = 0;
+  bool stalled_mid = false, consistent_mid = false;
+  double rate_mid = -1;
+  bool estimate_threw = false;
+  sim.scheduleAt(0, [&] { f = eng.startBits(0, 1, 10e6, 0, [&] { done = sim.now(); }, {}); });
+  sim.scheduleAt(40 * st::kMillisecond, [&] {
+    LinkParams p = fn.linkParams(0);
+    p.bandwidth_bps = 0;  // legal degraded state for the fluid model
+    fn.applyLinkParams(0, p);
+  });
+  sim.scheduleAt(80 * st::kMillisecond, [&] {
+    stalled_mid = eng.isStalled(f);
+    rate_mid = eng.currentRateBps(f);
+    consistent_mid = eng.indexConsistent();
+    try {
+      eng.estimate(0, 1, 1000);  // uncontended transfer would never finish
+    } catch (const mg::ConfigError&) {
+      estimate_threw = true;
+    }
+  });
+  sim.scheduleAt(100 * st::kMillisecond, [&] {
+    LinkParams p = fn.linkParams(0);
+    p.bandwidth_bps = 100e6;
+    fn.applyLinkParams(0, p);
+  });
+  sim.run();
+  EXPECT_TRUE(stalled_mid);
+  EXPECT_EQ(rate_mid, 0.0);
+  EXPECT_TRUE(consistent_mid);
+  EXPECT_TRUE(estimate_threw);
+  EXPECT_EQ(fn.stats().flows_stalled, 1);
+  EXPECT_EQ(fn.stats().flows_completed, 1);
+  EXPECT_FALSE(eng.isStalled(f));  // gone: not stalled
+  const double tail = 1e-3 + st::toSeconds(opts.per_message_overhead);
+  EXPECT_NEAR(st::toSeconds(done), 0.16 + tail, 1e-6);
+}
+
+TEST(FlowMaxMin, StalledFlowStillAbortsOnLinkDown) {
+  // A parked flow keeps its route in the reverse index, so a link_down on
+  // its path must still find and abort it.
+  Simulator sim;
+  Topology t;
+  t.addHost("a");
+  t.addHost("b");
+  t.addLink("l0", 0, 1, 100e6, st::fromSeconds(1e-3));
+  FlowNetwork fn(sim, std::move(t), {});
+  auto& eng = fn.engine();
+  std::string why;
+  sim.scheduleAt(0, [&] {
+    eng.startBits(0, 1, 1e9, 0, {}, [&](const std::string& r) { why = r; });
+  });
+  sim.scheduleAt(10 * st::kMillisecond, [&] {
+    LinkParams p = fn.linkParams(0);
+    p.bandwidth_bps = 0;
+    fn.applyLinkParams(0, p);
+  });
+  sim.scheduleAt(20 * st::kMillisecond, [&] { fn.setLinkUp(0, false); });
+  sim.run();
+  EXPECT_EQ(why, "link_down");
+  EXPECT_EQ(fn.stats().flows_stalled, 1);
+  EXPECT_EQ(fn.stats().flows_aborted, 1);
+  EXPECT_EQ(eng.activeFlows(), 0);
+}
+
+TEST(FlowMaxMin, AbortCallbackCanStartFlowsMidRecompute) {
+  // Abort callbacks are *scheduled*, never run inside the recompute that
+  // killed the flow — so a callback that immediately starts a replacement
+  // flow (retry loops do) must observe a consistent index and get correct
+  // max-min rates, and the other victim's callback must still fire.
+  Simulator sim;
+  FlowNetwork fn(sim, twoHopTopo(), {});
+  auto& eng = fn.engine();
+  FlowId replacement = 0;
+  std::string why1, why2;
+  double repl_rate = -1;
+  bool consistent_in_cb = false;
+  sim.scheduleAt(0, [&] {
+    eng.startBits(0, 2, 1e9, 0, {}, [&](const std::string& r) {
+      why1 = r;
+      consistent_in_cb = eng.indexConsistent();
+      replacement = eng.startBits(0, 1, 1e9, 0, {}, {});  // L0 only
+    });
+    eng.startBits(0, 2, 1e9, 0, {}, [&](const std::string& r) { why2 = r; });
+  });
+  sim.scheduleAt(10 * st::kMillisecond, [&] { fn.setLinkUp(1, false); });
+  sim.scheduleAt(20 * st::kMillisecond, [&] { repl_rate = eng.currentRateBps(replacement); });
+  sim.run();  // replacement drains alone in ~10 s and completes
+  EXPECT_EQ(why1, "link_down");
+  EXPECT_EQ(why2, "link_down");
+  EXPECT_TRUE(consistent_in_cb);
+  EXPECT_NEAR(repl_rate, 100e6, 1.0);  // alone on L0 after the aborts
+  EXPECT_TRUE(eng.indexConsistent());
+  EXPECT_EQ(fn.stats().flows_aborted, 2);
+}
+
+TEST(FlowMaxMin, IndexConsistentAfterChurn) {
+  // Mixed churn — starts, completions, an abort, a degrade — must leave the
+  // link→flow reverse index and busy accounting exactly consistent.
+  Simulator sim;
+  FlowNetwork fn(sim, twoHopTopo(), {});
+  auto& eng = fn.engine();
+  sim.scheduleAt(0, [&] {
+    eng.startBits(0, 2, 1e6, 0, {}, {});  // drains ~0.02 s, well before the faults
+    eng.startBits(0, 1, 1e9, 0, {}, [](const std::string&) {});
+    eng.startBits(1, 2, 10e6, 0, {}, {});
+  });
+  sim.scheduleAt(30 * st::kMillisecond, [&] {
+    LinkParams p = fn.linkParams(1);
+    p.bandwidth_bps = 25e6;
+    fn.applyLinkParams(1, p);
+    EXPECT_TRUE(eng.indexConsistent());
+  });
+  sim.scheduleAt(60 * st::kMillisecond, [&] { fn.setLinkUp(0, false); });
+  sim.run();
+  EXPECT_TRUE(eng.indexConsistent());
+  EXPECT_EQ(eng.activeFlows(), 0);
+  EXPECT_EQ(fn.stats().flows_completed, 2);
+  EXPECT_EQ(fn.stats().flows_aborted, 1);
+}
+
+TEST(FlowNetwork, ZeroBandwidthParamsFlowOnlyAcceptance) {
+  // Zero bandwidth is a legal degraded state for the fluid model but the
+  // packet model divides by bandwidth per segment, so it must keep
+  // rejecting it; negative capacity is meaningless everywhere.
+  Simulator sim;
+  FlowNetwork fn(sim, lineTopo(), {});
+  LinkParams p = fn.linkParams(0);
+  p.bandwidth_bps = 0;
+  EXPECT_NO_THROW(fn.applyLinkParams(0, p));
+  p.bandwidth_bps = -1;
+  EXPECT_THROW(fn.applyLinkParams(0, p), mg::UsageError);
+
+  Simulator psim;
+  Topology pt;
+  pt.addHost("a");
+  pt.addHost("b");
+  pt.addLink("l", 0, 1, 100e6, st::fromSeconds(1e-3));
+  PacketNetwork pn(psim, std::move(pt), {});
+  LinkParams pp = pn.linkParams(0);
+  pp.bandwidth_bps = 0;
+  EXPECT_THROW(pn.applyLinkParams(0, pp), mg::UsageError);
+}
+
 TEST(Udp, IncompleteReassemblyTimesOutAndCounts) {
   // Heavy loss: fragments go missing, partial datagrams must be garbage
   // collected after the reassembly timeout and counted.
