@@ -24,16 +24,24 @@
 //   --full-recompute   disable incremental sharing: every recompute visits
 //                      every active flow (the correctness oracle; results
 //                      are bit-identical, only the visit counters differ)
+//   --timeline FILE    sample the platform's time-resolved series during the
+//                      primary run and write them as CSV (DESIGN.md §10);
+//                      feeds the EXPERIMENTS.md link-utilization table
+//   --timeline-interval S  sampling interval in sim seconds (default 0.1)
 //   --quiet            suppress the metrics snapshot (timing summary only)
 //
 // Wall-clock seconds go to stderr (stdout stays byte-stable for the CI
 // determinism cmp); the soak job reads them for the flow_smoke_100k timing.
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/microgrid_platform.h"
+#include "obs/sampler.h"
+#include "sim/telemetry.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -49,6 +57,8 @@ struct Options {
   std::string netmodel = "flow";
   bool compare_packet = false;
   bool full_recompute = false;
+  std::string timeline;              // CSV output path ("" = off)
+  double timeline_interval_s = 0.1;  // sampling interval (sim seconds)
   bool quiet = false;
 };
 
@@ -74,6 +84,13 @@ Options parseArgs(int argc, char** argv) {
       opt.compare_packet = true;
     } else if (flag == "--full-recompute") {
       opt.full_recompute = true;
+    } else if (flag == "--timeline") {
+      opt.timeline = next();
+    } else if (flag == "--timeline-interval") {
+      opt.timeline_interval_s = std::stod(next());
+      if (opt.timeline_interval_s <= 0) {
+        throw mg::UsageError("--timeline-interval wants seconds > 0");
+      }
     } else if (flag == "--quiet") {
       opt.quiet = true;
     } else {
@@ -125,7 +142,7 @@ struct RunResult {
 };
 
 RunResult runWorkload(const core::VirtualGridConfig& cfg, const Options& opt,
-                      net::NetModelKind kind) {
+                      net::NetModelKind kind, const std::string& timeline_path = {}) {
   core::MicroGridOptions mopts;
   mopts.netmodel = kind;
   mopts.flow.incremental = !opt.full_recompute;
@@ -171,10 +188,32 @@ RunResult runWorkload(const core::VirtualGridConfig& cfg, const Options& opt,
                      });
   }
 
+  std::unique_ptr<obs::TelemetrySampler> sampler;
+  if (!timeline_path.empty()) {
+    sim::Simulator& sim = platform.simulator();
+    sim.timeline().setBaseWidth(sim::fromSeconds(opt.timeline_interval_s));
+    obs::TelemetrySampler::Options sopts;
+    sopts.interval_ns = sim::fromSeconds(opt.timeline_interval_s);
+    sampler =
+        std::make_unique<obs::TelemetrySampler>(sim.timeline(), sim::telemetryHost(sim), sopts);
+    platform.registerTelemetry(*sampler);
+    sampler->start();
+  }
+
   RunResult r;
   const auto wall_begin = std::chrono::steady_clock::now();
   r.virtual_seconds = platform.run();
   r.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin).count();
+
+  if (sampler) {
+    sampler->finish();
+    const obs::TimeSeriesRecorder& tl = platform.simulator().timeline();
+    std::ofstream out(timeline_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw mg::UsageError("cannot open --timeline file " + timeline_path);
+    out << tl.csv();
+    std::cout << "wrote timeline (" << tl.seriesCount() << " series, " << tl.sampleCount()
+              << " samples) to " << timeline_path << "\n";
+  }
   r.events = platform.simulator().eventsExecuted();
   r.bytes_received = *total;
   r.share_recomputes = platform.simulator().metrics().counter("net.flow.share_recomputes").value();
@@ -197,7 +236,7 @@ int main(int argc, char** argv) {
               << net::netModelKindName(kind) << " pairs=" << opt.pairs << " messages="
               << opt.messages << " bytes=" << opt.bytes << "\n";
 
-    const RunResult run = runWorkload(cfg, opt, kind);
+    const RunResult run = runWorkload(cfg, opt, kind, opt.timeline);
     std::cout << "transferred " << run.bytes_received << " byte(s) in " << run.virtual_seconds
               << " virtual seconds, " << run.events << " kernel event(s)\n";
     if (run.bytes_received != expected) {

@@ -30,9 +30,24 @@
 //   --resubmits N      resubmit a failed job up to N times (default: 2 when
 //                      faults are present, else 0)
 //   --metrics FMT      dump the simulator metrics snapshot after the run
-//                      (FMT is table or json)
+//                      (FMT is table, json, or csv)
+//   --timeline FILE    sample time-resolved series during the run (link
+//                      utilization, CPU occupancy, queue depths, kernel
+//                      rates; DESIGN.md §10) and write them after it — CSV,
+//                      or the JSON document form when FILE ends in .json.
+//                      Byte-identical across reruns and --parallel counts.
+//                      mgrid only.
+//   --timeline-interval S  sampling interval in emulation seconds
+//                      (default 0.1)
+//   --progress[=S]     live heartbeat on stderr every S wall seconds
+//                      (default 2): sim time, sim-s/wall-s, events/sec,
+//                      pending events — plus a stall watchdog that dumps
+//                      per-lane state when the kernel goes quiet. stdout is
+//                      byte-identical with --progress on or off.
 //   --trace-out FILE   record causal spans and write a Chrome/Perfetto trace
-//                      (load FILE at ui.perfetto.dev or chrome://tracing)
+//                      (load FILE at ui.perfetto.dev or chrome://tracing);
+//                      with --timeline the sampled series ride along as
+//                      counter tracks
 //   --profile FMT      per-(host, layer) virtual-time profile after the run
 //                      (FMT is table or json; implies span recording)
 //   --verbose          print per-rank results
@@ -60,8 +75,11 @@
 #include "econ/economy.h"
 #include "fault/fault_injector.h"
 #include "npb/npb.h"
+#include "obs/progress.h"
+#include "obs/sampler.h"
 #include "obs/sim_profiler.h"
 #include "obs/trace_export.h"
+#include "sim/telemetry.h"
 #include "util/strings.h"
 
 using namespace mg;
@@ -81,9 +99,12 @@ struct Options {
   int parallel = 0;  // 0 = classic sequential kernel
   std::string faults_path;
   int resubmits = -1;   // -1: default (2 with faults, 0 without)
-  std::string metrics;    // "", "table", or "json"
+  std::string metrics;    // "", "table", "json", or "csv"
   std::string trace_out;  // Chrome trace_event JSON output path
   std::string profile;    // "", "table", or "json"
+  std::string timeline_out;          // time-series output path ("" = off)
+  double timeline_interval_s = 0.1;  // sampling interval (emulation seconds)
+  double progress_s = 0;             // heartbeat interval; 0 = no monitor
   bool verbose = false;
   bool list = false;
   std::string workload_path;  // economy mode when non-empty
@@ -127,11 +148,24 @@ Options parseArgs(int argc, char** argv) {
       opt.resubmits = std::stoi(next());
     } else if (flag == "--metrics" || flag.rfind("--metrics=", 0) == 0) {
       opt.metrics = (flag == "--metrics") ? next() : flag.substr(10);
-      if (opt.metrics != "table" && opt.metrics != "json") {
-        throw mg::UsageError("--metrics must be table or json");
+      if (opt.metrics != "table" && opt.metrics != "json" && opt.metrics != "csv") {
+        throw mg::UsageError("--metrics must be table, json, or csv");
       }
     } else if (flag == "--trace-out" || flag.rfind("--trace-out=", 0) == 0) {
       opt.trace_out = (flag == "--trace-out") ? next() : flag.substr(12);
+    } else if (flag == "--timeline" || flag.rfind("--timeline=", 0) == 0) {
+      opt.timeline_out = (flag == "--timeline") ? next() : flag.substr(11);
+    } else if (flag == "--timeline-interval" || flag.rfind("--timeline-interval=", 0) == 0) {
+      opt.timeline_interval_s =
+          std::stod((flag == "--timeline-interval") ? next() : flag.substr(20));
+      if (opt.timeline_interval_s <= 0) {
+        throw mg::UsageError("--timeline-interval wants seconds > 0");
+      }
+    } else if (flag == "--progress") {
+      opt.progress_s = 2.0;
+    } else if (flag.rfind("--progress=", 0) == 0) {
+      opt.progress_s = std::stod(flag.substr(11));
+      if (opt.progress_s <= 0) throw mg::UsageError("--progress wants seconds > 0");
     } else if (flag == "--profile" || flag.rfind("--profile=", 0) == 0) {
       opt.profile = (flag == "--profile") ? next() : flag.substr(10);
       if (opt.profile != "table" && opt.profile != "json") {
@@ -155,6 +189,47 @@ Options parseArgs(int argc, char** argv) {
     }
   }
   return opt;
+}
+
+void printMetrics(obs::MetricsRegistry& metrics, const std::string& fmt) {
+  if (fmt == "json") {
+    std::cout << metrics.snapshotJson() << "\n";
+  } else if (fmt == "csv") {
+    std::cout << metrics.snapshotCsv();
+  } else if (fmt == "table") {
+    metrics.snapshotTable().print(std::cout, "metrics");
+  }
+}
+
+/// Build a telemetry sampler over the simulator's recorder, with the bucket
+/// width matched to the interval so early buckets hold one sample each. The
+/// caller registers probes, then calls start().
+std::unique_ptr<obs::TelemetrySampler> makeSampler(sim::Simulator& sim, double interval_s) {
+  sim.timeline().setBaseWidth(sim::fromSeconds(interval_s));
+  obs::TelemetrySampler::Options sopts;
+  sopts.interval_ns = sim::fromSeconds(interval_s);
+  return std::make_unique<obs::TelemetrySampler>(sim.timeline(), sim::telemetryHost(sim), sopts);
+}
+
+void writeTimeline(const obs::TimeSeriesRecorder& timeline, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw mg::UsageError("cannot open --timeline file " + path);
+  const bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  out << (json ? timeline.json() : timeline.csv());
+  std::cout << "wrote timeline (" << timeline.seriesCount() << " series, "
+            << timeline.sampleCount() << " samples) to " << path << "\n";
+}
+
+std::unique_ptr<obs::ProgressMonitor> startProgress(sim::Simulator& sim, double interval_s,
+                                                    std::function<double()> fraction) {
+  sim.pulse().enable(true);
+  obs::ProgressOptions popts;
+  popts.interval_s = interval_s;
+  popts.events = &sim.metrics().counter("sim.kernel.events_executed");
+  popts.fraction = std::move(fraction);
+  auto monitor = std::make_unique<obs::ProgressMonitor>(sim.pulse(), popts);
+  monitor->start();
+  return monitor;
 }
 
 }  // namespace
@@ -196,12 +271,33 @@ int main(int argc, char** argv) {
 
       econ::GridEconomy economy(platform, grid, eopts);
       economy.arm();
+
+      std::unique_ptr<obs::TelemetrySampler> sampler;
+      if (!opt.timeline_out.empty()) {
+        sampler = makeSampler(platform.simulator(), opt.timeline_interval_s);
+        platform.registerTelemetry(*sampler);
+        economy.registerTelemetry(*sampler);
+        sampler->start();
+      }
+      std::unique_ptr<obs::ProgressMonitor> monitor;
+      if (opt.progress_s > 0) {
+        const obs::Counter& completed =
+            platform.simulator().metrics().counter("econ.jobs.completed");
+        const double total = static_cast<double>(eopts.workload.jobs);
+        monitor = startProgress(platform.simulator(), opt.progress_s,
+                                [&completed, total]() -> double {
+                                  return total > 0 ? static_cast<double>(completed.value()) / total
+                                                   : -1.0;
+                                });
+      }
+
       platform.run();
+      if (monitor) monitor->stop();
       std::cout << economy.report().render();
-      if (opt.metrics == "json") {
-        std::cout << platform.simulator().metrics().snapshotJson() << "\n";
-      } else if (opt.metrics == "table") {
-        platform.simulator().metrics().snapshotTable().print(std::cout, "metrics");
+      printMetrics(platform.simulator().metrics(), opt.metrics);
+      if (sampler) {
+        sampler->finish();
+        writeTimeline(platform.simulator().timeline(), opt.timeline_out);
       }
       return 0;
     }
@@ -269,6 +365,9 @@ int main(int argc, char** argv) {
     if (!opt.trace_out.empty() || !opt.profile.empty()) {
       platform->simulator().spans().setEnabled(true);
     }
+    if (!opt.timeline_out.empty() && mgrid == nullptr) {
+      throw mg::UsageError("--timeline needs --platform mgrid");
+    }
 
     core::Launcher launcher(*platform, registry);
     launcher.startServices(&cfg, "mgrun");
@@ -288,9 +387,22 @@ int main(int argc, char** argv) {
     lopts.max_resubmits = opt.resubmits >= 0 ? opt.resubmits : (plan.empty() ? 0 : 2);
     launcher.setLaunchOptions(lopts);
 
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    if (!opt.timeline_out.empty()) {
+      sampler = makeSampler(mgrid->simulator(), opt.timeline_interval_s);
+      mgrid->registerTelemetry(*sampler);
+      sampler->start();
+    }
+    std::unique_ptr<obs::ProgressMonitor> monitor;
+    if (opt.progress_s > 0) {
+      monitor = startProgress(platform->simulator(), opt.progress_s, {});
+    }
+
     std::cout << "submitting " << opt.exe << " '" << opt.args << "' across " << parts.size()
               << " part(s)...\n";
     const auto result = launcher.run(opt.exe, opt.args, parts);
+    if (monitor) monitor->stop();
+    if (sampler) sampler->finish();
     if (injector) {
       std::cout << injector->renderReport();
       if (result.resubmits > 0) {
@@ -299,19 +411,18 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (opt.metrics == "json") {
-      std::cout << platform->simulator().metrics().snapshotJson() << "\n";
-    } else if (opt.metrics == "table") {
-      platform->simulator().metrics().snapshotTable().print(std::cout, "metrics");
-    }
+    printMetrics(platform->simulator().metrics(), opt.metrics);
 
     if (!opt.trace_out.empty()) {
       std::ofstream out(opt.trace_out, std::ios::binary | std::ios::trunc);
       if (!out) throw mg::UsageError("cannot open --trace-out file " + opt.trace_out);
-      out << obs::chromeTraceJson(platform->simulator().spans());
+      // Sampled series ride along as Perfetto counter tracks.
+      out << obs::chromeTraceJson(platform->simulator().spans(),
+                                  sampler ? &platform->simulator().timeline() : nullptr);
       std::cout << "wrote " << platform->simulator().spans().size() << " span(s) to "
                 << opt.trace_out << "\n";
     }
+    if (sampler) writeTimeline(platform->simulator().timeline(), opt.timeline_out);
     if (!opt.profile.empty()) {
       const obs::SimProfiler prof(platform->simulator().spans());
       if (opt.profile == "json") {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/sampler.h"
+#include "sim/telemetry.h"
 #include "util/log.h"
 
 namespace mg::core {
@@ -359,6 +361,19 @@ net::PacketNetwork& MicroGridPlatform::packetNetwork() {
 
 vos::CpuScheduler& MicroGridPlatform::schedulerFor(const std::string& physical_name) {
   return *schedulers_.at(physical_name);
+}
+
+void MicroGridPlatform::registerTelemetry(obs::TelemetrySampler& sampler) {
+  sim::registerKernelProbes(sampler, sim_);
+  net_->registerTelemetry(sampler);
+  // schedulers_ is name-ordered, so probe registration order (and with it
+  // the recorded series set) is independent of construction order.
+  for (auto& [name, sched] : schedulers_) {
+    sched->registerTelemetry(sampler, name);
+  }
+  sampler.addLevel("grid.batch.depth", [this](std::int64_t) {
+    return sim_.metrics().gaugeValue("grid.batch.depth");
+  });
 }
 
 int MicroGridPlatform::partitionOf(const std::string& host_or_ip) const {

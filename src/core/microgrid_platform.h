@@ -90,6 +90,14 @@ class MicroGridPlatform : public Platform {
   /// Fig 15 trade-off).
   double emulationNow() const { return sim::toSeconds(sim_.now()); }
 
+  /// Register the platform's full time-resolved probe set (DESIGN.md §10)
+  /// on a sampler: kernel rates (sim.*), the network model's per-link and
+  /// throughput series (net.*), every physical machine's CPU scheduler
+  /// (vos.cpu.util.<machine>, vos.runq.<machine>), and the batch jobmanager
+  /// depth (grid.batch.depth) when one is active. Call after construction,
+  /// before sampler.start().
+  void registerTelemetry(obs::TelemetrySampler& sampler);
+
   // --- fault-injection surface (src/fault drives these) ---
 
   /// Crash a virtual host: RST every TCP peer (the dying kernel's last

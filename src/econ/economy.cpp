@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "net/flow_network.h"
+#include "obs/sampler.h"
 #include "util/error.h"
 
 namespace mg::econ {
@@ -113,6 +114,29 @@ GridEconomy::GridEconomy(core::MicroGridPlatform& platform, const EconGrid& grid
           return 1e9;  // currently unroutable; effectively infeasible
         }
       });
+}
+
+void GridEconomy::registerTelemetry(obs::TelemetrySampler& sampler) {
+  sampler.addLevel("econ.active_jobs",
+                   [this](std::int64_t) { return static_cast<double>(active_.size()); });
+  sampler.addCounterRate("econ.submitted_per_s", c_submitted_);
+  sampler.addCounterRate("econ.completed_per_s", c_completed_);
+  for (auto& [name, cluster] : clusters_) {
+    const Cluster* c = &cluster;
+    sampler.addLevel("econ.queue.depth." + name,
+                     [c](std::int64_t) { return static_cast<double>(c->queue.depth()); });
+    sampler.addLevel("econ.queue.backlog_s." + name,
+                     [c](std::int64_t) { return c->queue.backlogSeconds(); });
+    sampler.addLevel("econ.running." + name,
+                     [c](std::int64_t) { return static_cast<double>(c->queue.runningCount()); });
+    // The broker's picture of the same cluster — stale by up to one GIS
+    // refresh interval (plus TTL effects when the cluster crashed).
+    sampler.addLevel("econ.broker.view_backlog_s." + name, [this, name = name](std::int64_t) {
+      const auto& views = broker_.views();
+      auto it = views.find(name);
+      return it == views.end() ? 0.0 : it->second.backlog_s;
+    });
+  }
 }
 
 void GridEconomy::arm() {

@@ -105,6 +105,14 @@ class GridEconomy {
   Broker& broker() { return broker_; }
   const gis::Directory& directory() const { return gis_; }
 
+  /// Time-resolved probes (DESIGN.md §10): econ.active_jobs,
+  /// econ.submitted_per_s / econ.completed_per_s, per-cluster queue depth /
+  /// backlog / running counts, and the broker's (GIS-stale) per-cluster
+  /// backlog view — the gap between econ.queue.backlog_s.<c> and
+  /// econ.broker.view_backlog_s.<c> is the staleness the MDS-style refresh
+  /// interval buys. Everything here is process-lane state.
+  void registerTelemetry(obs::TelemetrySampler& sampler);
+
  private:
   /// GPS processor-sharing pool: running jobs' cores share `cores`
   /// max-min-uniformly; completions are tracked in virtual-work time V(t)

@@ -523,6 +523,28 @@ double FlowEngine::linkUtilization(LinkId link) const {
   return linkBusySeconds(static_cast<std::size_t>(link), sim_.now()) / elapsed;
 }
 
+void FlowEngine::registerTelemetry(obs::TelemetrySampler& sampler) {
+  sampler.addLevel("net.flow.active",
+                   [this](std::int64_t) { return static_cast<double>(flows_.size()); });
+  sampler.addCounterRate("net.flow.completed_per_s", c_completed_);
+  sampler.addCounterRate("net.flow.bytes_per_s", c_bytes_);
+  const Topology& topo = model_.topology();
+  for (LinkId l = 0; l < topo.linkCount(); ++l) {
+    // Cumulative busy time in *kernel* seconds (linkBusySeconds reports
+    // network seconds), so the sampled rate is the fraction of kernel time
+    // the link carried >= 1 flow — utilization on the same clock as every
+    // other series. A sample tick can land before an open busy interval's
+    // start (the epoch ran ahead of the tick time at a barrier); clamping
+    // `now` up to busy_since keeps the cumulative sum monotone.
+    sampler.addRate("net.flow.link_util." + topo.link(l).name, [this, l](std::int64_t t) {
+      const auto lid = static_cast<std::size_t>(l);
+      sim::SimTime now = t;
+      if (link_active_[lid] > 0 && link_busy_since_[lid] > now) now = link_busy_since_[lid];
+      return linkBusySeconds(lid, now) * model_.timeScale();
+    });
+  }
+}
+
 void FlowEngine::publishLinkGauges(std::size_t lid, sim::SimTime now) {
   if (g_link_busy_[lid] == nullptr) {
     const std::string& name = model_.topology().link(static_cast<LinkId>(lid)).name;

@@ -129,6 +129,12 @@ class FlowEngine {
   /// the way down) and existing routes never change mid-flight.
   void onLinkChanged(LinkId link);
 
+  /// Time-resolved probes (DESIGN.md §10): net.flow.active (level),
+  /// net.flow.completed_per_s / bytes_per_s (rates), and one
+  /// net.flow.link_util.<name> utilization rate per topology link (fraction
+  /// of kernel time the link carried >= 1 flow, from the busy-time accrual).
+  void registerTelemetry(obs::TelemetrySampler& sampler);
+
   int activeFlows() const { return static_cast<int>(flows_.size()); }
   /// A flow's current max-min rate in bits/s; 0 when the id is not active
   /// (fairness oracles in tests).
@@ -287,6 +293,10 @@ class FlowNetwork : public NetworkModel {
   /// (unscaled). Throws ConfigError if the nodes are not connected and
   /// mg::Error if a fault aborts the flow mid-transfer.
   sim::SimTime transfer(NodeId src, NodeId dst, std::int64_t bytes);
+
+  void registerTelemetry(obs::TelemetrySampler& sampler) override {
+    engine_.registerTelemetry(sampler);
+  }
 
  protected:
   void onLinkDown(LinkId link) override { engine_.abortFlowsOnLink(link, "link_down"); }

@@ -73,6 +73,13 @@ class HybridNetwork : public PacketNetwork {
   FlowEngine& engine() { return engine_; }
   const DetailSelector& selector() const { return selector_; }
 
+  /// Both halves report: escalated traffic under net.packet.*, fluid flows
+  /// under net.flow.* (the per-link series stay distinct by prefix).
+  void registerTelemetry(obs::TelemetrySampler& sampler) override {
+    PacketNetwork::registerTelemetry(sampler);
+    engine_.registerTelemetry(sampler);
+  }
+
  protected:
   // Faults hit both halves: packet queues purge, fluid flows abort/re-share.
   void onLinkDown(LinkId link) override;

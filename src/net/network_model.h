@@ -19,6 +19,7 @@
 #include "net/packet.h"
 #include "net/partition.h"
 #include "net/topology.h"
+#include "obs/sampler.h"
 #include "sim/simulator.h"
 
 namespace mg::net {
@@ -125,6 +126,15 @@ class NetworkModel {
     (void)port;
     return true;
   }
+
+  // --- telemetry surface (DESIGN.md §10) ---
+
+  /// Register this model's time-resolved probes on `sampler`: per-link busy
+  /// utilization and whatever per-model health series apply (active flows,
+  /// wire throughput). Probe reads happen at sampler ticks — sequentially or
+  /// at parallel barriers, never mid-phase — so implementations may read
+  /// cross-lane state freely. Base: nothing.
+  virtual void registerTelemetry(obs::TelemetrySampler& sampler) { (void)sampler; }
 
  protected:
   friend class FlowEngine;

@@ -48,6 +48,28 @@ sim::SimTime PacketNetwork::wireLookahead() const {
   return scaled(std::min(opts_.host_stack_delay, plan_.cut_latency));
 }
 
+double PacketNetwork::linkBusyKernelSeconds(LinkId link, sim::SimTime t) const {
+  double ns = 0;
+  for (std::size_t dir = 0; dir < 2; ++dir) {
+    const LinkQueue& q = link_queues_[static_cast<std::size_t>(link) * 2 + dir];
+    ns += static_cast<double>(q.busy_ns);
+    // Open transmit interval, closed against the sample time. A barrier-time
+    // sample can predate a busy edge set later in the same epoch — clamp,
+    // keeping the cumulative sum monotone (the rate probe differences it).
+    if (q.busy && t > q.busy_since) ns += static_cast<double>(t - q.busy_since);
+  }
+  return ns * 1e-9;
+}
+
+void PacketNetwork::registerTelemetry(obs::TelemetrySampler& sampler) {
+  sampler.addCounterRate("net.packet.delivered_per_s", c_delivered_);
+  sampler.addCounterRate("net.packet.wire_bytes_per_s", c_wire_bytes_);
+  for (LinkId l = 0; l < topo_.linkCount(); ++l) {
+    sampler.addRate("net.packet.link_util." + topo_.link(l).name,
+                    [this, l](std::int64_t t) { return linkBusyKernelSeconds(l, t); });
+  }
+}
+
 PacketNetworkStats PacketNetwork::stats() const {
   PacketNetworkStats s;
   s.packets_sent = c_sent_.value();
@@ -146,9 +168,11 @@ void PacketNetwork::enqueue(LinkId link, NodeId from, Packet&& pkt) {
 void PacketNetwork::startTransmit(LinkId link, NodeId from) {
   LinkQueue& q = queueFor(link, from);
   if (q.queue.empty()) {
+    if (q.busy) q.busy_ns += sim_.now() - q.busy_since;  // occupancy 1 -> 0
     q.busy = false;
     return;
   }
+  if (!q.busy) q.busy_since = sim_.now();  // occupancy 0 -> 1
   q.busy = true;
   const Link& l = topo_.link(link);
   Packet& head = q.queue.front();

@@ -98,6 +98,14 @@ class PacketNetwork : public NetworkModel {
   /// falls back to sequential execution).
   sim::SimTime wireLookahead() const override;
 
+  /// Time-resolved probes (DESIGN.md §10): delivered/wire-byte rates plus
+  /// one net.packet.link_util.<name> series per link — the summed duplex
+  /// utilization (1.0 = one direction saturated, 2.0 = both), from the
+  /// per-direction busy-time accrual. Probe reads happen at sampler ticks
+  /// (sequential or barrier), where the wire lanes are idle, so reading the
+  /// sharded queues is race-free.
+  void registerTelemetry(obs::TelemetrySampler& sampler) override;
+
  protected:
   // Fault hooks (NetworkModel runs them at the barrier, between the state
   // flip and the routing recompute). Packets already queued on a downed
@@ -111,13 +119,22 @@ class PacketNetwork : public NetworkModel {
 
  private:
   // Per-direction link queue state. Direction 0 = a->b, 1 = b->a.
+  // Busy-time accrues at occupancy transitions (transmit starts on an idle
+  // direction / queue drains empty), per direction, on whichever lane owns
+  // the queue — cut links drive their two directions from different lanes,
+  // so a per-link aggregate only exists at barrier-synchronized reads.
   struct LinkQueue {
     std::deque<Packet> queue;
     std::int64_t queued_bytes = 0;
     bool busy = false;
+    sim::SimTime busy_since = 0;  // kernel time of the idle->busy edge
+    sim::SimTime busy_ns = 0;     // closed busy spans, kernel ns
   };
 
   LinkQueue& queueFor(LinkId link, NodeId from);
+  /// Cumulative kernel-seconds both directions spent transmitting, open
+  /// intervals closed against sample time `t` (clamped non-negative).
+  double linkBusyKernelSeconds(LinkId link, sim::SimTime t) const;
   void dropQueued(LinkId link, obs::Counter& cause);
   void dropQueuedDir(LinkId link, int dir, obs::Counter& cause);
   void forward(NodeId at, Packet&& pkt);

@@ -105,6 +105,34 @@ util::Table MetricsRegistry::snapshotTable() const {
   return t;
 }
 
+std::string MetricsRegistry::snapshotCsv() const {
+  // Same three-way name-sorted merge as snapshotTable, in CSV dress.
+  // Instrument names never contain commas or quotes, so no field escaping.
+  std::string out = "metric,type,value\n";
+  auto ci = counter_index_.begin();
+  auto gi = gauge_index_.begin();
+  auto hi = histogram_index_.begin();
+  while (ci != counter_index_.end() || gi != gauge_index_.end() || hi != histogram_index_.end()) {
+    const std::string* cn = ci != counter_index_.end() ? &ci->first : nullptr;
+    const std::string* gn = gi != gauge_index_.end() ? &gi->first : nullptr;
+    const std::string* hn = hi != histogram_index_.end() ? &hi->first : nullptr;
+    const std::string* least = cn;
+    if (gn && (!least || *gn < *least)) least = gn;
+    if (hn && (!least || *hn < *least)) least = hn;
+    if (least == cn) {
+      out += ci->first + ",counter," + std::to_string(ci->second->value()) + "\n";
+      ++ci;
+    } else if (least == gn) {
+      out += gi->first + ",gauge," + formatDouble(gi->second->value()) + "\n";
+      ++gi;
+    } else {
+      out += hi->first + ",histogram," + std::to_string(hi->second->total()) + "\n";
+      ++hi;
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::snapshotJson() const {
   std::string out = "{\"counters\":{";
   bool first = true;

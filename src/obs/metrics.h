@@ -102,6 +102,12 @@ class MetricsRegistry {
   /// across identical runs.
   std::string snapshotJson() const;
 
+  /// "metric,type,value" header + one row per instrument in the same merged
+  /// name-sorted order as snapshotTable() — the spreadsheet/plot-pipeline
+  /// form (mgrun --metrics=csv). Counters render as integers, gauges via
+  /// formatDouble, histograms as their total sample count.
+  std::string snapshotCsv() const;
+
  private:
   // Instruments live in deques (stable addresses); maps index by name.
   std::deque<Counter> counters_;

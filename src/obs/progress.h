@@ -1,0 +1,134 @@
+// Wall-clock live run monitoring (mgrun --progress; DESIGN.md §10).
+//
+// The simulation kernel is single-minded: once run() starts, nothing else
+// happens on its threads until the queues drain. RunPulse is the one-way
+// window out — a lock-free board of relaxed atomics the kernel publishes to
+// (per-event lane clock + pending count, a global commit counter, barrier
+// epochs) and a ProgressMonitor thread reads from. The monitor owns all
+// formatting and timing; the kernel's cost when --progress is off is a
+// single relaxed bool load per event, and when on, three relaxed stores.
+//
+// Everything the monitor prints goes to its sink (stderr by default) and is
+// wall-clock flavored, hence nondeterministic — stdout and every recorded
+// observable stream stay byte-identical with the monitor on or off (CI-
+// enforced). Heartbeats show sim time, sim-seconds per wall-second,
+// events/sec, pending events, and an ETA when a progress-fraction callback
+// is provided. A stall watchdog fires when the commit counter stops moving
+// for `stall_s` wall seconds and dumps the per-lane board — the
+// tell-a-human-where-it-hangs view for deadlocked or runaway scenarios.
+//
+// Thread-safety contract: the fraction callback runs on the monitor thread
+// and must only read atomics (registry counters/gauges qualify).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mg::obs {
+
+class Counter;
+
+/// The kernel-side publication board. Owned by sim::Simulator; disabled
+/// (and costing one relaxed load per event) unless enable(true) is called.
+class RunPulse {
+ public:
+  static constexpr int kMaxLanes = 64;  // matches the kernel's 6 lane bits
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void configureLanes(int lanes) { lanes_.store(lanes, std::memory_order_relaxed); }
+  int lanes() const { return lanes_.load(std::memory_order_relaxed); }
+
+  /// One event dispatched on `lane`, whose clock is now `now_ns` with
+  /// `pending` events left in its heap. Kernel hot path — relaxed stores.
+  void beatLane(int lane, std::int64_t now_ns, std::int64_t pending) {
+    if (lane < 0 || lane >= kMaxLanes) return;
+    lane_now_[lane].ns.store(now_ns, std::memory_order_relaxed);
+    lane_pending_[lane].ns.store(pending, std::memory_order_relaxed);
+    commits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// One parallel barrier crossed (epoch boundary).
+  void noteBarrier() { epochs_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
+  std::uint64_t epochs() const { return epochs_.load(std::memory_order_relaxed); }
+  std::int64_t laneNow(int lane) const {
+    return lane_now_[lane].ns.load(std::memory_order_relaxed);
+  }
+  std::int64_t lanePending(int lane) const {
+    return lane_pending_[lane].ns.load(std::memory_order_relaxed);
+  }
+  /// Max lane clock: the front of the simulation.
+  std::int64_t simNow() const;
+
+ private:
+  // Cache-line padding keeps one lane's per-event stores from false-sharing
+  // its neighbours while worker threads drain lanes concurrently.
+  struct alignas(64) Slot {
+    std::atomic<std::int64_t> ns{0};
+  };
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> lanes_{1};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> epochs_{0};
+  Slot lane_now_[kMaxLanes];
+  Slot lane_pending_[kMaxLanes];
+};
+
+struct ProgressOptions {
+  /// Wall seconds between heartbeats.
+  double interval_s = 2.0;
+  /// Wall seconds of commit silence before the stall watchdog dumps state.
+  double stall_s = 30.0;
+  /// Output stream; nullptr means std::cerr. Never stdout: recorded streams
+  /// must stay byte-identical with the monitor on or off.
+  std::ostream* sink = nullptr;
+  /// Events-executed counter for throughput lines (optional).
+  const Counter* events = nullptr;
+  /// Fraction of the run complete in [0, 1] for ETA lines; return a negative
+  /// value for "unknown". Runs on the monitor thread: read atomics only.
+  std::function<double()> fraction;
+  std::string label = "progress";
+};
+
+/// The watcher thread. start() spawns it, stop() (or destruction) joins it;
+/// between the two it prints a heartbeat every interval and a stall dump
+/// when the pulse goes quiet.
+class ProgressMonitor {
+ public:
+  explicit ProgressMonitor(const RunPulse& pulse, ProgressOptions opts = {});
+  ~ProgressMonitor();
+  ProgressMonitor(const ProgressMonitor&) = delete;
+  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+
+  void start();
+  void stop();
+
+  std::int64_t heartbeats() const { return heartbeats_.load(std::memory_order_relaxed); }
+  std::int64_t stallDumps() const { return stall_dumps_.load(std::memory_order_relaxed); }
+
+ private:
+  void loop();
+  void heartbeat(std::ostream& out, double wall_s);
+  void stallDump(std::ostream& out, double quiet_s);
+
+  const RunPulse& pulse_;
+  ProgressOptions opts_;
+  std::thread thread_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::atomic<std::int64_t> heartbeats_{0};
+  std::atomic<std::int64_t> stall_dumps_{0};
+};
+
+}  // namespace mg::obs

@@ -1,0 +1,99 @@
+#include "obs/sampler.h"
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace mg::obs {
+
+TelemetrySampler::TelemetrySampler(TimeSeriesRecorder& recorder, Host host, Options opts)
+    : recorder_(recorder), host_(std::move(host)), opts_(opts) {
+  if (opts_.interval_ns <= 0) throw UsageError("TelemetrySampler wants interval > 0");
+  if (!host_.now || !host_.schedule_at || !host_.in_parallel_phase || !host_.run_at_barrier ||
+      !host_.pending_events) {
+    throw UsageError("TelemetrySampler host is missing a callable");
+  }
+}
+
+void TelemetrySampler::addProbe(Probe p) {
+  if (started_) throw UsageError("TelemetrySampler probes must be registered before start()");
+  if (probes_.size() >= opts_.max_probes) {
+    ++dropped_probes_;
+    return;
+  }
+  probes_.push_back(std::move(p));
+}
+
+void TelemetrySampler::addLevel(std::string series, std::function<double(std::int64_t)> read) {
+  addProbe(Probe{std::move(series), std::move(read), /*rate=*/false, 0});
+}
+
+void TelemetrySampler::addRate(std::string series,
+                               std::function<double(std::int64_t)> cumulative) {
+  addProbe(Probe{std::move(series), std::move(cumulative), /*rate=*/true, 0});
+}
+
+void TelemetrySampler::addCounterRate(std::string series, const Counter& counter) {
+  addRate(std::move(series),
+          [&counter](std::int64_t) { return static_cast<double>(counter.value()); });
+}
+
+void TelemetrySampler::start() {
+  if (started_) throw UsageError("TelemetrySampler::start called twice");
+  started_ = true;
+  const std::int64_t t0 = host_.now();
+  // The t0 tick records every level at its initial value and primes the
+  // rate baselines (a rate's first recorded sample covers [t0, t0+interval]).
+  collect(t0);
+  scheduleNext(t0);
+}
+
+void TelemetrySampler::fire(std::int64_t t) {
+  if (host_.in_parallel_phase()) {
+    // Worker lanes may still be executing: defer both the probe reads and
+    // the reschedule decision to the barrier, where the workers are idle and
+    // the op order is deterministic (see the header).
+    host_.run_at_barrier([this, t] {
+      collect(t);
+      scheduleNext(t);
+    });
+    return;
+  }
+  collect(t);
+  scheduleNext(t);
+}
+
+void TelemetrySampler::collect(std::int64_t t) {
+  if (t == last_tick_) return;  // finish() colliding with the final tick
+  const double dt_s = last_tick_ < 0 ? 0.0 : static_cast<double>(t - last_tick_) * 1e-9;
+  for (Probe& p : probes_) {
+    const double v = p.read(t);
+    if (p.rate) {
+      if (last_tick_ >= 0 && dt_s > 0) recorder_.add(p.series, t, (v - p.prev) / dt_s);
+      p.prev = v;
+    } else {
+      recorder_.add(p.series, t, v);
+    }
+  }
+  last_tick_ = t;
+  ++ticks_;
+}
+
+void TelemetrySampler::scheduleNext(std::int64_t t) {
+  // Without pending events the run is over (Simulator::run drains to empty);
+  // rescheduling would keep it alive forever.
+  if (host_.pending_events() == 0) return;
+  std::int64_t next = t + opts_.interval_ns;
+  // At a barrier lane 0's clock may already have passed t + interval (the
+  // epoch ran ahead); the clamp keeps schedule_at legal and is deterministic
+  // because barrier-time clocks are functions of the configuration alone.
+  const std::int64_t now = host_.now();
+  if (next < now) next = now;
+  host_.schedule_at(next, [this, next] { fire(next); });
+}
+
+void TelemetrySampler::finish() {
+  if (!started_) return;
+  collect(host_.now());
+}
+
+}  // namespace mg::obs

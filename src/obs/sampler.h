@@ -1,0 +1,119 @@
+// Event-driven periodic sampling of gauges and counters-as-rates into a
+// TimeSeriesRecorder (DESIGN.md §10).
+//
+// The sampler schedules itself as a recurring simulation event on lane 0 at
+// a fixed interval, reads every registered probe, and records one sample per
+// probe per tick. It is deliberately decoupled from sim::Simulator (obs is a
+// lower layer): the kernel surface arrives as a Host struct of callables,
+// bound by sim::telemetryHost().
+//
+// Determinism under --parallel=N: a sample event fires while worker lanes
+// may still be mid-phase, so reading cross-lane state (link occupancy,
+// counters being bumped by wire lanes) directly would be racy *and*
+// timing-dependent. Instead, when the host reports an active parallel phase
+// the tick defers both the probe reads and the next-tick scheduling decision
+// to host.run_at_barrier — the barrier is a deterministic point (the epoch
+// structure is a function of the configuration, never the worker count), the
+// workers are idle there, and barrier ops run in a deterministic order. In
+// sequential/single-lane runs the tick collects immediately. Either way the
+// recorded (time, value) stream is byte-identical for any worker count.
+//
+// Probes take the sample timestamp explicitly so resources can close open
+// busy-intervals against the sampler's clock instead of reading their own
+// lane clock (which may sit anywhere inside the epoch window at a barrier).
+//
+// The sampler reschedules only while host.pending_events() > 0, so it never
+// keeps Simulator::run() (which runs until all queues drain) alive on its
+// own, and the final tick lands at the last real event's epoch. finish()
+// takes one closing sample so rate probes account the tail interval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+
+namespace mg::obs {
+
+class Counter;
+
+class TelemetrySampler {
+ public:
+  /// The kernel surface the sampler runs against (see sim::telemetryHost).
+  struct Host {
+    /// Current simulation time (ns), lane-0 clock.
+    std::function<std::int64_t()> now;
+    /// Schedule a callable at absolute sim time t (>= now) on lane 0.
+    std::function<void(std::int64_t, std::function<void()>)> schedule_at;
+    /// True while worker threads may be executing a parallel phase.
+    std::function<bool()> in_parallel_phase;
+    /// Run a callable at the next barrier (immediately when no phase).
+    std::function<void(std::function<void()>)> run_at_barrier;
+    /// Events currently scheduled across all lanes (safe at barriers).
+    std::function<std::size_t()> pending_events;
+  };
+
+  struct Options {
+    std::int64_t interval_ns = 100'000'000;  // 100 ms
+    /// Probes registered past this cap are ignored (droppedProbes() counts
+    /// them) — per-link registration on huge topologies stays bounded.
+    std::size_t max_probes = 4096;
+  };
+
+  TelemetrySampler(TimeSeriesRecorder& recorder, Host host)
+      : TelemetrySampler(recorder, std::move(host), Options{}) {}
+  TelemetrySampler(TimeSeriesRecorder& recorder, Host host, Options opts);
+
+  /// Sample the probe's value at time t. Recorded as-is (a level).
+  void addLevel(std::string series, std::function<double(std::int64_t)> read);
+
+  /// `cumulative` returns a non-decreasing total (e.g. busy-seconds, bytes);
+  /// the recorded sample is its per-second rate over the last interval —
+  /// utilization when the total is busy-seconds. The baseline is taken at
+  /// start(), so the first tick covers [start, first tick].
+  void addRate(std::string series, std::function<double(std::int64_t)> cumulative);
+
+  /// Rate of a registry counter (events/sec, packets/sec, ...).
+  void addCounterRate(std::string series, const Counter& counter);
+
+  /// Take the t=now baseline sample and schedule the recurring tick. Call
+  /// once, after probes are registered and before the run.
+  void start();
+
+  /// Take a final closing sample at host.now() unless one already landed
+  /// there. Call after the run returns.
+  void finish();
+
+  std::int64_t ticks() const { return ticks_; }
+  std::int64_t droppedProbes() const { return dropped_probes_; }
+  std::int64_t intervalNs() const { return opts_.interval_ns; }
+
+ private:
+  struct Probe {
+    std::string series;
+    std::function<double(std::int64_t)> read;
+    bool rate = false;
+    double prev = 0;  // cumulative value at the previous tick (rate probes)
+  };
+
+  void addProbe(Probe p);
+  /// The recurring tick, fired at its scheduled time t.
+  void fire(std::int64_t t);
+  /// Read every probe at time t and record the samples.
+  void collect(std::int64_t t);
+  /// Schedule the next tick if the run still has events to execute.
+  void scheduleNext(std::int64_t t);
+
+  TimeSeriesRecorder& recorder_;
+  Host host_;
+  Options opts_;
+  std::vector<Probe> probes_;
+  bool started_ = false;
+  std::int64_t last_tick_ = -1;  // time of the previous collect, -1 before start
+  std::int64_t ticks_ = 0;
+  std::int64_t dropped_probes_ = 0;
+};
+
+}  // namespace mg::obs

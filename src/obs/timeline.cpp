@@ -1,0 +1,197 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+
+#include "obs/lane.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace mg::obs {
+
+namespace {
+
+TimeSeriesRecorder::Bucket mergePair(const TimeSeriesRecorder::Bucket& a,
+                                     const TimeSeriesRecorder::Bucket& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  TimeSeriesRecorder::Bucket m;
+  m.count = a.count + b.count;
+  m.min = std::min(a.min, b.min);
+  m.max = std::max(a.max, b.max);
+  m.sum = a.sum + b.sum;
+  m.last = b.last;  // b covers the later window
+  return m;
+}
+
+}  // namespace
+
+TimeSeriesRecorder::TimeSeriesRecorder(Options opts) : opts_(opts) {
+  if (opts_.capacity < 2) throw UsageError("TimeSeriesRecorder wants capacity >= 2");
+  if (opts_.base_width_ns <= 0) throw UsageError("TimeSeriesRecorder wants base_width > 0");
+}
+
+void TimeSeriesRecorder::setBaseWidth(std::int64_t width_ns) {
+  if (width_ns <= 0) throw UsageError("TimeSeriesRecorder wants base_width > 0");
+  opts_.base_width_ns = width_ns;
+}
+
+TimeSeriesRecorder::Series& TimeSeriesRecorder::getOrCreate(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return *it->second;
+  series_.emplace_back();
+  Series& s = series_.back();
+  s.name = std::string(name);
+  s.width = opts_.base_width_ns;
+  index_.emplace(s.name, &s);
+  return s;
+}
+
+void TimeSeriesRecorder::add(std::string_view series, std::int64_t t, double v) {
+  const int lane = currentLane();
+  if (lane > 0 && static_cast<std::size_t>(lane) < lane_journals_.size()) {
+    lane_journals_[static_cast<std::size_t>(lane)].push_back(
+        JournalEntry{t, std::string(series), v});
+    return;
+  }
+  addDirect(series, t, v);
+}
+
+void TimeSeriesRecorder::addDirect(std::string_view name, std::int64_t t, double v) {
+  if (index_.size() >= opts_.max_series && index_.find(name) == index_.end()) {
+    ++dropped_series_;
+    return;
+  }
+  Series& s = getOrCreate(name);
+  if (!s.started) {
+    // Anchor bucket 0 on the first sample, aligned down to the width grid so
+    // bucket bounds are round multiples (and widening keeps them so).
+    s.origin = t - (t % s.width);
+    if (s.origin > t) s.origin -= s.width;  // negative-time defensive floor
+    s.started = true;
+  }
+  std::int64_t idx = t < s.origin ? 0 : (t - s.origin) / s.width;
+  while (idx >= static_cast<std::int64_t>(opts_.capacity)) {
+    widen(s);
+    idx = (t - s.origin) / s.width;
+  }
+  if (static_cast<std::size_t>(idx) >= s.buckets.size()) {
+    s.buckets.resize(static_cast<std::size_t>(idx) + 1);
+  }
+  Bucket& b = s.buckets[static_cast<std::size_t>(idx)];
+  if (b.count == 0) {
+    b.min = b.max = b.sum = v;
+    b.count = 1;
+  } else {
+    b.min = std::min(b.min, v);
+    b.max = std::max(b.max, v);
+    b.sum += v;
+    ++b.count;
+  }
+  b.last = v;
+  ++samples_;
+}
+
+void TimeSeriesRecorder::widen(Series& s) {
+  // Double the bucket width in place: pairs (2j, 2j+1) — exact halves of the
+  // new window [origin + j*2w, origin + (j+1)*2w) — merge into bucket j. The
+  // origin stays, so every new boundary was already a boundary before and no
+  // recorded aggregate is ever split.
+  const std::size_t n = s.buckets.size();
+  const std::size_t merged = (n + 1) / 2;
+  for (std::size_t j = 0; j < merged; ++j) {
+    const Bucket& a = s.buckets[2 * j];
+    s.buckets[j] = (2 * j + 1 < n) ? mergePair(a, s.buckets[2 * j + 1]) : a;
+  }
+  s.buckets.resize(merged);
+  s.width *= 2;
+  ++s.widenings;
+}
+
+const TimeSeriesRecorder::Series* TimeSeriesRecorder::find(std::string_view series) const {
+  auto it = index_.find(series);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+std::vector<const TimeSeriesRecorder::Series*> TimeSeriesRecorder::seriesSorted() const {
+  std::vector<const Series*> out;
+  out.reserve(index_.size());
+  for (const auto& [name, s] : index_) out.push_back(s);
+  return out;
+}
+
+void TimeSeriesRecorder::configureLanes(int lanes) {
+  lane_journals_.resize(static_cast<std::size_t>(lanes));
+}
+
+void TimeSeriesRecorder::commitParallelPhase() {
+  struct Ref {
+    std::int64_t time;
+    int lane;
+    const JournalEntry* e;
+  };
+  std::vector<Ref> refs;
+  for (std::size_t lane = 1; lane < lane_journals_.size(); ++lane) {
+    for (const JournalEntry& e : lane_journals_[lane]) {
+      refs.push_back(Ref{e.time, static_cast<int>(lane), &e});
+    }
+  }
+  if (refs.empty()) return;
+  std::stable_sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.lane < b.lane;
+  });
+  for (const Ref& r : refs) addDirect(r.e->series, r.e->time, r.e->value);
+  for (std::size_t lane = 1; lane < lane_journals_.size(); ++lane) {
+    lane_journals_[lane].clear();
+  }
+}
+
+std::string TimeSeriesRecorder::csv() const {
+  std::string out = "series,bucket_start_ns,bucket_end_ns,samples,min,max,mean,last\n";
+  for (const auto& [name, s] : index_) {
+    for (std::size_t i = 0; i < s->buckets.size(); ++i) {
+      const Bucket& b = s->buckets[i];
+      if (b.count == 0) continue;
+      const std::int64_t start = s->origin + static_cast<std::int64_t>(i) * s->width;
+      out += name;
+      out += ',' + std::to_string(start);
+      out += ',' + std::to_string(start + s->width);
+      out += ',' + std::to_string(b.count);
+      out += ',' + formatDouble(b.min);
+      out += ',' + formatDouble(b.max);
+      out += ',' + formatDouble(b.sum / static_cast<double>(b.count));
+      out += ',' + formatDouble(b.last);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string TimeSeriesRecorder::json() const {
+  std::string out = "{\"series\":[";
+  bool first_series = true;
+  for (const auto& [name, s] : index_) {
+    if (!first_series) out += ',';
+    first_series = false;
+    out += "{\"name\":\"" + jsonEscape(name) + "\",\"origin_ns\":" + std::to_string(s->origin) +
+           ",\"width_ns\":" + std::to_string(s->width) +
+           ",\"widenings\":" + std::to_string(s->widenings) + ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < s->buckets.size(); ++i) {
+      const Bucket& b = s->buckets[i];
+      if (b.count == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      const std::int64_t start = s->origin + static_cast<std::int64_t>(i) * s->width;
+      out += '[' + std::to_string(start) + ',' + std::to_string(b.count) + ',' +
+             formatDouble(b.min) + ',' + formatDouble(b.max) + ',' +
+             formatDouble(b.sum / static_cast<double>(b.count)) + ',' + formatDouble(b.last) +
+             ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mg::obs

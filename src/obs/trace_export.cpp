@@ -27,7 +27,7 @@ void appendArgs(std::string& out, const SpanRecorder::Span& s) {
 
 }  // namespace
 
-std::string chromeTraceJson(const SpanRecorder& rec) {
+std::string chromeTraceJson(const SpanRecorder& rec, const TimeSeriesRecorder* timeline) {
   // Tracks in sorted name order -> deterministic tid assignment.
   std::map<std::string, int> tids;
   for (const auto& s : rec.spans()) tids.emplace(s.track, 0);
@@ -58,6 +58,23 @@ std::string chromeTraceJson(const SpanRecorder& rec) {
     }
     appendArgs(out, s);
     out += "}";
+  }
+
+  if (timeline != nullptr) {
+    // Telemetry series as counter tracks: one "C" event per populated
+    // bucket, stamped at the bucket start, carrying the bucket mean. The
+    // viewer draws each distinctly-named track as its own step graph under
+    // the process, beside the span lanes.
+    for (const TimeSeriesRecorder::Series* series : timeline->seriesSorted()) {
+      for (std::size_t i = 0; i < series->buckets.size(); ++i) {
+        const TimeSeriesRecorder::Bucket& b = series->buckets[i];
+        if (b.count == 0) continue;
+        const std::int64_t start = series->origin + static_cast<std::int64_t>(i) * series->width;
+        out += ",\n{\"ph\":\"C\",\"pid\":1,\"name\":\"" + jsonEscape(series->name) +
+               "\",\"ts\":" + micros(start) + ",\"args\":{\"value\":" +
+               formatDouble(b.sum / static_cast<double>(b.count)) + "}}";
+      }
+    }
   }
   out += "\n]}\n";
   return out;

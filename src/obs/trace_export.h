@@ -7,19 +7,26 @@
 //  - spans render as "X" complete events with microsecond ts/dur;
 //  - instant spans (fault injections) render as "i" instant events;
 //  - span id / parent id / attrs ride in "args", preserving causality that
-//    the viewer's stack-nesting heuristic cannot express.
+//    the viewer's stack-nesting heuristic cannot express;
+//  - with a TimeSeriesRecorder attached, every telemetry series becomes a
+//    "C" counter track (one sample per populated bucket, bucket mean), so
+//    utilization timelines render beside the span forest.
 //
-// Timestamps are rendered by integer division of the ns clock (no double
-// formatting anywhere), so same-seed runs export byte-identical files.
+// Timestamps are rendered by integer division of the ns clock; counter
+// values go through formatDouble — both byte-stable, so same-seed runs
+// export byte-identical files.
 #pragma once
 
 #include <string>
 
 #include "obs/span.h"
+#include "obs/timeline.h"
 
 namespace mg::obs {
 
 /// The whole recorder as one JSON document ("traceEvents" array form).
-std::string chromeTraceJson(const SpanRecorder& rec);
+/// `timeline` (optional) appends one counter track per telemetry series.
+std::string chromeTraceJson(const SpanRecorder& rec,
+                            const TimeSeriesRecorder* timeline = nullptr);
 
 }  // namespace mg::obs

@@ -82,6 +82,8 @@ void ParallelEngine::mergeAtBarrier() {
   // after everything the phase journaled, at the op's (later) time.
   sim_.spans_.commitParallelPhase();
   sim_.trace_.commitParallelPhase();
+  sim_.timeline_.commitParallelPhase();
+  if (sim_.pulse_.enabled()) sim_.pulse_.noteBarrier();
   // Outboxes in (source lane, push order): both fixed by per-lane execution
   // order, so the merged (time, seq) keys are worker-count-independent.
   for (auto& l : lanes) {

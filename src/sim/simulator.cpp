@@ -231,6 +231,10 @@ void Simulator::dispatchTopOn(detail::EventLane& lane) {
   lane.heapRemoveAt(0);
   lane.freeSlot(slot);
   events_executed_.inc();
+  if (pulse_.enabled()) {
+    pulse_.beatLane(static_cast<int>(lane.index), lane.now,
+                    static_cast<std::int64_t>(lane.heap.size()));
+  }
   if (spans_.enabled()) {
     // Events run in the span context of whoever scheduled them.
     const obs::SpanId prev = spans_.current();
@@ -297,6 +301,8 @@ void Simulator::configureParallel(int lanes, int workers, SimTime lookahead) {
   }
   spans_.configureLanes(lanes);
   trace_.configureLanes(lanes);
+  timeline_.configureLanes(lanes);
+  pulse_.configureLanes(lanes);
   // Deliberately no worker-count instrument: the metrics snapshot must be
   // byte-identical at every worker count. The lane count is a function of
   // the configuration (topology), so it may be recorded.

@@ -45,7 +45,9 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/span.h"
+#include "obs/timeline.h"
 #include "obs/trace_bus.h"
 #include "sim/event_fn.h"
 #include "sim/time.h"
@@ -368,6 +370,18 @@ class Simulator {
   obs::SpanRecorder& spans() { return spans_; }
   const obs::SpanRecorder& spans() const { return spans_; }
 
+  /// The run-wide telemetry timeline (fed by an obs::TelemetrySampler; see
+  /// sim/telemetry.h). Follows the same lane-journal discipline as spans()
+  /// and traceBus(), committed at every parallel barrier.
+  obs::TimeSeriesRecorder& timeline() { return timeline_; }
+  const obs::TimeSeriesRecorder& timeline() const { return timeline_; }
+
+  /// The live-monitor publication board (mgrun --progress). Disabled by
+  /// default: one relaxed bool load per dispatched event; enable() turns on
+  /// per-event lane-clock/pending publication for an obs::ProgressMonitor.
+  obs::RunPulse& pulse() { return pulse_; }
+  const obs::RunPulse& pulse() const { return pulse_; }
+
  private:
   friend class Process;
   friend class ParallelEngine;
@@ -406,6 +420,8 @@ class Simulator {
   obs::MetricsRegistry metrics_;
   obs::TraceBus trace_;
   obs::SpanRecorder spans_{&metrics_};
+  obs::TimeSeriesRecorder timeline_;
+  obs::RunPulse pulse_;
 
   std::uint64_t next_process_id_ = 1;
   bool shutting_down_ = false;

@@ -41,6 +41,15 @@ void Histogram::add(double x) {
   sum_ += x;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    throw UsageError("Histogram::merge wants identical lo/hi/bins");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
 double Histogram::binCenter(int bin) const {
   if (hi_ == lo_) return lo_;
   const double w = (hi_ - lo_) / static_cast<double>(counts_.size());

@@ -63,6 +63,13 @@ class Histogram {
   /// of the first/last populated bin.
   double quantile(double q) const;
 
+  /// Add another histogram's mass into this one, bin by bin. Both must have
+  /// identical lo/hi/bins (UsageError otherwise) — merging is meant for
+  /// shards of one population, e.g. lane-local histograms combined at a
+  /// barrier, where all shards were created from the same spec. Integer bin
+  /// counts make the merge exact and order-independent.
+  void merge(const Histogram& other);
+
  private:
   double lo_, hi_;
   std::vector<std::int64_t> counts_;

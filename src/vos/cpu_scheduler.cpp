@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sampler.h"
+
 namespace mg::vos {
 
 namespace {
@@ -171,6 +173,8 @@ void CpuScheduler::scheduleNext() {
   h_quantum_norm_.add(full_quantum / nominal);
   if (trace_.enabled()) trace_.record(sim_.now(), "quantum", full_quantum / nominal, t.name);
   const double cap = competition_.capacity_cap;
+  busy_start_ = sim_.now();
+  busy_until_ = busy_start_ + sim::fromSeconds(full_quantum / cap);
 
   // Each granted quantum becomes a span parented to the compute request that
   // demanded it, on the requester's host track — the Fig 4 slice made
@@ -204,8 +208,30 @@ void CpuScheduler::scheduleNext() {
   sim_.scheduleAfter(sim::fromSeconds(full_quantum / cap), [this, chosen, full_quantum, qspan] {
     sim_.spans().end(qspan);  // no-op for 0 and for crash-aborted spans
     if (tasks_[chosen].live) tasks_[chosen].used_cpu += full_quantum;
+    busy_wall_s_ += full_quantum / competition_.capacity_cap;
     running_ = false;
     scheduleNext();
+  });
+}
+
+void CpuScheduler::registerTelemetry(obs::TelemetrySampler& sampler, const std::string& label) {
+  sampler.addRate("vos.cpu.util." + label, [this](std::int64_t t) {
+    double busy = busy_wall_s_;
+    if (running_) {
+      // Open slice, closed against the sampler's clock (clamped: under
+      // --parallel the quantum may have started past the tick time within
+      // the epoch).
+      const sim::SimTime end = std::min<sim::SimTime>(t, busy_until_);
+      if (end > busy_start_) busy += sim::toSeconds(end - busy_start_);
+    }
+    return busy;
+  });
+  sampler.addLevel("vos.runq." + label, [this](std::int64_t) {
+    double n = 0;
+    for (const Task& task : tasks_) {
+      if (task.live && task.demand > kEps) ++n;
+    }
+    return n;
   });
 }
 

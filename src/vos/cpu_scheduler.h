@@ -24,6 +24,10 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 
+namespace mg::obs {
+class TelemetrySampler;
+}
+
 namespace mg::vos {
 
 /// Background load on the physical machine hosting the scheduler.
@@ -87,6 +91,13 @@ class CpuScheduler {
   const std::vector<double>& quantaLog() const { return quanta_log_; }
   void clearQuantaLog() { quanta_log_.clear(); }
 
+  /// Time-resolved probes (DESIGN.md §10): vos.cpu.util.<label> — fraction
+  /// of wall time this scheduler's physical CPU spent occupied by quanta —
+  /// and vos.runq.<label>, live tasks with pending demand. All state is
+  /// process-lane-owned; probe reads happen at sampler ticks/barriers where
+  /// lane 0 is quiescent.
+  void registerTelemetry(obs::TelemetrySampler& sampler, const std::string& label);
+
  private:
   struct Task {
     std::string name;
@@ -125,6 +136,12 @@ class CpuScheduler {
   bool running_ = false;     // a quantum is in progress
   sim::EventId wake_event_ = 0;  // pending eligibility wake
   std::vector<double> quanta_log_;
+  // Busy-time accrual for the vos.cpu.util probe: closed quantum spans sum
+  // into busy_wall_s_ at the slice boundary; the open slice is reconstructed
+  // from busy_start_/busy_until_ against the sampler's clock.
+  double busy_wall_s_ = 0;
+  sim::SimTime busy_start_ = 0;
+  sim::SimTime busy_until_ = 0;
 };
 
 }  // namespace mg::vos

@@ -4,10 +4,13 @@
 // snapshot, and same-seed runs produce byte-identical observability output).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/launcher.h"
 #include "core/microgrid_platform.h"
@@ -17,11 +20,17 @@
 #include "fault/fault_plan.h"
 #include "gis/service.h"
 #include "npb/npb.h"
+#include "obs/lane.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/sampler.h"
 #include "obs/sim_profiler.h"
 #include "obs/span.h"
+#include "obs/timeline.h"
 #include "obs/trace_bus.h"
 #include "obs/trace_export.h"
+#include "sim/telemetry.h"
+#include "util/error.h"
 #include "util/strings.h"
 #include "vmpi/comm.h"
 
@@ -100,6 +109,21 @@ TEST(Metrics, SnapshotJsonIsByteStable) {
       "\"histograms\":{\"h.hist\":{\"lo\":0,\"hi\":2,\"total\":1,\"bins\":[0,1]}}}";
   EXPECT_EQ(reg.snapshotJson(), expected);
   EXPECT_EQ(reg.snapshotJson(), expected);  // stable across repeated calls
+}
+
+TEST(Metrics, SnapshotCsvIsNameSortedAndStable) {
+  mo::MetricsRegistry reg;
+  reg.counter("b.count").inc(2);
+  reg.gauge("a.level").set(0.5);
+  reg.histogram("c.hist", 0.0, 1.0, 4).add(0.3);
+  reg.histogram("c.hist", 0.0, 1.0, 4).add(0.9);
+  const std::string expected =
+      "metric,type,value\n"
+      "a.level,gauge,0.5\n"
+      "b.count,counter,2\n"
+      "c.hist,histogram,2\n";
+  EXPECT_EQ(reg.snapshotCsv(), expected);
+  EXPECT_EQ(reg.snapshotCsv(), expected);
 }
 
 // -------------------------------------------------------------- trace bus --
@@ -496,6 +520,7 @@ struct GoldenRun {
   std::string trace;     // TraceBus::serialize()
   std::string profile;   // SimProfiler::json()
   std::string report;    // fault availability report
+  std::string timeline;  // TimeSeriesRecorder::csv() (sampled at 50 ms)
   double virtual_seconds = 0;
   int resubmits = 0;
 };
@@ -539,6 +564,15 @@ GoldenRun runGoldenEpWithFaults(int workers) {
   injector.onHostRestart([&launcher](const std::string& h) { launcher.markHostUp(h); });
   injector.arm();
 
+  // Sample the full probe set during the run: the timeline CSV below is one
+  // of the streams the worker-count-invisibility test compares.
+  sim.timeline().setBaseWidth(50 * sim::kMillisecond);
+  obs::TelemetrySampler::Options sopts;
+  sopts.interval_ns = 50 * sim::kMillisecond;
+  obs::TelemetrySampler sampler(sim.timeline(), sim::telemetryHost(sim), sopts);
+  platform.registerTelemetry(sampler);
+  sampler.start();
+
   auto result = launcher.run("npb.ep", "S",
                              {{"vm0.ucsd.edu", 1},
                               {"vm1.ucsd.edu", 1},
@@ -546,12 +580,15 @@ GoldenRun runGoldenEpWithFaults(int workers) {
                               {"vm3.ucsd.edu", 1}});
   EXPECT_TRUE(result.ok) << result.error;
 
+  sampler.finish();
+
   GoldenRun out;
   out.metrics = sim.metrics().snapshotJson();
   out.spans = sim.spans().serializeTree();
   out.trace = sim.traceBus().serialize();
   out.profile = obs::SimProfiler(sim.spans()).json();
   out.report = injector.renderReport();
+  out.timeline = sim.timeline().csv();
   out.virtual_seconds = result.virtual_seconds;
   out.resubmits = result.resubmits;
   return out;
@@ -581,7 +618,377 @@ TEST(ParallelGolden, WorkerCountIsInvisibleInEveryObservableStream) {
     EXPECT_EQ(one.trace, w.trace) << "trace bus diverged at " << workers << " workers";
     EXPECT_EQ(one.profile, w.profile) << "profile diverged at " << workers << " workers";
     EXPECT_EQ(one.report, w.report) << "fault report diverged at " << workers << " workers";
+    EXPECT_EQ(one.timeline, w.timeline) << "timeline diverged at " << workers << " workers";
     EXPECT_DOUBLE_EQ(one.virtual_seconds, w.virtual_seconds);
     EXPECT_EQ(one.resubmits, w.resubmits);
   }
+}
+
+// The golden timeline really carries the interesting series (not just
+// headers): per-link utilization, CPU occupancy, and kernel rates all
+// sampled during the faulted EP run.
+TEST(ParallelGolden, TimelineCoversNetVosAndKernelSeries) {
+  const GoldenRun run = runGoldenEpWithFaults(2);
+  EXPECT_EQ(run.timeline.rfind("series,bucket_start_ns,bucket_end_ns,samples,min,max,mean,last",
+                               0),
+            0u);
+  EXPECT_NE(run.timeline.find("net.packet.link_util.eth0,"), std::string::npos);
+  EXPECT_NE(run.timeline.find("vos.cpu.util.alpha0,"), std::string::npos);
+  EXPECT_NE(run.timeline.find("vos.runq.alpha0,"), std::string::npos);
+  EXPECT_NE(run.timeline.find("sim.events_per_s,"), std::string::npos);
+  EXPECT_NE(run.timeline.find("sim.pending_events,"), std::string::npos);
+}
+
+// ------------------------------------ time-resolved telemetry (DESIGN §10) --
+
+namespace {
+
+mo::TimeSeriesRecorder::Options tinyRecorder(std::size_t capacity, std::int64_t width_ns,
+                                             std::size_t max_series = 64) {
+  mo::TimeSeriesRecorder::Options o;
+  o.capacity = capacity;
+  o.base_width_ns = width_ns;
+  o.max_series = max_series;
+  return o;
+}
+
+/// Restores the calling thread's obs lane on scope exit — lane state is
+/// thread-local and would otherwise leak into later tests.
+struct LaneGuard {
+  ~LaneGuard() { mo::setCurrentLane(0); }
+};
+
+}  // namespace
+
+TEST(Timeline, BucketsAggregateMinMaxMeanLast) {
+  mo::TimeSeriesRecorder rec(tinyRecorder(8, 100));
+  rec.add("s", 0, 1.0);
+  rec.add("s", 50, 3.0);   // same bucket
+  rec.add("s", 120, 2.0);  // next bucket
+  const auto* s = rec.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->origin, 0);
+  EXPECT_EQ(s->width, 100);
+  ASSERT_EQ(s->buckets.size(), 2u);
+  EXPECT_EQ(s->buckets[0].count, 2);
+  EXPECT_DOUBLE_EQ(s->buckets[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(s->buckets[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(s->buckets[0].sum, 4.0);
+  EXPECT_DOUBLE_EQ(s->buckets[0].last, 3.0);
+  EXPECT_EQ(s->buckets[1].count, 1);
+  EXPECT_DOUBLE_EQ(s->buckets[1].last, 2.0);
+  EXPECT_EQ(rec.sampleCount(), 3);
+  EXPECT_EQ(rec.seriesCount(), 1u);
+}
+
+TEST(Timeline, OriginAlignsDownToTheWidthGrid) {
+  mo::TimeSeriesRecorder rec(tinyRecorder(8, 100));
+  rec.add("s", 250, 1.0);  // first sample anchors origin at 200
+  const auto* s = rec.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->origin, 200);
+  EXPECT_EQ(s->buckets[0].count, 1);
+}
+
+TEST(Timeline, WideningDoublesWidthAndMergesPairs) {
+  mo::TimeSeriesRecorder rec(tinyRecorder(2, 100));
+  rec.add("s", 0, 1.0);
+  rec.add("s", 100, 2.0);
+  rec.add("s", 200, 3.0);  // index 2 >= capacity 2 -> widen once
+  const auto* s = rec.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->width, 200);
+  EXPECT_EQ(s->widenings, 1);
+  ASSERT_EQ(s->buckets.size(), 2u);
+  // Old buckets 0+1 merged into the new [0, 200) window.
+  EXPECT_EQ(s->buckets[0].count, 2);
+  EXPECT_DOUBLE_EQ(s->buckets[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(s->buckets[0].max, 2.0);
+  EXPECT_DOUBLE_EQ(s->buckets[0].last, 2.0);
+  EXPECT_EQ(s->buckets[1].count, 1);
+  EXPECT_DOUBLE_EQ(s->buckets[1].last, 3.0);
+}
+
+TEST(Timeline, WideningMatchesAnUnboundedReference) {
+  // Oracle check for the downsampling path: after many widenings, every
+  // bucket must hold exactly the aggregate an unbounded recorder would
+  // compute for the same window at the final resolution.
+  mo::TimeSeriesRecorder rec(tinyRecorder(16, 100));
+  std::vector<std::pair<std::int64_t, double>> raw;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t t = static_cast<std::int64_t>(i) * 137;
+    const double v = static_cast<double>((i * 7919) % 1000) / 10.0;
+    rec.add("s", t, v);
+    raw.emplace_back(t, v);
+  }
+  const auto* s = rec.find("s");
+  ASSERT_NE(s, nullptr);
+  ASSERT_GT(s->widenings, 0);
+  ASSERT_LE(s->buckets.size(), 16u);
+
+  std::map<std::int64_t, mo::TimeSeriesRecorder::Bucket> expect;
+  for (const auto& [t, v] : raw) {
+    const std::int64_t idx = (t - s->origin) / s->width;
+    auto& b = expect[idx];
+    if (b.count == 0) {
+      b.min = b.max = b.sum = v;
+    } else {
+      b.min = std::min(b.min, v);
+      b.max = std::max(b.max, v);
+      b.sum += v;
+    }
+    ++b.count;
+    b.last = v;
+  }
+  for (std::size_t i = 0; i < s->buckets.size(); ++i) {
+    const auto& got = s->buckets[i];
+    const auto it = expect.find(static_cast<std::int64_t>(i));
+    if (it == expect.end()) {
+      EXPECT_EQ(got.count, 0) << "bucket " << i;
+      continue;
+    }
+    EXPECT_EQ(got.count, it->second.count) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(got.min, it->second.min) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(got.max, it->second.max) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(got.sum, it->second.sum) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(got.last, it->second.last) << "bucket " << i;
+  }
+}
+
+TEST(Timeline, LaneJournalsCommitInTimeThenLaneOrder) {
+  // Worker-lane adds journal and merge at the barrier sorted by (time,
+  // lane); the result must be byte-identical to direct adds in that order.
+  LaneGuard guard;
+  mo::TimeSeriesRecorder laned(tinyRecorder(8, 100));
+  laned.configureLanes(3);
+  mo::setCurrentLane(2);
+  laned.add("s", 200, 2.0);
+  laned.add("s", 90, 9.0);
+  mo::setCurrentLane(1);
+  laned.add("s", 200, 5.0);
+  laned.add("s", 100, 1.0);
+  mo::setCurrentLane(0);
+  laned.commitParallelPhase();
+
+  mo::TimeSeriesRecorder direct(tinyRecorder(8, 100));
+  direct.add("s", 90, 9.0);    // t=90 (lane 2)
+  direct.add("s", 100, 1.0);   // t=100 (lane 1)
+  direct.add("s", 200, 5.0);   // t=200: lane 1 before lane 2
+  direct.add("s", 200, 2.0);
+  EXPECT_EQ(laned.csv(), direct.csv());
+  EXPECT_EQ(laned.sampleCount(), 4);
+
+  // A second commit with empty journals is a no-op.
+  laned.commitParallelPhase();
+  EXPECT_EQ(laned.sampleCount(), 4);
+}
+
+TEST(Timeline, MaxSeriesCapDropsNewSeriesNotSamples) {
+  mo::TimeSeriesRecorder rec(tinyRecorder(8, 100, /*max_series=*/2));
+  rec.add("a", 0, 1.0);
+  rec.add("b", 0, 1.0);
+  rec.add("c", 0, 1.0);  // dropped: cap reached
+  rec.add("a", 50, 2.0); // existing series still records
+  EXPECT_EQ(rec.seriesCount(), 2u);
+  EXPECT_EQ(rec.droppedSeries(), 1);
+  EXPECT_EQ(rec.sampleCount(), 3);
+  EXPECT_EQ(rec.find("c"), nullptr);
+}
+
+TEST(Timeline, CsvAndJsonAreByteStable) {
+  mo::TimeSeriesRecorder rec(tinyRecorder(8, 100));
+  rec.add("z.late", 0, 1.5);
+  rec.add("a.early", 250, 0.25);
+  rec.add("a.early", 260, 0.75);
+  const std::string csv =
+      "series,bucket_start_ns,bucket_end_ns,samples,min,max,mean,last\n"
+      "a.early,200,300,2,0.25,0.75,0.5,0.75\n"
+      "z.late,0,100,1,1.5,1.5,1.5,1.5\n";
+  EXPECT_EQ(rec.csv(), csv);
+  EXPECT_EQ(rec.csv(), csv);
+  const std::string json =
+      "{\"series\":["
+      "{\"name\":\"a.early\",\"origin_ns\":200,\"width_ns\":100,\"widenings\":0,"
+      "\"buckets\":[[200,2,0.25,0.75,0.5,0.75]]},"
+      "{\"name\":\"z.late\",\"origin_ns\":0,\"width_ns\":100,\"widenings\":0,"
+      "\"buckets\":[[0,1,1.5,1.5,1.5,1.5]]}"
+      "]}";
+  EXPECT_EQ(rec.json(), json);
+}
+
+TEST(Sampler, LevelsAndRatesOverSimulatorTicks) {
+  sim::Simulator sim;
+  sim.timeline().setBaseWidth(sim::kSecond);
+  mo::TelemetrySampler::Options so;
+  so.interval_ns = sim::kSecond;
+  mo::TelemetrySampler sampler(sim.timeline(), sim::telemetryHost(sim), so);
+
+  double cum = 0;
+  double level = 0;
+  sampler.addRate("r", [&cum](std::int64_t) { return cum; });
+  sampler.addLevel("l", [&level](std::int64_t) { return level; });
+  sim.scheduleAt(sim::fromSeconds(0.25), [&] { cum += 2.0; level = 7; });
+  sim.scheduleAt(sim::fromSeconds(1.5), [&] { cum += 3.0; level = 9; });
+  sim.scheduleAt(sim::fromSeconds(3.0), [] {});
+
+  sampler.start();
+  sim.run();
+  sampler.finish();
+
+  // Ticks at 0/1/2/3 s; the sampler must not keep the run alive past the
+  // last real event.
+  EXPECT_EQ(sim.now(), sim::fromSeconds(3.0));
+  EXPECT_EQ(sampler.ticks(), 4);
+
+  const auto* r = sim.timeline().find("r");
+  ASSERT_NE(r, nullptr);
+  // The t=0 baseline only primes the cumulative, so the first rate sample —
+  // and the series origin — land at the 1 s tick.
+  EXPECT_EQ(r->origin, sim::kSecond);
+  ASSERT_EQ(r->buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(r->buckets[0].last, 2.0);  // (2-0)/1s over [0,1]
+  EXPECT_DOUBLE_EQ(r->buckets[1].last, 3.0);  // (5-2)/1s over [1,2]
+  EXPECT_DOUBLE_EQ(r->buckets[2].last, 0.0);  // idle tail
+
+  const auto* l = sim.timeline().find("l");
+  ASSERT_NE(l, nullptr);
+  ASSERT_EQ(l->buckets.size(), 4u);
+  EXPECT_DOUBLE_EQ(l->buckets[0].last, 0.0);
+  EXPECT_DOUBLE_EQ(l->buckets[1].last, 7.0);
+  EXPECT_DOUBLE_EQ(l->buckets[2].last, 9.0);
+  EXPECT_DOUBLE_EQ(l->buckets[3].last, 9.0);
+}
+
+TEST(Sampler, CounterRateAndKernelProbes) {
+  sim::Simulator sim;
+  sim.timeline().setBaseWidth(100 * sim::kMillisecond);
+  mo::TelemetrySampler::Options so;
+  so.interval_ns = 100 * sim::kMillisecond;
+  mo::TelemetrySampler sampler(sim.timeline(), sim::telemetryHost(sim), so);
+  sim::registerKernelProbes(sampler, sim);
+
+  for (int i = 1; i <= 20; ++i) {
+    sim.scheduleAt(i * 25 * sim::kMillisecond, [] {});
+  }
+  sampler.start();
+  sim.run();
+  sampler.finish();
+
+  const auto* ev = sim.timeline().find("sim.events_per_s");
+  ASSERT_NE(ev, nullptr);
+  double max_rate = 0;
+  for (const auto& b : ev->buckets) max_rate = std::max(max_rate, b.max);
+  EXPECT_GT(max_rate, 0.0);  // events really flowed through the rate probe
+  EXPECT_NE(sim.timeline().find("sim.pending_events"), nullptr);
+  EXPECT_NE(sim.timeline().find("sim.arena_slots"), nullptr);
+}
+
+TEST(Sampler, ProbesAfterStartThrowAndFinishIsIdempotent) {
+  sim::Simulator sim;
+  mo::TelemetrySampler sampler(sim.timeline(), sim::telemetryHost(sim));
+  sampler.addLevel("l", [](std::int64_t) { return 1.0; });
+  sampler.start();
+  EXPECT_THROW(sampler.addLevel("m", [](std::int64_t) { return 2.0; }), mg::UsageError);
+  EXPECT_THROW(sampler.start(), mg::UsageError);
+  sampler.finish();
+  sampler.finish();  // same-timestamp collect is skipped, not double-counted
+  EXPECT_EQ(sim.timeline().sampleCount(), 1);
+}
+
+TEST(TraceExport, TimelineSeriesBecomeCounterTracks) {
+  mo::SpanRecorder spans;
+  std::int64_t now = 0;
+  spans.setTimeSource([&now] { return now; });
+  spans.setEnabled(true);
+  const auto id = spans.begin("layer", "op", "track");
+  now = 1000;
+  spans.end(id);
+
+  mo::TimeSeriesRecorder rec(tinyRecorder(8, 1000));
+  rec.add("net.link_util.eth0", 0, 0.5);
+  rec.add("net.link_util.eth0", 1500, 0.75);
+
+  const std::string with = mo::chromeTraceJson(spans, &rec);
+  EXPECT_NE(with.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(with.find("\"name\":\"net.link_util.eth0\""), std::string::npos);
+  EXPECT_NE(with.find("\"args\":{\"value\":0.5}"), std::string::npos);
+  EXPECT_NE(with.find("\"args\":{\"value\":0.75}"), std::string::npos);
+  // Without a timeline the export is unchanged legacy output.
+  EXPECT_EQ(mo::chromeTraceJson(spans).find("\"ph\":\"C\""), std::string::npos);
+}
+
+// ------------------------------------------------- live progress monitor --
+
+TEST(Progress, PulseTracksLaneClocksAndCommits) {
+  mo::RunPulse pulse;
+  EXPECT_FALSE(pulse.enabled());
+  pulse.enable(true);
+  pulse.configureLanes(3);
+  pulse.beatLane(0, 1000, 5);
+  pulse.beatLane(2, 3000, 7);
+  pulse.beatLane(1, 2000, 0);
+  EXPECT_EQ(pulse.commits(), 3u);
+  EXPECT_EQ(pulse.simNow(), 3000);
+  EXPECT_EQ(pulse.laneNow(1), 2000);
+  EXPECT_EQ(pulse.lanePending(2), 7);
+  pulse.noteBarrier();
+  EXPECT_EQ(pulse.epochs(), 1u);
+  pulse.beatLane(-1, 9, 9);  // out-of-range lanes are ignored, not UB
+  pulse.beatLane(mo::RunPulse::kMaxLanes, 9, 9);
+  EXPECT_EQ(pulse.commits(), 3u);
+}
+
+TEST(Progress, MonitorHeartbeatsToSinkAndCountsThem) {
+  mo::RunPulse pulse;
+  pulse.enable(true);
+  pulse.configureLanes(1);
+  pulse.beatLane(0, 2'500'000'000, 3);
+
+  std::ostringstream sink;
+  mo::ProgressOptions popts;
+  popts.interval_s = 0.02;
+  popts.stall_s = 3600;  // watchdog out of the way
+  popts.sink = &sink;
+  popts.label = "t-progress";
+  popts.fraction = [] { return 0.5; };
+  mo::ProgressMonitor monitor(pulse, popts);
+  monitor.start();
+  for (int i = 0; i < 100 && monitor.heartbeats() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  monitor.stop();
+
+  EXPECT_GE(monitor.heartbeats(), 2);
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("t-progress: sim 2.500s"), std::string::npos) << out;
+  EXPECT_NE(out.find("pending 3"), std::string::npos) << out;
+  EXPECT_NE(out.find("eta"), std::string::npos) << out;
+}
+
+TEST(Progress, StallWatchdogDumpsLaneStateOnce) {
+  mo::RunPulse pulse;
+  pulse.enable(true);
+  pulse.configureLanes(2);
+  pulse.beatLane(0, 1'000'000'000, 4);
+  pulse.beatLane(1, 2'000'000'000, 6);
+
+  std::ostringstream sink;
+  mo::ProgressOptions popts;
+  popts.interval_s = 0.01;
+  popts.stall_s = 0.03;  // no commits will arrive: stall fires fast
+  popts.sink = &sink;
+  mo::ProgressMonitor monitor(pulse, popts);
+  monitor.start();
+  for (int i = 0; i < 100 && monitor.stallDumps() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  monitor.stop();
+
+  EXPECT_GE(monitor.stallDumps(), 1);
+  // One dump per quiet episode, not one per poll while quiet.
+  EXPECT_LE(monitor.stallDumps(), 1 + 1);
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("STALL"), std::string::npos) << out;
+  EXPECT_NE(out.find("lane 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("lane 1"), std::string::npos) << out;
 }

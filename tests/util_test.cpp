@@ -326,6 +326,51 @@ TEST(Stats, HistogramCountAndSum) {
   EXPECT_DOUBLE_EQ(h.sum(), 10.0);
 }
 
+TEST(Stats, HistogramMergeAddsCountsSumAndTotal) {
+  mu::Histogram a(0.0, 10.0, 10);
+  mu::Histogram b(0.0, 10.0, 10);
+  for (double v : {0.5, 5.0, 9.5}) a.add(v);
+  for (double v : {0.5, 2.5, 100.0}) b.add(v);  // 100 clamps to the top bin
+  a.merge(b);
+  EXPECT_EQ(a.total(), 6);
+  EXPECT_EQ(a.count(0), 2);
+  EXPECT_EQ(a.count(2), 1);
+  EXPECT_EQ(a.count(5), 1);
+  EXPECT_EQ(a.count(9), 2);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 5.0 + 9.5 + 0.5 + 2.5 + 100.0);
+  // b is untouched.
+  EXPECT_EQ(b.total(), 3);
+}
+
+TEST(Stats, HistogramMergeEqualsInterleavedAdds) {
+  // merge(a, b) must be exactly add-order-independent: the merged histogram
+  // matches one that saw every sample directly.
+  mu::Histogram a(0.0, 1.0, 16);
+  mu::Histogram b(0.0, 1.0, 16);
+  mu::Histogram direct(0.0, 1.0, 16);
+  for (int i = 0; i < 100; ++i) {
+    const double v = (i * 37 % 101) / 101.0;
+    ((i % 2 == 0) ? a : b).add(v);
+    direct.add(v);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.total(), direct.total());
+  for (int bin = 0; bin < 16; ++bin) EXPECT_EQ(a.count(bin), direct.count(bin));
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), direct.quantile(0.5));
+}
+
+TEST(Stats, HistogramMergeMismatchedShapeThrows) {
+  mu::Histogram a(0.0, 10.0, 10);
+  EXPECT_THROW(a.merge(mu::Histogram(0.0, 10.0, 20)), mg::UsageError);
+  EXPECT_THROW(a.merge(mu::Histogram(0.0, 5.0, 10)), mg::UsageError);
+  EXPECT_THROW(a.merge(mu::Histogram(1.0, 10.0, 10)), mg::UsageError);
+  // Identical shape still merges after the failed attempts.
+  mu::Histogram ok(0.0, 10.0, 10);
+  ok.add(3.0);
+  a.merge(ok);
+  EXPECT_EQ(a.total(), 1);
+}
+
 TEST(Stats, HistogramQuantile) {
   // 1000 uniform samples over [0, 100): quantiles should land within one
   // bin width (1.0) of the exact answer.
