@@ -27,6 +27,17 @@
 //                      N only changes wall-clock speed)
 //   --faults FILE      fault schedule ([fault ...] sections; mgrid only).
 //                      [fault ...] sections in --config are picked up too.
+//   --explore FILE     model-checking mode (mgrid only, sequential): FILE
+//                      holds [explore] options and [candidate ...] fault
+//                      sections (DESIGN.md §11). Instead of one run, every
+//                      fault schedule composable from the candidates is
+//                      replayed and checked against the simulator's
+//                      invariants; [fault ...] sections from --config /
+//                      --faults are injected in every schedule. Prints the
+//                      branch log and stats; on a violation, prints the
+//                      delta-debugged minimal reproducing fault plan as INI
+//                      (replayable via --faults) and exits 3.
+//   --explore-budget N stop after N schedules (overrides [explore] budget)
 //   --resubmits N      resubmit a failed job up to N times (default: 2 when
 //                      faults are present, else 0)
 //   --metrics FMT      dump the simulator metrics snapshot after the run
@@ -74,6 +85,8 @@
 #include "core/topologies.h"
 #include "econ/economy.h"
 #include "fault/fault_injector.h"
+#include "mc/explorer.h"
+#include "mc/scenario.h"
 #include "npb/npb.h"
 #include "obs/progress.h"
 #include "obs/sampler.h"
@@ -98,6 +111,8 @@ struct Options {
   std::vector<std::string> netmodel_detail;
   int parallel = 0;  // 0 = classic sequential kernel
   std::string faults_path;
+  std::string explore_path;  // model-checking mode when non-empty
+  int explore_budget = 0;    // 0 = use the [explore] section's budget
   int resubmits = -1;   // -1: default (2 with faults, 0 without)
   std::string metrics;    // "", "table", "json", or "csv"
   std::string trace_out;  // Chrome trace_event JSON output path
@@ -144,6 +159,11 @@ Options parseArgs(int argc, char** argv) {
       if (opt.parallel < 1) throw mg::UsageError("--parallel wants a worker count >= 1");
     } else if (flag == "--faults" || flag.rfind("--faults=", 0) == 0) {
       opt.faults_path = (flag == "--faults") ? next() : flag.substr(9);
+    } else if (flag == "--explore" || flag.rfind("--explore=", 0) == 0) {
+      opt.explore_path = (flag == "--explore") ? next() : flag.substr(10);
+    } else if (flag == "--explore-budget" || flag.rfind("--explore-budget=", 0) == 0) {
+      opt.explore_budget = std::stoi((flag == "--explore-budget") ? next() : flag.substr(17));
+      if (opt.explore_budget < 1) throw mg::UsageError("--explore-budget wants a count >= 1");
     } else if (flag == "--resubmits") {
       opt.resubmits = std::stoi(next());
     } else if (flag == "--metrics" || flag.rfind("--metrics=", 0) == 0) {
@@ -218,6 +238,21 @@ void writeTimeline(const obs::TimeSeriesRecorder& timeline, const std::string& p
   out << (json ? timeline.json() : timeline.csv());
   std::cout << "wrote timeline (" << timeline.seriesCount() << " series, "
             << timeline.sampleCount() << " samples) to " << path << "\n";
+}
+
+std::vector<grid::AllocationPart> parseParts(const std::string& spec,
+                                             const core::VirtualGridConfig& cfg) {
+  std::vector<grid::AllocationPart> parts;
+  if (spec.empty()) {
+    for (const auto& h : cfg.mapper().hosts()) parts.push_back({h.hostname, 1});
+  } else {
+    for (const auto& item : util::splitTrim(spec, ',')) {
+      const auto colon = item.rfind(':');
+      if (colon == std::string::npos) throw mg::UsageError("--parts wants host:count");
+      parts.push_back({item.substr(0, colon), std::stoi(item.substr(colon + 1))});
+    }
+  }
+  return parts;
 }
 
 std::unique_ptr<obs::ProgressMonitor> startProgress(sim::Simulator& sim, double interval_s,
@@ -311,6 +346,54 @@ int main(int argc, char** argv) {
     }
     if (!opt.faults_path.empty()) plan.merge(fault::FaultPlan::fromFile(opt.faults_path));
 
+    if (!opt.explore_path.empty()) {
+      // Model-checking mode: enumerate and replay every fault schedule
+      // composable from the [candidate ...] menu, invariants checked per
+      // branch. Each schedule rebuilds the platform from scratch, so this
+      // runs the sequential kernel regardless of --parallel.
+      if (opt.platform != "mgrid") throw mg::UsageError("--explore needs --platform mgrid");
+      if (opt.parallel > 0) {
+        throw mg::UsageError("--explore replays the sequential kernel (drop --parallel)");
+      }
+      auto spec = mc::Explorer::parseSpec(util::Config::parseFile(opt.explore_path));
+      if (opt.explore_budget > 0) spec.options.budget = opt.explore_budget;
+      spec.options.base = plan;  // fixed faults ride along in every schedule
+
+      mc::LauncherScenarioSpec lspec;
+      lspec.grid = cfg;
+      lspec.config_name = "mgrun";
+      lspec.executable = opt.exe;
+      lspec.arguments = opt.args;
+      lspec.parts = parseParts(opt.parts, cfg);
+      lspec.max_resubmits = opt.resubmits >= 0 ? opt.resubmits : 2;
+      lspec.platform.quantum = sim::fromSeconds(opt.quantum_ms * 1e-3);
+      if (!opt.netmodel.empty()) {
+        lspec.platform.netmodel = net::parseNetModelKind(opt.netmodel);
+      }
+      lspec.registrar = [&npb_sink, &wavetoy_sink](grid::ExecutableRegistry& r) {
+        npb::registerNpb(r, npb_sink);
+        apps::registerWaveToy(r, wavetoy_sink);
+      };
+
+      std::cout << "exploring " << spec.candidates.size() << " candidate fault(s) for "
+                << opt.exe << " '" << opt.args << "'";
+      if (spec.options.budget > 0) std::cout << ", budget " << spec.options.budget;
+      std::cout << "\n";
+      mc::Explorer explorer(mc::launcherScenario(std::move(lspec)), spec.candidates,
+                            spec.options);
+      const mc::ExploreResult res = explorer.explore();
+      for (const auto& line : res.branch_log) std::cout << line << "\n";
+      std::cout << res.renderStats();
+      if (res.violation_found) {
+        std::cout << "violation: " << res.first_violation << "\n"
+                  << "minimal reproducing fault plan (replay with --faults):\n"
+                  << res.minimal_plan.toIni();
+        return 3;
+      }
+      std::cout << "no invariant violations found\n";
+      return 0;
+    }
+
     std::unique_ptr<core::Platform> platform;
     core::MicroGridPlatform* mgrid = nullptr;
     if (opt.platform == "mgrid") {
@@ -351,16 +434,7 @@ int main(int argc, char** argv) {
       throw mg::UsageError("--platform must be mgrid or pgrid");
     }
 
-    std::vector<grid::AllocationPart> parts;
-    if (opt.parts.empty()) {
-      for (const auto& h : cfg.mapper().hosts()) parts.push_back({h.hostname, 1});
-    } else {
-      for (const auto& item : util::splitTrim(opt.parts, ',')) {
-        const auto colon = item.rfind(':');
-        if (colon == std::string::npos) throw mg::UsageError("--parts wants host:count");
-        parts.push_back({item.substr(0, colon), std::stoi(item.substr(colon + 1))});
-      }
-    }
+    std::vector<grid::AllocationPart> parts = parseParts(opt.parts, cfg);
 
     if (!opt.trace_out.empty() || !opt.profile.empty()) {
       platform->simulator().spans().setEnabled(true);

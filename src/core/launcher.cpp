@@ -80,11 +80,11 @@ void Launcher::startServices(const VirtualGridConfig* publish, const std::string
   }
 }
 
-LaunchResult Launcher::run(const std::string& executable, const std::string& arguments,
-                           const std::vector<grid::AllocationPart>& parts,
-                           const std::map<std::string, std::string>& extra_env,
-                           const std::string& client_host,
-                           std::function<void()> on_complete) {
+std::shared_ptr<LaunchResult> Launcher::submitAsync(
+    const std::string& executable, const std::string& arguments,
+    const std::vector<grid::AllocationPart>& parts,
+    const std::map<std::string, std::string>& extra_env, const std::string& client_host,
+    std::function<void()> on_complete) {
   if (!services_started_) throw mg::UsageError("call startServices() first");
   if (parts.empty()) throw mg::UsageError("job needs at least one allocation part");
   const std::string client = client_host.empty() ? parts.front().host : client_host;
@@ -135,6 +135,16 @@ LaunchResult Launcher::run(const std::string& executable, const std::string& arg
         result->virtual_seconds = result->completed_at - result->submitted_at;
         if (on_complete) on_complete();
       });
+  return result;
+}
+
+LaunchResult Launcher::run(const std::string& executable, const std::string& arguments,
+                           const std::vector<grid::AllocationPart>& parts,
+                           const std::map<std::string, std::string>& extra_env,
+                           const std::string& client_host,
+                           std::function<void()> on_complete) {
+  auto result = submitAsync(executable, arguments, parts, extra_env, client_host,
+                            std::move(on_complete));
   platform_.run();
   if (result->completed_at == 0 && !result->ok) {
     // The simulation drained while the client was still blocked: deadlock.
@@ -146,6 +156,14 @@ LaunchResult Launcher::run(const std::string& executable, const std::string& arg
     if (result->error.empty()) result->error = "simulation deadlocked (see launcher warnings)";
   }
   return *result;
+}
+
+void Launcher::registerStateCapture(obs::StateCaptureRegistry& reg) {
+  reg.add("grid.gis", [this](obs::StateWriter& w) {
+    // toLdif is insertion-ordered and stable under deterministic replay.
+    w.str("ldif", directory_.toLdif());
+    w.str("gis_host", gis_host_);
+  });
 }
 
 void Launcher::markHostDown(const std::string& hostname) {

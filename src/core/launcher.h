@@ -68,6 +68,19 @@ class Launcher {
                    const std::string& client_host = "",
                    std::function<void()> on_complete = nullptr);
 
+  /// The non-blocking half of run(): spawn the client process and return a
+  /// handle to its (eventual) result without driving the simulation. The
+  /// caller owns stepping — sim.runUntil()/run() — which is what the
+  /// snapshot/explorer machinery needs to pause at fault decision points.
+  /// `completed_at` stays 0 until the job finishes; if the simulation
+  /// drains while it is still 0, the job deadlocked or was lost.
+  std::shared_ptr<LaunchResult> submitAsync(
+      const std::string& executable, const std::string& arguments,
+      const std::vector<grid::AllocationPart>& parts,
+      const std::map<std::string, std::string>& extra_env = {},
+      const std::string& client_host = "",
+      std::function<void()> on_complete = nullptr);
+
   const std::string& gisHost() const { return gis_host_; }
   gis::Directory& directory() { return directory_; }
 
@@ -87,6 +100,10 @@ class Launcher {
   /// Fault wiring: refresh the host's GIS record and respawn its gatekeeper
   /// (and the GIS server, if it lived there). Called when a host restarts.
   void markHostUp(const std::string& hostname);
+
+  /// Register the middleware's state capture (DESIGN.md §11): the GIS
+  /// directory's canonical LDIF dump under "grid.gis".
+  void registerStateCapture(obs::StateCaptureRegistry& reg);
 
  private:
   Platform& platform_;

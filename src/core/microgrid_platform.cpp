@@ -376,6 +376,43 @@ void MicroGridPlatform::registerTelemetry(obs::TelemetrySampler& sampler) {
   });
 }
 
+void MicroGridPlatform::registerStateCapture(obs::StateCaptureRegistry& reg) {
+  reg.add("sim", [this](obs::StateWriter& w) { sim_.saveState(w); });
+  // The metrics snapshot is already canonical (sorted names, round-trip
+  // double formatting), so folding its JSON form keeps every layer's
+  // counters in the digest without a second enumeration surface.
+  reg.add("obs.metrics", [this](obs::StateWriter& w) {
+    w.str("json", sim_.metrics().snapshotJson());
+  });
+  reg.add("net", [this](obs::StateWriter& w) { net_->saveState(w); });
+  for (auto& [name, sched] : schedulers_) {
+    reg.add("vos.sched." + name,
+            [s = sched.get()](obs::StateWriter& w) { s->saveState(w); });
+  }
+  reg.add("core.hosts", [this](obs::StateWriter& w) {
+    w.u64("hosts", hosts_.size());
+    for (const auto& [name, rt] : hosts_) {
+      w.str("host", name);
+      w.boolean("alive", rt.alive);
+      w.f64("cpu_factor", rt.cpu_factor);
+      w.f64("host_fraction", rt.host_fraction);
+      w.u64("tasks", rt.tasks.size());
+      if (rt.mem) {
+        w.i64("mem_used", rt.mem->used());
+      }
+      if (rt.stack) rt.stack->tcp().saveState(w);
+    }
+  });
+}
+
+std::size_t MicroGridPlatform::openTcpConnections() {
+  std::size_t n = 0;
+  for (const auto& [name, rt] : hosts_) {
+    if (rt.stack) n += rt.stack->tcp().openConnections();
+  }
+  return n;
+}
+
 int MicroGridPlatform::partitionOf(const std::string& host_or_ip) const {
   return net_->partitionPlan().partitionOf(mapper_.resolve(host_or_ip).node);
 }

@@ -98,6 +98,22 @@ class MicroGridPlatform : public Platform {
   /// before sampler.start().
   void registerTelemetry(obs::TelemetrySampler& sampler);
 
+  /// Register the platform's full state-capture set (DESIGN.md §11) on
+  /// `reg`: the kernel's lanes/heap/process table ("sim"), the metrics
+  /// registry snapshot ("obs.metrics"), the network model with its queues,
+  /// RNG streams and flows ("net"), every physical machine's CPU scheduler
+  /// ("vos.sched.<machine>"), and every virtual host's runtime — aliveness,
+  /// CPU factor, memory accounting, TCP endpoint table ("core.hosts").
+  /// The snapshot/explorer machinery folds these into one canonical digest
+  /// per decision point. Call after construction; read-only at capture time.
+  void registerStateCapture(obs::StateCaptureRegistry& reg);
+
+  /// TCP connections still open (neither fully closed nor reset), summed
+  /// over every live host stack. A crashed host's stack died with its
+  /// connections (they were reset), so it contributes zero — this is the
+  /// "all sockets closed or reset" invariant surface.
+  std::size_t openTcpConnections();
+
   // --- fault-injection surface (src/fault drives these) ---
 
   /// Crash a virtual host: RST every TCP peer (the dying kernel's last

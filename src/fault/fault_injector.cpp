@@ -1,6 +1,7 @@
 #include "fault/fault_injector.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include "obs/span.h"
@@ -21,12 +22,27 @@ bool isHostKind(FaultKind k) {
          k == FaultKind::CpuBrownout;
 }
 
+// Deliberate, environment-gated bug for the explorer's mutation check
+// (DESIGN.md §11): with MG_MC_MUTATION=1, a restart that follows its crash by
+// less than 2 virtual seconds "forgets" to close the downtime interval, so the
+// availability report claims the host is still down while the platform says
+// it is alive. The model checker must find a schedule exposing this; it must
+// never be set outside that test.
+bool mutationEnabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("MG_MC_MUTATION");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return on;
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(core::MicroGridPlatform& platform, FaultPlan plan)
     : platform_(platform),
       plan_(std::move(plan)),
       c_injected_(platform.simulator().metrics().counter("fault.injected")),
+      c_ignored_(platform.simulator().metrics().counter("fault.ignored")),
       trace_(platform.simulator().traceBus().channel("fault.injector")) {
   // Register every per-kind counter up front so the metrics registry's
   // contents do not depend on which faults actually fire (determinism of the
@@ -96,6 +112,14 @@ void FaultInjector::applied(const FaultEvent& ev) {
                        << "', t=" << ev.at << "vs)";
 }
 
+void FaultInjector::skipped(const FaultEvent& ev, const std::string& why) {
+  c_ignored_.inc();
+  const std::string& what = ev.target.empty() ? ev.name : ev.target;
+  trace_.record(platform_.simulator().now(), "ignored_" + faultKindName(ev.kind), ev.at, what);
+  MG_LOG_INFO("fault") << "ignored " << faultKindName(ev.kind) << " " << what << " (plan '"
+                       << ev.name << "', t=" << ev.at << "vs): " << why;
+}
+
 void FaultInjector::fire(const FaultEvent& ev) {
   sim::Simulator& sim = platform_.simulator();
   net::NetworkModel& net = platform_.network();
@@ -112,9 +136,21 @@ void FaultInjector::fire(const FaultEvent& ev) {
                       [this, inverse] { fire(inverse); });
   };
 
+  // Every case decides explicitly: apply (mutate state, count, schedule the
+  // inverse) or ignore (count under fault.ignored, trace "ignored_<kind>",
+  // and crucially schedule NO inverse — a skipped crash must not spawn a
+  // phantom restart). The rules are pure functions of pre-event state, so any
+  // schedule the explorer composes — crash of a dead host, restart of a live
+  // one, link_down twice at the same timestamp — has one deterministic
+  // outcome and a consistent availability report.
   switch (ev.kind) {
     case FaultKind::LinkDown: {
-      net.setLinkUp(topo.findLink(ev.target), false);
+      const net::LinkId lid = topo.findLink(ev.target);
+      if (!topo.link(lid).up) {
+        skipped(ev, "link already down");
+        return;
+      }
+      net.setLinkUp(lid, false);
       if (ev.duration > 0) {
         FaultEvent inv = ev;
         inv.kind = FaultKind::LinkUp;
@@ -122,9 +158,15 @@ void FaultInjector::fire(const FaultEvent& ev) {
       }
       break;
     }
-    case FaultKind::LinkUp:
-      net.setLinkUp(topo.findLink(ev.target), true);
+    case FaultKind::LinkUp: {
+      const net::LinkId lid = topo.findLink(ev.target);
+      if (topo.link(lid).up) {
+        skipped(ev, "link already up");
+        return;
+      }
+      net.setLinkUp(lid, true);
       break;
+    }
     case FaultKind::LinkDegrade: {
       const net::LinkId lid = topo.findLink(ev.target);
       const net::LinkParams saved = net.linkParams(lid);
@@ -148,7 +190,10 @@ void FaultInjector::fire(const FaultEvent& ev) {
       break;
     }
     case FaultKind::HostCrash: {
-      if (!platform_.hostAlive(ev.target)) break;
+      if (!platform_.hostAlive(ev.target)) {
+        skipped(ev, "host already down");
+        return;
+      }
       platform_.crashHost(ev.target);
       if (on_crash_) on_crash_(ev.target);
       HostStat& st = host_stats_[ev.target];
@@ -162,17 +207,29 @@ void FaultInjector::fire(const FaultEvent& ev) {
       break;
     }
     case FaultKind::HostRestart: {
-      if (platform_.hostAlive(ev.target)) break;
+      if (platform_.hostAlive(ev.target)) {
+        skipped(ev, "host already up");
+        return;
+      }
       platform_.restartHost(ev.target);
       if (on_restart_) on_restart_(ev.target);
       HostStat& st = host_stats_[ev.target];
       if (st.down_since >= 0) {
-        st.downtime += now - st.down_since;
-        st.down_since = -1;
+        if (mutationEnabled() && now - st.down_since < 2.0) {
+          // Seeded bug (see mutationEnabled above): the downtime interval is
+          // left open, so report() keeps charging it forever.
+        } else {
+          st.downtime += now - st.down_since;
+          st.down_since = -1;
+        }
       }
       break;
     }
     case FaultKind::CpuBrownout: {
+      if (!platform_.hostAlive(ev.target)) {
+        skipped(ev, "host is down");
+        return;
+      }
       platform_.setHostCpuFactor(ev.target, ev.factor);
       if (ev.duration > 0) {
         FaultEvent inv = ev;
@@ -185,7 +242,7 @@ void FaultInjector::fire(const FaultEvent& ev) {
     case FaultKind::Partition: {
       std::set<net::NodeId> inside;
       for (const auto& n : ev.nodes) inside.insert(topo.findNode(n));
-      std::vector<net::LinkId>& cut = partitions_[ev.name];
+      std::vector<net::LinkId> cut;
       for (net::LinkId l = 0; l < topo.linkCount(); ++l) {
         const net::Link& link = topo.link(l);
         const bool a_in = inside.count(link.a) > 0;
@@ -194,6 +251,14 @@ void FaultInjector::fire(const FaultEvent& ev) {
         net.setLinkUp(l, false);
         cut.push_back(l);
       }
+      if (cut.empty()) {
+        // Every crossing link was already down (e.g. the same partition fired
+        // twice): nothing to heal later, so no partitions_ entry either.
+        skipped(ev, "cut is already empty");
+        return;
+      }
+      std::vector<net::LinkId>& entry = partitions_[ev.name];
+      entry.insert(entry.end(), cut.begin(), cut.end());
       if (ev.duration > 0) {
         FaultEvent inv = ev;
         inv.kind = FaultKind::Heal;
@@ -209,6 +274,12 @@ void FaultInjector::fire(const FaultEvent& ev) {
         for (net::LinkId l : it->second) net.setLinkUp(l, true);
         partitions_.erase(it);
       };
+      const bool mends = ev.target.empty() ? !partitions_.empty()
+                                           : partitions_.count(ev.target) > 0;
+      if (!mends) {
+        skipped(ev, "nothing to heal");
+        return;
+      }
       if (ev.target.empty()) {
         while (!partitions_.empty()) healOne(partitions_.begin()->first);
       } else {
@@ -222,6 +293,8 @@ void FaultInjector::fire(const FaultEvent& ev) {
 
 std::int64_t FaultInjector::injected() const { return c_injected_.value(); }
 
+std::int64_t FaultInjector::ignored() const { return c_ignored_.value(); }
+
 std::vector<FaultInjector::HostReport> FaultInjector::report(double elapsed_seconds) const {
   const double elapsed = elapsed_seconds > 0 ? elapsed_seconds : platform_.virtualNow();
   std::vector<HostReport> out;
@@ -230,14 +303,36 @@ std::vector<FaultInjector::HostReport> FaultInjector::report(double elapsed_seco
     r.host = host;
     r.crashes = st.crashes;
     r.downtime_seconds = st.downtime;
-    if (st.down_since >= 0 && elapsed > st.down_since) {
-      r.downtime_seconds += elapsed - st.down_since;  // still down at the horizon
+    if (st.down_since >= 0) {
+      r.down_at_horizon = true;
+      if (elapsed > st.down_since) {
+        r.downtime_seconds += elapsed - st.down_since;  // still down at the horizon
+      }
     }
     r.availability = elapsed > 0 ? 1.0 - r.downtime_seconds / elapsed : 1.0;
     r.mttr_seconds = st.crashes > 0 ? r.downtime_seconds / st.crashes : 0;
     out.push_back(std::move(r));
   }
   return out;
+}
+
+void FaultInjector::registerStateCapture(obs::StateCaptureRegistry& reg) {
+  reg.add("fault", [this](obs::StateWriter& w) {
+    w.u64("hosts", host_stats_.size());
+    for (const auto& [host, st] : host_stats_) {
+      w.key(host);
+      w.i64("crashes", st.crashes);
+      w.f64("down_since", st.down_since);
+      w.f64("downtime", st.downtime);
+    }
+    w.u64("partitions", partitions_.size());
+    for (const auto& [name, links] : partitions_) {
+      w.key(name);
+      w.u64("cut_links", links.size());
+    }
+    w.i64("injected", c_injected_.value());
+    w.i64("ignored", c_ignored_.value());
+  });
 }
 
 std::string FaultInjector::renderReport(double elapsed_seconds) const {

@@ -17,6 +17,7 @@
 
 #include "core/microgrid_platform.h"
 #include "fault/fault_plan.h"
+#include "obs/state_capture.h"
 
 namespace mg::fault {
 
@@ -40,6 +41,15 @@ class FaultInjector {
   /// Faults applied so far (inverse events from `duration` included).
   std::int64_t injected() const;
 
+  /// Degenerate events deterministically skipped so far: crash of an
+  /// already-down host, restart of a host that is up, link_down on a downed
+  /// link (and link_up on an up one), a partition whose cut is already
+  /// empty, a heal with nothing to mend, a brownout on a dead host. Ignored
+  /// events count here (`fault.ignored`), never in injected(), schedule no
+  /// inverse, and leave the availability accounting untouched — so the
+  /// report stays consistent for any schedule the explorer composes.
+  std::int64_t ignored() const;
+
   /// Availability / MTTR summary over the hosts the plan touched.
   struct HostReport {
     std::string host;
@@ -47,6 +57,7 @@ class FaultInjector {
     double downtime_seconds = 0;   // total virtual time spent down
     double availability = 1.0;     // 1 - downtime / elapsed
     double mttr_seconds = 0;       // downtime / crashes
+    bool down_at_horizon = false;  // still down at the observation horizon
   };
   /// Compute the report as of the current virtual time. `elapsed_seconds`
   /// overrides the observation window when positive (e.g. a bench's total
@@ -56,9 +67,16 @@ class FaultInjector {
   /// Render report() as an aligned text table.
   std::string renderReport(double elapsed_seconds = 0) const;
 
+  /// State capture (DESIGN.md §11): availability bookkeeping (per-host
+  /// crash counts and open downtime intervals) and the live partition cuts,
+  /// registered under "fault". Two schedules that leave different fault
+  /// bookkeeping behind must never collapse to one digest.
+  void registerStateCapture(obs::StateCaptureRegistry& reg);
+
  private:
   void fire(const FaultEvent& ev);
   void applied(const FaultEvent& ev);
+  void skipped(const FaultEvent& ev, const std::string& why);
   void validate(const FaultEvent& ev) const;
   obs::Counter& kindCounter(FaultKind k);
 
@@ -69,6 +87,7 @@ class FaultInjector {
   std::function<void(const std::string&)> on_restart_;
 
   obs::Counter& c_injected_;
+  obs::Counter& c_ignored_;
   obs::TraceBus::Channel& trace_;
   std::map<std::string, obs::Counter*> kind_counters_;
 

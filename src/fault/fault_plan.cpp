@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -34,12 +35,50 @@ std::string faultKindName(FaultKind k) {
   return "?";
 }
 
-FaultEvent FaultPlan::parseSection(const util::ConfigSection& sec) {
+namespace {
+
+/// The keys each fault kind accepts (beyond the universal at/kind).
+std::vector<std::string_view> allowedKeys(FaultKind k) {
+  switch (k) {
+    case FaultKind::LinkDown: return {"target", "duration"};
+    case FaultKind::LinkUp: return {"target"};
+    case FaultKind::LinkDegrade:
+      return {"target", "loss", "latency_mult", "bandwidth_mult", "duration"};
+    case FaultKind::HostCrash: return {"target", "duration"};
+    case FaultKind::HostRestart: return {"target"};
+    case FaultKind::CpuBrownout: return {"target", "factor", "duration"};
+    case FaultKind::Partition: return {"nodes", "duration"};
+    case FaultKind::Heal: return {"target"};
+  }
+  return {};
+}
+
+}  // namespace
+
+FaultEvent FaultPlan::parseEvent(const util::ConfigSection& sec,
+                                 std::initializer_list<std::string_view> extra_allowed) {
   FaultEvent ev;
   ev.name = sec.name();
   ev.at = sec.getTime("at");
   if (ev.at < 0) throw ConfigError("fault '" + ev.name + "' has negative time");
   ev.kind = faultKindFromString(sec.getString("kind"));
+
+  // Reject unknown keys loudly: a misspelled `duration` would otherwise
+  // silently turn a transient fault into a permanent one.
+  const std::vector<std::string_view> allowed = allowedKeys(ev.kind);
+  for (const std::string& key : sec.keys()) {
+    if (key == "at" || key == "kind") continue;
+    const bool known =
+        std::find(allowed.begin(), allowed.end(), key) != allowed.end() ||
+        std::find(extra_allowed.begin(), extra_allowed.end(), key) != extra_allowed.end();
+    if (!known) {
+      std::string msg = "fault '" + ev.name + "': unknown key '" + key + "' for kind " +
+                        faultKindName(ev.kind) + " (accepted: at, kind";
+      for (std::string_view a : allowed) msg += ", " + std::string(a);
+      for (std::string_view a : extra_allowed) msg += ", " + std::string(a);
+      throw ConfigError(msg + ")");
+    }
+  }
 
   const bool needs_target = ev.kind != FaultKind::Partition && ev.kind != FaultKind::Heal;
   if (needs_target) {
@@ -93,7 +132,7 @@ FaultEvent FaultPlan::parseSection(const util::ConfigSection& sec) {
 FaultPlan FaultPlan::fromConfig(const util::Config& cfg) {
   FaultPlan plan;
   for (const auto* sec : cfg.sectionsOfType("fault")) {
-    plan.events_.push_back(parseSection(*sec));
+    plan.events_.push_back(parseEvent(*sec));
   }
   // Stable: same-time events keep file order (determinism).
   std::stable_sort(plan.events_.begin(), plan.events_.end(),
@@ -115,6 +154,39 @@ void FaultPlan::merge(const FaultPlan& other) {
   for (const auto& ev : other.events_) events_.push_back(ev);
   std::stable_sort(events_.begin(), events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+std::string FaultPlan::toIni() const {
+  std::string out;
+  for (const FaultEvent& ev : events_) {
+    if (!out.empty()) out += "\n";
+    out += "[fault " + ev.name + "]\n";
+    out += "at = " + obs::formatDouble(ev.at) + "s\n";
+    out += "kind = " + faultKindName(ev.kind) + "\n";
+    if (!ev.target.empty()) out += "target = " + ev.target + "\n";
+    if (!ev.nodes.empty()) {
+      out += "nodes = ";
+      for (std::size_t i = 0; i < ev.nodes.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ev.nodes[i];
+      }
+      out += "\n";
+    }
+    if (ev.kind == FaultKind::LinkDegrade) {
+      if (ev.loss >= 0) out += "loss = " + obs::formatDouble(ev.loss) + "\n";
+      if (ev.latency_mult != 1.0) {
+        out += "latency_mult = " + obs::formatDouble(ev.latency_mult) + "\n";
+      }
+      if (ev.bandwidth_mult != 1.0) {
+        out += "bandwidth_mult = " + obs::formatDouble(ev.bandwidth_mult) + "\n";
+      }
+    }
+    if (ev.kind == FaultKind::CpuBrownout) {
+      out += "factor = " + obs::formatDouble(ev.factor) + "\n";
+    }
+    if (ev.duration > 0) out += "duration = " + obs::formatDouble(ev.duration) + "s\n";
+  }
+  return out;
 }
 
 }  // namespace mg::fault

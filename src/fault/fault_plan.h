@@ -43,7 +43,9 @@
 // order — part of the byte-determinism guarantee for fault runs.
 #pragma once
 
+#include <initializer_list>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/config.h"
@@ -75,6 +77,8 @@ struct FaultEvent {
   double bandwidth_mult = 1.0;
   double factor = 1.0;         // cpu_brownout: fraction of full speed
   double duration = 0;         // > 0: schedule the inverse event afterwards
+
+  bool operator==(const FaultEvent&) const = default;
 };
 
 class FaultPlan {
@@ -96,9 +100,22 @@ class FaultPlan {
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
 
- private:
-  static FaultEvent parseSection(const util::ConfigSection& sec);
+  /// Parse one [fault ...] section. Keys outside the kind's accepted set are
+  /// rejected with a message naming the key and the accepted keys —
+  /// misspelling `duration` must not silently yield a permanent fault.
+  /// `extra_allowed` lets embedding dialects (the explorer's [candidate ...]
+  /// sections carry a `times` list) pass their own keys through.
+  static FaultEvent parseEvent(const util::ConfigSection& sec,
+                               std::initializer_list<std::string_view> extra_allowed = {});
 
+  /// Serialize as the same INI dialect fromConfig parses: one
+  /// `[fault <name>]` section per event, schedule order, keys in canonical
+  /// order, values via round-trip double formatting. An empty plan yields
+  /// an empty string; parse(toIni(p)) == p for any valid plan — the
+  /// explorer's minimal-reproduction output format.
+  std::string toIni() const;
+
+ private:
   std::vector<FaultEvent> events_;  // stable-sorted by `at`
 };
 

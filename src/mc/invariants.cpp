@@ -1,0 +1,67 @@
+#include "mc/invariants.h"
+
+#include "util/strings.h"
+
+namespace mg::mc {
+
+std::vector<Violation> checkInvariants(ScenarioRun& run) {
+  std::vector<Violation> out;
+  core::MicroGridPlatform& p = *run.platform;
+
+  if (run.units_completed) {
+    const std::int64_t done = run.units_completed();
+    if (done != run.units_expected) {
+      out.push_back({"workload.lost",
+                     util::format("%lld of %lld work units reached a terminal state",
+                                  static_cast<long long>(done),
+                                  static_cast<long long>(run.units_expected))});
+    }
+  }
+  if (run.workload_error) {
+    const std::string err = run.workload_error();
+    if (!err.empty()) out.push_back({"workload.error", err});
+  }
+
+  if (run.injector) {
+    const double elapsed = p.virtualNow();
+    for (const auto& r : run.injector->report(elapsed)) {
+      const bool alive = p.hostAlive(r.host);
+      if (r.down_at_horizon == alive) {
+        out.push_back(
+            {"fault.availability",
+             "host " + r.host + " reported " +
+                 (r.down_at_horizon ? "down" : "up") + " at the horizon but is " +
+                 (alive ? "alive" : "dead")});
+      }
+      if (r.downtime_seconds < -1e-9 || r.downtime_seconds > elapsed + 1e-9) {
+        out.push_back({"fault.availability",
+                       util::format("host %s downtime %.9g outside [0, %.9g]",
+                                    r.host.c_str(), r.downtime_seconds, elapsed)});
+      }
+    }
+  }
+
+  const std::size_t pending = p.simulator().pendingEventCount();
+  if (pending != 0) {
+    out.push_back({"sim.pending_events",
+                   util::format("%zu events still pending after drain", pending)});
+  }
+
+  const std::size_t open = p.openTcpConnections();
+  if (open != 0) {
+    out.push_back({"net.open_sockets",
+                   util::format("%zu TCP connections neither closed nor reset", open)});
+  }
+  return out;
+}
+
+std::string renderViolations(const std::vector<Violation>& vs) {
+  std::string out;
+  for (const auto& v : vs) {
+    if (!out.empty()) out += "\n";
+    out += v.invariant + ": " + v.detail;
+  }
+  return out;
+}
+
+}  // namespace mg::mc

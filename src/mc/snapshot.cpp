@@ -1,0 +1,37 @@
+#include "mc/snapshot.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace mg::mc {
+
+Snapshot capture(const ScenarioRun& run, double at, const fault::FaultPlan& plan) {
+  Snapshot s;
+  s.at = at;
+  s.digest = run.digest();
+  s.plan = plan;
+  return s;
+}
+
+std::unique_ptr<ScenarioRun> restore(const ScenarioFactory& make, const Snapshot& snap) {
+  std::unique_ptr<ScenarioRun> run = make(snap.plan);
+  run->runTo(snap.at);
+  const std::uint64_t got = run->digest();
+  if (got == snap.digest) return run;
+
+  // Diverged: the transcript names the first field that differs, which is
+  // worth far more than two 64-bit numbers.
+  std::string msg = util::format(
+      "restore diverged at t=%.9gvs: digest %016llx, snapshot %016llx",
+      snap.at, static_cast<unsigned long long>(got),
+      static_cast<unsigned long long>(snap.digest));
+  const std::vector<std::string> lines = run->transcript();
+  if (!lines.empty()) {
+    msg += util::format(" (replayed state has %zu fields; diff the transcripts "
+                        "of both runs to locate the leak)",
+                        lines.size());
+  }
+  throw StateError(msg);
+}
+
+}  // namespace mg::mc

@@ -607,6 +607,20 @@ FlowNetworkStats FlowEngine::stats() const {
   return s;
 }
 
+void FlowEngine::saveState(obs::StateWriter& w) const {
+  w.u64("net.flow.active", flows_.size());
+  w.u64("net.flow.next_id", next_id_);
+  for (const auto& [id, f] : flows_) {
+    w.u64("flow", id);
+    w.i64("src", f.src);
+    w.i64("dst", f.dst);
+    w.f64("remaining", f.remaining_bits);
+    w.f64("rate", f.rate_bps);
+    w.i64("integrated", f.last_integrated);
+    w.boolean("stalled", f.stalled);
+  }
+}
+
 FlowNetwork::FlowNetwork(sim::Simulator& sim, Topology topo, FlowNetworkOptions opts)
     : NetworkModel(sim, std::move(topo), opts.time_scale), engine_(*this, opts) {}
 

@@ -151,6 +151,11 @@ class FlowEngine {
   const FlowNetworkOptions& options() const { return opts_; }
   FlowNetworkStats stats() const;
 
+  /// Fold every active flow's dynamic state (remaining bits, rate, stall
+  /// flag, integration stamp) into `w` in ascending FlowId order
+  /// (DESIGN.md §11). Read-only.
+  void saveState(obs::StateWriter& w) const;
+
  private:
   struct Flow {
     NodeId src = kNoNode;
@@ -296,6 +301,11 @@ class FlowNetwork : public NetworkModel {
 
   void registerTelemetry(obs::TelemetrySampler& sampler) override {
     engine_.registerTelemetry(sampler);
+  }
+
+  void saveState(obs::StateWriter& w) const override {
+    NetworkModel::saveState(w);
+    engine_.saveState(w);
   }
 
  protected:

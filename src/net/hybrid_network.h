@@ -80,6 +80,11 @@ class HybridNetwork : public PacketNetwork {
     engine_.registerTelemetry(sampler);
   }
 
+  void saveState(obs::StateWriter& w) const override {
+    PacketNetwork::saveState(w);
+    engine_.saveState(w);
+  }
+
  protected:
   // Faults hit both halves: packet queues purge, fluid flows abort/re-share.
   void onLinkDown(LinkId link) override;

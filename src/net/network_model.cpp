@@ -111,4 +111,22 @@ void NetworkModel::setPartitionPlan(const PartitionPlan& plan) {
                    "' does not shard across event lanes");
 }
 
+void NetworkModel::saveState(obs::StateWriter& w) const {
+  w.u64("net.links", topo_.linkCount());
+  for (LinkId l = 0; l < topo_.linkCount(); ++l) {
+    const Link& link = topo_.link(l);
+    w.str("link", link.name);
+    w.boolean("up", link.up);
+    w.f64("bw", link.bandwidth_bps);
+    w.i64("lat", link.latency);
+    w.f64("loss", link.loss_rate);
+  }
+  w.u64("net.nodes", topo_.nodeCount());
+  for (NodeId n = 0; n < topo_.nodeCount(); ++n) {
+    const Node& node = topo_.node(n);
+    w.str("node", node.name);
+    w.boolean("up", node.up);
+  }
+}
+
 }  // namespace mg::net

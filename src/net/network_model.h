@@ -136,6 +136,15 @@ class NetworkModel {
   /// cross-lane state freely. Base: nothing.
   virtual void registerTelemetry(obs::TelemetrySampler& sampler) { (void)sampler; }
 
+  // --- state-capture surface (DESIGN.md §11) ---
+
+  /// Fold the model's observable state into a canonical digest: the base
+  /// folds every link's up flag and live parameters plus every node's up
+  /// flag; models append their own dynamic state (queues, in-flight
+  /// packets, RNG streams, fluid flows). Strictly read-only; call between
+  /// events, never from inside a parallel phase.
+  virtual void saveState(obs::StateWriter& w) const;
+
  protected:
   friend class FlowEngine;
 

@@ -309,6 +309,29 @@ void PacketNetwork::onNodeDown(NodeId node) {
   }
 }
 
+void PacketNetwork::saveState(obs::StateWriter& w) const {
+  NetworkModel::saveState(w);
+  w.u64("net.packet.queues", link_queues_.size());
+  for (std::size_t q = 0; q < link_queues_.size(); ++q) {
+    const LinkQueue& lq = link_queues_[q];
+    if (lq.queue.empty() && !lq.busy && lq.busy_ns == 0) continue;  // cold queue
+    w.u64("q", q);
+    w.u64("depth", lq.queue.size());
+    w.i64("bytes", lq.queued_bytes);
+    w.boolean("busy", lq.busy);
+    w.i64("busy_since", lq.busy_since);
+    w.i64("busy_ns", lq.busy_ns);
+  }
+  w.u64("net.packet.lanes", rngs_.size());
+  for (const util::Rng& rng : rngs_) {
+    for (std::uint64_t word : rng.fingerprint()) w.u64("rng", word);
+  }
+  for (std::size_t lane = 0; lane < flight_.size(); ++lane) {
+    const FlightPool& pool = flight_[lane];
+    w.u64("flight.in_use", pool.slots.size() - pool.free.size());
+  }
+}
+
 void PacketNetwork::validateLinkParams(LinkId link, const net::LinkParams& params) const {
   // Per-segment serialization time divides by bandwidth, so the packet
   // pipeline (and the hybrid model, which inherits this check for its

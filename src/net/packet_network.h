@@ -106,6 +106,11 @@ class PacketNetwork : public NetworkModel {
   /// sharded queues is race-free.
   void registerTelemetry(obs::TelemetrySampler& sampler) override;
 
+  /// Base link/node state plus the packet machinery: per-direction queue
+  /// occupancy and busy accounting, in-flight pool occupancy, and every
+  /// lane's loss-process RNG stream.
+  void saveState(obs::StateWriter& w) const override;
+
  protected:
   // Fault hooks (NetworkModel runs them at the barrier, between the state
   // flip and the routing recompute). Packets already queued on a downed

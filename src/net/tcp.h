@@ -230,6 +230,17 @@ class TcpStack {
   sim::Simulator& simulator() { return net_.simulator(); }
   const TcpOptions& options() const { return opts_; }
 
+  /// Connections still in the endpoint table — everything that is neither
+  /// fully closed (FINs exchanged and drained) nor reset. The explorer's
+  /// "all sockets closed or reset" invariant reads this after a run drains.
+  std::size_t openConnections() const { return connections_.size(); }
+  std::size_t openListeners() const { return listeners_.size(); }
+
+  /// Fold the endpoint table into `w` (DESIGN.md §11): connection keys with
+  /// their transport-machine state (seq/ack/window/cwnd, buffered bytes,
+  /// FIN flags, RTO estimate) plus the open listener ports. Read-only.
+  void saveState(obs::StateWriter& w) const;
+
  private:
   friend class TcpConnection;
   friend class TcpListener;

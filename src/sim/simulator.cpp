@@ -284,6 +284,38 @@ std::size_t Simulator::eventArenaSlots() const {
   return n;
 }
 
+void Simulator::saveState(obs::StateWriter& w) const {
+  w.u64("sim.lanes", lanes_.size());
+  for (const auto& lane : lanes_) {
+    w.u64("lane", lane->index);
+    w.i64("now", lane->now);
+    w.u64("next_seq", lane->next_seq);
+    w.u64("pending", lane->heap.size());
+    // The heap is only partially ordered; sort a copy of the ordering keys
+    // so the digest does not depend on the internal layout (which varies
+    // with the cancel history even between equivalent states).
+    std::vector<detail::EventLane::HeapEntry> entries = lane->heap;
+    std::sort(entries.begin(), entries.end(), detail::EventLane::entryBefore);
+    for (const auto& e : entries) {
+      w.i64("ev.t", e.time);
+      w.u64("ev.seq", e.seq);
+    }
+  }
+  std::vector<const Process*> procs;
+  procs.reserve(live_processes_.size());
+  for (const auto& [id, p] : live_processes_) procs.push_back(p);
+  std::sort(procs.begin(), procs.end(),
+            [](const Process* a, const Process* b) { return a->id_ < b->id_; });
+  w.u64("sim.live_processes", procs.size());
+  for (const Process* p : procs) {
+    w.u64("proc.id", p->id_);
+    w.str("proc.name", p->name_);
+    w.boolean("proc.suspended", p->suspended_);
+    w.boolean("proc.wake_pending", p->wake_pending_);
+    w.u64("proc.wait_epoch", p->wait_epoch_);
+  }
+}
+
 // ----------------------------------------------------------- parallelism ---
 
 void Simulator::configureParallel(int lanes, int workers, SimTime lookahead) {

@@ -46,6 +46,7 @@
 
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/state_capture.h"
 #include "obs/span.h"
 #include "obs/timeline.h"
 #include "obs/trace_bus.h"
@@ -352,6 +353,14 @@ class Simulator {
   /// pending events, summed over lanes. Bounded for schedule+cancel churn
   /// because cancelled and executed slots are recycled through free lists.
   std::size_t eventArenaSlots() const;
+
+  /// Fold the kernel's observable state into a canonical digest (DESIGN.md
+  /// §11): per-lane clocks and sequence counters, every pending event's
+  /// (time, seq) ordering key in heap order (sorted, so the fold is
+  /// independent of the heap's internal layout), and the live process table
+  /// sorted by id. Strictly read-only; call between events (never from a
+  /// parallel phase).
+  void saveState(obs::StateWriter& w) const;
 
   /// The run-wide metrics registry: every layer attached to this simulator
   /// registers its counters here (names: `layer.component.counter`).

@@ -12,6 +12,8 @@
 //    their numerics follow the published benchmark definition.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 
 namespace mg::util {
@@ -59,6 +61,14 @@ class Rng {
   /// Fork a statistically independent child stream (used to give each
   /// simulated entity its own stream regardless of creation order).
   Rng split();
+
+  /// The complete generator state — the four xoshiro words plus the cached
+  /// Marsaglia spare — for canonical state digests (obs::StateWriter). Two
+  /// Rngs with equal fingerprints produce identical draw sequences.
+  std::array<std::uint64_t, 6> fingerprint() const {
+    return {s_[0], s_[1], s_[2], s_[3], have_spare_ ? 1ull : 0ull,
+            std::bit_cast<std::uint64_t>(spare_)};
+  }
 
  private:
   std::uint64_t s_[4];

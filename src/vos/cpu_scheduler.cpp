@@ -235,4 +235,22 @@ void CpuScheduler::registerTelemetry(obs::TelemetrySampler& sampler, const std::
   });
 }
 
+void CpuScheduler::saveState(obs::StateWriter& w) const {
+  w.u64("vos.sched.tasks", tasks_.size());
+  for (const Task& t : tasks_) {
+    w.str("task", t.name);
+    w.boolean("live", t.live);
+    w.f64("fraction", t.fraction);
+    w.f64("used_cpu", t.used_cpu);
+    w.f64("demand", t.demand);
+    w.boolean("waiting", t.waiter != nullptr);
+  }
+  w.u64("rr_next", rr_next_);
+  w.boolean("running", running_);
+  w.f64("busy_wall_s", busy_wall_s_);
+  w.i64("busy_start", busy_start_);
+  w.i64("busy_until", busy_until_);
+  for (std::uint64_t word : rng_.fingerprint()) w.u64("rng", word);
+}
+
 }  // namespace mg::vos

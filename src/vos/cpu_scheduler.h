@@ -98,6 +98,12 @@ class CpuScheduler {
   /// lane 0 is quiescent.
   void registerTelemetry(obs::TelemetrySampler& sampler, const std::string& label);
 
+  /// Fold the scheduler's dynamic state into `w` (DESIGN.md §11): the task
+  /// table in slot order (name, fraction, consumed CPU, pending demand,
+  /// liveness), the round-robin cursor, the jitter RNG stream, and the
+  /// busy-time accrual. Read-only.
+  void saveState(obs::StateWriter& w) const;
+
  private:
   struct Task {
     std::string name;

@@ -15,6 +15,8 @@
 #include "gis/directory.h"
 #include "util/config.h"
 
+#include "test_scenarios.h"
+
 using namespace mg;
 
 // --------------------------------------------------------------- workload --
@@ -279,52 +281,12 @@ TEST(Broker, NoteScheduledDebitsTheCachedView) {
 }
 
 // ------------------------------------------------------------- end-to-end --
+// The small-economy fixture lives in test_scenarios.h, shared with the
+// model-checking and determinism suites.
 
-namespace {
-
-/// A small but non-trivial economy: 2 clusters, 16 cores, ~60% utilization.
-econ::EconGridSpec smallGrid() {
-  econ::EconGridSpec g;
-  g.clusters = 2;
-  g.hosts_per_cluster = 4;
-  g.cores_per_host = 2;
-  g.timeshared_every = 0;  // space-shared only: simplest accounting
-  return g;
-}
-
-econ::WorkloadSpec smallWorkload(int jobs) {
-  econ::WorkloadSpec w;
-  w.jobs = jobs;
-  w.users = 50;
-  w.rate = 0.3;
-  w.runtime_mu = 2.0;
-  w.max_cpus = 4;
-  w.day_period_s = 600;
-  return w;
-}
-
-econ::EconReport runEconomy(const econ::EconGridSpec& gspec, const econ::WorkloadSpec& wspec,
-                            econ::BrokerPolicy policy, double crash_at = 0,
-                            double restart_at = 0) {
-  const econ::EconGrid grid = econ::makeEconGrid(gspec);
-  core::MicroGridOptions mopts;
-  mopts.netmodel = net::NetModelKind::Flow;
-  mopts.rate_override = 1.0;
-  core::MicroGridPlatform platform(grid.grid, mopts);
-  econ::EconOptions eopts;
-  eopts.workload = wspec;
-  eopts.policy = policy;
-  econ::GridEconomy economy(platform, grid, eopts);
-  economy.arm();
-  if (crash_at > 0) {
-    economy.scheduleCrash("c0", crash_at);
-    if (restart_at > 0) economy.scheduleRestart("c0", restart_at);
-  }
-  platform.run();
-  return economy.report();
-}
-
-}  // namespace
+using mgtest::runEconomy;
+using mgtest::smallGrid;
+using mgtest::smallWorkload;
 
 TEST(Economy, SmallRunCompletesEveryJobDeterministically) {
   const econ::EconReport a = runEconomy(smallGrid(), smallWorkload(400),

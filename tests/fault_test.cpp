@@ -17,6 +17,8 @@
 #include "vmpi/comm.h"
 #include "vos/cpu_scheduler.h"
 
+#include "test_scenarios.h"
+
 using namespace mg;
 namespace st = mg::sim;
 
@@ -110,22 +112,106 @@ TEST(FaultPlanTest, MergeKeepsStableTimeOrder) {
   EXPECT_EQ(a.events()[3].name, "a2");
 }
 
-// --------------------------------------------------------- FaultInjector --
-
-namespace {
-
-fault::FaultEvent simpleEvent(fault::FaultKind kind, const std::string& target,
-                              double at = 0.1, double duration = 0) {
-  fault::FaultEvent ev;
-  ev.at = at;
-  ev.kind = kind;
-  ev.name = "test";
-  ev.target = target;
-  ev.duration = duration;
-  return ev;
+TEST(FaultPlanTest, UnknownKeysRejectedNamingKeyAndAcceptedSet) {
+  // A misspelled `duration` must not silently yield a permanent fault; the
+  // message names the offending key AND lists what the kind accepts.
+  try {
+    fault::FaultPlan::fromConfig(util::Config::parse(
+        "[fault f]\nat = 1s\nkind = link_down\ntarget = eth0\ndurration = 5s\n"));
+    FAIL() << "stray key was accepted";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("durration"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("accepted"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duration"), std::string::npos) << msg;
+  }
+  // Keys valid for one kind are still rejected for another (loss is a
+  // link_degrade knob, not a link_down one).
+  EXPECT_THROW(fault::FaultPlan::fromConfig(util::Config::parse(
+                   "[fault f]\nat = 1s\nkind = link_down\ntarget = eth0\nloss = 0.5\n")),
+               ConfigError);
 }
 
-}  // namespace
+TEST(FaultPlanTest, DuplicateTimestampsKeepFileOrderThroughIniRoundTrip) {
+  const char* ini = R"(
+[fault second]
+at = 1s
+kind = link_down
+target = eth1
+
+[fault first]
+at = 0.5s
+kind = link_down
+target = eth0
+
+[fault also-at-1]
+at = 1s
+kind = host_crash
+target = vm3.ucsd.edu
+)";
+  const auto plan = fault::FaultPlan::fromConfig(util::Config::parse(ini));
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].name, "first");
+  EXPECT_EQ(plan.events()[1].name, "second");     // same-time: file order
+  EXPECT_EQ(plan.events()[2].name, "also-at-1");
+
+  // toIni() serializes schedule order; reparsing reproduces the plan
+  // exactly, duplicate timestamps included (the explorer's minimal
+  // reproductions depend on this being lossless).
+  const auto reparsed = fault::FaultPlan::fromConfig(util::Config::parse(plan.toIni()));
+  EXPECT_EQ(reparsed.events(), plan.events());
+}
+
+TEST(FaultPlanTest, EmptyPlanRoundTripsToEmpty) {
+  const fault::FaultPlan empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.toIni(), "");
+  const auto reparsed = fault::FaultPlan::fromConfig(util::Config::parse(""));
+  EXPECT_TRUE(reparsed.empty());
+  EXPECT_EQ(reparsed.events(), empty.events());
+}
+
+TEST(FaultPlanTest, EveryKindRoundTripsThroughIni) {
+  fault::FaultPlan plan;
+  plan.add(mgtest::crashVm3(2.0, 5.0));
+  plan.add(mgtest::lossyEth1(0.02, 10.0, 1.0));
+  fault::FaultEvent part;
+  part.at = 3.0;
+  part.kind = fault::FaultKind::Partition;
+  part.name = "split";
+  part.nodes = {"vm0.ucsd.edu", "vm1.ucsd.edu"};
+  plan.add(part);
+  fault::FaultEvent mend;
+  mend.at = 4.0;
+  mend.kind = fault::FaultKind::Heal;
+  mend.name = "mend";
+  mend.target = "split";
+  plan.add(mend);
+  fault::FaultEvent brown;
+  brown.at = 5.0;
+  brown.kind = fault::FaultKind::CpuBrownout;
+  brown.name = "brown";
+  brown.target = "vm0.ucsd.edu";
+  brown.factor = 0.25;
+  brown.duration = 2.0;
+  plan.add(brown);
+  fault::FaultEvent down = mgtest::simpleEvent(fault::FaultKind::LinkDown, "eth2", 6.0);
+  down.name = "down";
+  plan.add(down);
+  fault::FaultEvent up = mgtest::simpleEvent(fault::FaultKind::LinkUp, "eth2", 7.0);
+  up.name = "up";
+  plan.add(up);
+  fault::FaultEvent restart = mgtest::simpleEvent(fault::FaultKind::HostRestart, "vm3.ucsd.edu", 8.0);
+  restart.name = "revive";
+  plan.add(restart);
+
+  const auto reparsed = fault::FaultPlan::fromConfig(util::Config::parse(plan.toIni()));
+  EXPECT_EQ(reparsed.events(), plan.events());
+}
+
+// --------------------------------------------------------- FaultInjector --
+
+using mgtest::simpleEvent;
 
 TEST(FaultInjectorTest, ValidatesTargetsAgainstGrid) {
   core::MicroGridPlatform p(core::topologies::alphaCluster());
@@ -224,6 +310,126 @@ TEST(FaultInjectorTest, AvailabilityReportMath) {
   EXPECT_NEAR(reports[0].availability, 0.8, 1e-6);
   EXPECT_NEAR(reports[0].mttr_seconds, 2.0, 1e-6);
   EXPECT_NE(injector.renderReport(10.0).find("vm3.ucsd.edu"), std::string::npos);
+}
+
+// ------------------------------------------------- degenerate schedules --
+//
+// Regression tests for ISSUE 10: a fault event whose precondition already
+// holds (crash a dead host, down a dead link, heal an intact fabric...) is
+// *ignored* — counted in fault.ignored, traced, and crucially scheduling NO
+// inverse event — instead of corrupting the availability accounting. The
+// explorer composes arbitrary schedules, so every such edge must be inert.
+
+TEST(FaultInjectorTest, DuplicateCrashOfDeadHostIsIgnoredWithoutPhantomRestart) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+  fault::FaultPlan plan;
+  plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 0.1));  // permanent
+  // The duplicate carries a duration; were it applied (or its inverse kept),
+  // the dead host would "restart" at t=1.2 and availability would go negative.
+  plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 0.2, 1.0));
+  fault::FaultInjector injector(p, std::move(plan));
+  injector.arm();
+  p.run();
+
+  EXPECT_EQ(injector.injected(), 1);
+  EXPECT_EQ(injector.ignored(), 1);
+  EXPECT_EQ(p.simulator().metrics().counterValue("fault.ignored"), 1);
+  EXPECT_EQ(p.simulator().metrics().counterValue("fault.host_restart"), 0);
+  EXPECT_FALSE(p.hostAlive("vm3.ucsd.edu"));
+  const auto reports = injector.report(10.0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].crashes, 1);
+  EXPECT_TRUE(reports[0].down_at_horizon);
+  EXPECT_NEAR(reports[0].downtime_seconds, 9.9, 1e-6);  // down from 0.1 on
+}
+
+TEST(FaultInjectorTest, RestartOfLiveHostAndBrownoutOfDeadHostAreIgnored) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+  fault::FaultPlan plan;
+  plan.add(simpleEvent(fault::FaultKind::HostRestart, "vm0.ucsd.edu", 0.1));
+  plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 0.2));
+  fault::FaultEvent brown = simpleEvent(fault::FaultKind::CpuBrownout, "vm3.ucsd.edu", 0.3, 1.0);
+  brown.factor = 0.5;
+  plan.add(brown);  // host is dead: nothing to slow down
+  fault::FaultInjector injector(p, std::move(plan));
+  injector.arm();
+  p.run();
+
+  EXPECT_EQ(injector.injected(), 1);  // only the crash applied
+  EXPECT_EQ(injector.ignored(), 2);
+  EXPECT_TRUE(p.hostAlive("vm0.ucsd.edu"));
+  EXPECT_FALSE(p.hostAlive("vm3.ucsd.edu"));
+}
+
+TEST(FaultInjectorTest, SameTimestampDuplicateLinkDownFiresOnceInFileOrder) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+  const net::Topology& topo = p.network().topology();
+  fault::FaultPlan plan;
+  plan.add(simpleEvent(fault::FaultKind::LinkUp, "eth1", 0.05));       // already up
+  plan.add(simpleEvent(fault::FaultKind::LinkDown, "eth1", 0.1));      // applies
+  plan.add(simpleEvent(fault::FaultKind::LinkDown, "eth1", 0.1, 5.0)); // same t: ignored
+  fault::FaultInjector injector(p, std::move(plan));
+  injector.arm();
+  p.run();
+
+  EXPECT_EQ(p.simulator().metrics().counterValue("fault.link_down"), 1);
+  EXPECT_EQ(injector.ignored(), 2);
+  // The ignored duplicate scheduled no auto-restore: the link stays down.
+  EXPECT_EQ(p.simulator().metrics().counterValue("fault.link_up"), 0);
+  EXPECT_FALSE(topo.link(topo.findLink("eth1")).up);
+}
+
+TEST(FaultInjectorTest, EmptyCutPartitionAndHealOfNothingAreIgnored) {
+  core::MicroGridPlatform p(core::topologies::alphaCluster());
+  fault::FaultPlan plan;
+  fault::FaultEvent first = simpleEvent(fault::FaultKind::Partition, "", 0.1);
+  first.name = "split";
+  first.nodes = {"vm0.ucsd.edu"};
+  plan.add(first);
+  // Same node set again: every crossing link is already down, the cut is
+  // empty — ignored, and (critically) no partitions_ entry is created that a
+  // later heal would "mend" by re-raising links the first partition owns.
+  fault::FaultEvent again = first;
+  again.name = "split2";
+  again.at = 0.2;
+  plan.add(again);
+  fault::FaultEvent mend = simpleEvent(fault::FaultKind::Heal, "split2", 0.3);
+  plan.add(mend);  // names the empty-cut partition: nothing to heal
+  fault::FaultInjector injector(p, std::move(plan));
+  injector.arm();
+  p.run();
+
+  const auto& m = p.simulator().metrics();
+  EXPECT_EQ(m.counterValue("fault.partition"), 1);
+  EXPECT_EQ(m.counterValue("fault.heal"), 0);
+  EXPECT_EQ(injector.ignored(), 2);
+  const net::Topology& topo = p.network().topology();
+  EXPECT_FALSE(topo.link(topo.findLink("eth0")).up);  // still partitioned
+
+  // A heal against an untouched platform is equally inert.
+  core::MicroGridPlatform q(core::topologies::alphaCluster());
+  fault::FaultPlan heal_nothing;
+  heal_nothing.add(simpleEvent(fault::FaultKind::Heal, "", 0.1));
+  fault::FaultInjector inert(q, std::move(heal_nothing));
+  inert.arm();
+  q.run();
+  EXPECT_EQ(inert.injected(), 0);
+  EXPECT_EQ(inert.ignored(), 1);
+}
+
+TEST(FaultInjectorTest, IgnoredEventsAreByteDeterministic) {
+  auto run = [] {
+    core::MicroGridPlatform p(core::topologies::alphaCluster());
+    fault::FaultPlan plan;
+    plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 0.1));
+    plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 0.2, 1.0));
+    plan.add(simpleEvent(fault::FaultKind::LinkUp, "eth2", 0.3));
+    fault::FaultInjector injector(p, std::move(plan));
+    injector.arm();
+    p.run();
+    return p.simulator().metrics().snapshotJson() + injector.renderReport(5.0);
+  };
+  EXPECT_EQ(run(), run());
 }
 
 // -------------------------------------------------- network fault detail --
@@ -494,11 +700,10 @@ struct CrashRun {
 /// t=1vs and restarts at t=4vs. The first attempt must fail (peers see the
 /// crash instead of hanging) and a resubmission must complete the job.
 CrashRun runCrashResubmitScenario() {
-  auto cfg = core::topologies::alphaCluster();
-  core::MicroGridPlatform platform(cfg);
-  platform.simulator().spans().setEnabled(true);
-  grid::ExecutableRegistry registry;
-  registry.add("chatter", [](grid::JobContext& jc) {
+  mgtest::HarnessOptions hopts;
+  hopts.spans = true;
+  mgtest::LauncherHarness h(hopts);
+  h.registry.add("chatter", [](grid::JobContext& jc) {
     auto comm = vmpi::Comm::init(jc);
     for (int i = 0; i < 30; ++i) {
       comm->context().sleep(0.1);
@@ -512,32 +717,20 @@ CrashRun runCrashResubmitScenario() {
     comm->finalize();
     return 0;
   });
-  core::Launcher launcher(platform, registry);
-  launcher.startServices(&cfg, "Alpha4");
-  core::LaunchOptions lopts;
-  lopts.max_resubmits = 3;
-  launcher.setLaunchOptions(lopts);
 
   fault::FaultPlan plan;
-  plan.add(simpleEvent(fault::FaultKind::HostCrash, "vm3.ucsd.edu", 1.0, 3.0));
-  fault::FaultInjector injector(platform, std::move(plan));
-  injector.onHostCrash([&launcher](const std::string& h) { launcher.markHostDown(h); });
-  injector.onHostRestart([&launcher](const std::string& h) { launcher.markHostUp(h); });
-  injector.arm();
+  plan.add(mgtest::crashVm3(1.0, 3.0));
+  fault::FaultInjector& injector = h.armFaults(std::move(plan));
 
   CrashRun out;
-  out.result = launcher.run("chatter", "",
-                            {{"vm0.ucsd.edu", 1},
-                             {"vm1.ucsd.edu", 1},
-                             {"vm2.ucsd.edu", 1},
-                             {"vm3.ucsd.edu", 1}});
-  const auto& m = platform.simulator().metrics();
+  out.result = h.launcher.run("chatter", "", mgtest::LauncherHarness::fourRanks());
+  const auto& m = h.platform.simulator().metrics();
   out.crashes = m.counterValue("fault.host_crash");
   out.restarts = m.counterValue("fault.host_restart");
   out.injected = m.counterValue("fault.injected");
   out.metrics_json = m.snapshotJson();
   out.report = injector.renderReport();
-  const auto& spans = platform.simulator().spans();
+  const auto& spans = h.platform.simulator().spans();
   out.span_tree = spans.serializeTree();
   for (const auto& s : spans.spans()) {
     for (const auto& [k, v] : s.attrs) {
@@ -673,37 +866,10 @@ namespace {
 /// window covering the final allreduce: TCP retransmits, RTO timers armed
 /// and cancelled, stochastic drops. Everything observable must still be a
 /// pure function of the seed.
-std::pair<std::string, std::vector<double>> runEpWithFaults() {
-  auto cfg = core::topologies::alphaCluster();
-  core::MicroGridPlatform platform(cfg);
-
-  fault::FaultEvent degrade;
-  degrade.at = 0.0;
-  degrade.kind = fault::FaultKind::LinkDegrade;
-  degrade.name = "lossy";
-  degrade.target = "eth1";
-  degrade.loss = 0.05;
-  degrade.duration = 60.0;
+mgtest::EpFaultRun runEpWithFaults() {
   fault::FaultPlan plan;
-  plan.add(degrade);
-  fault::FaultInjector injector(platform, std::move(plan));
-  injector.arm();
-
-  std::vector<std::string> hosts;
-  for (const auto& h : platform.mapper().hosts()) hosts.push_back(h.hostname);
-  hosts.resize(4);
-  auto checksums = std::make_shared<std::vector<double>>(4);
-  for (int r = 0; r < 4; ++r) {
-    platform.spawnOn(hosts[static_cast<size_t>(r)], "rank" + std::to_string(r),
-                     [=](vos::HostContext& ctx) {
-                       auto comm = vmpi::Comm::init(ctx, r, hosts);
-                       const auto res = npb::runEp(*comm, ctx, npb::NpbClass::S);
-                       (*checksums)[static_cast<size_t>(r)] = res.checksum;
-                       comm->finalize();
-                     });
-  }
-  platform.run();
-  return {platform.simulator().metrics().snapshotJson(), *checksums};
+  plan.add(mgtest::lossyEth1());
+  return mgtest::runEpUnderFaults(plan);
 }
 
 }  // namespace
@@ -711,10 +877,10 @@ std::pair<std::string, std::vector<double>> runEpWithFaults() {
 TEST(Resilience, NpbEpUnderFaultsIsByteDeterministic) {
   const auto r1 = runEpWithFaults();
   const auto r2 = runEpWithFaults();
-  EXPECT_EQ(r1.first, r2.first);  // full metrics snapshot, byte for byte
-  ASSERT_EQ(r1.second.size(), 4u);
-  EXPECT_EQ(r1.second, r2.second);
+  EXPECT_EQ(r1.metrics, r2.metrics);  // full metrics snapshot, byte for byte
+  ASSERT_EQ(r1.checksums.size(), 4u);
+  EXPECT_EQ(r1.checksums, r2.checksums);
   // The degraded link really dropped packets, so the equality above is a
   // statement about stochastic state, not zeros.
-  EXPECT_NE(r1.first.find("\"net.packet.dropped_loss\":"), std::string::npos);
+  EXPECT_NE(r1.metrics.find("\"net.packet.dropped_loss\":"), std::string::npos);
 }

@@ -34,6 +34,8 @@
 #include "util/strings.h"
 #include "vmpi/comm.h"
 
+#include "test_scenarios.h"
+
 namespace mo = mg::obs;
 
 // --------------------------------------------------------------- registry --
@@ -526,43 +528,20 @@ struct GoldenRun {
 };
 
 GoldenRun runGoldenEpWithFaults(int workers) {
-  auto cfg = core::topologies::alphaCluster();
-  core::MicroGridOptions mopts;
-  mopts.parallel_workers = workers;
-  core::MicroGridPlatform platform(cfg, mopts);
-  sim::Simulator& sim = platform.simulator();
-  sim.spans().setEnabled(true);
-  sim.traceBus().setEnabled("", true);
+  mgtest::HarnessOptions hopts;
+  hopts.parallel_workers = workers;
+  hopts.spans = true;
+  hopts.trace_bus = true;
+  mgtest::LauncherHarness h(hopts);
+  sim::Simulator& sim = h.platform.simulator();
 
-  grid::ExecutableRegistry registry;
   npb::ResultSink sink;
-  npb::registerNpb(registry, sink);
-  core::Launcher launcher(platform, registry);
-  launcher.startServices(&cfg, "Alpha4");
-  core::LaunchOptions lopts;
-  lopts.max_resubmits = 3;
-  launcher.setLaunchOptions(lopts);
+  npb::registerNpb(h.registry, sink);
 
   fault::FaultPlan plan;
-  fault::FaultEvent crash;
-  crash.at = 1.0;
-  crash.kind = fault::FaultKind::HostCrash;
-  crash.name = "crash";
-  crash.target = "vm3.ucsd.edu";
-  crash.duration = 3.0;
-  plan.add(crash);
-  fault::FaultEvent degrade;
-  degrade.at = 0.0;
-  degrade.kind = fault::FaultKind::LinkDegrade;
-  degrade.name = "lossy";
-  degrade.target = "eth1";
-  degrade.loss = 0.05;
-  degrade.duration = 60.0;
-  plan.add(degrade);
-  fault::FaultInjector injector(platform, std::move(plan));
-  injector.onHostCrash([&launcher](const std::string& h) { launcher.markHostDown(h); });
-  injector.onHostRestart([&launcher](const std::string& h) { launcher.markHostUp(h); });
-  injector.arm();
+  plan.add(mgtest::crashVm3(1.0, 3.0));
+  plan.add(mgtest::lossyEth1(0.05, 60.0));
+  fault::FaultInjector& injector = h.armFaults(std::move(plan));
 
   // Sample the full probe set during the run: the timeline CSV below is one
   // of the streams the worker-count-invisibility test compares.
@@ -570,14 +549,10 @@ GoldenRun runGoldenEpWithFaults(int workers) {
   obs::TelemetrySampler::Options sopts;
   sopts.interval_ns = 50 * sim::kMillisecond;
   obs::TelemetrySampler sampler(sim.timeline(), sim::telemetryHost(sim), sopts);
-  platform.registerTelemetry(sampler);
+  h.platform.registerTelemetry(sampler);
   sampler.start();
 
-  auto result = launcher.run("npb.ep", "S",
-                             {{"vm0.ucsd.edu", 1},
-                              {"vm1.ucsd.edu", 1},
-                              {"vm2.ucsd.edu", 1},
-                              {"vm3.ucsd.edu", 1}});
+  auto result = h.launcher.run("npb.ep", "S", mgtest::LauncherHarness::fourRanks());
   EXPECT_TRUE(result.ok) << result.error;
 
   sampler.finish();
